@@ -1,0 +1,332 @@
+(* Benchmark harness reproducing every table and figure of the paper's
+   evaluation (§V) on the synthetic benchmark suite, plus ablations of the
+   design choices and Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe                 — everything (all tables,
+                                                ablations, micro-benches)
+     dune exec bench/main.exe -- tableI
+     dune exec bench/main.exe -- tableII [scale]
+     dune exec bench/main.exe -- tableIII [scale]
+     dune exec bench/main.exe -- ablations [scale]
+     dune exec bench/main.exe -- micro
+     dune exec bench/main.exe -- all [scale]
+
+   The default scale (1.0) keeps a full Table III run in minutes on a
+   laptop; the paper's originals took ~10 hours on a Xeon. Absolute numbers
+   differ — the claims under test are the ratios ("Time diff.", "Mem diff.")
+   and their qualitative spread across benchmarks. *)
+
+open Pta_workload
+module Svfg = Pta_svfg.Svfg
+module T = Table
+
+let pf = Format.printf
+
+(* ------------------------------------------------------------------ *)
+(* Table I: the analysis domains and instruction set (definitional).   *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  pf "== Table I: analysis domains and instruction set ==@.@.";
+  pf "Instruction set (lib/ir/inst.mli):@.";
+  List.iter
+    (fun s -> pf "  %s@." s)
+    [
+      "ALLOC     p = alloca_o   (stack, global, heap, or &function)";
+      "PHI       p = phi(q, r, ...)";
+      "CAST/COPY p = (t) q";
+      "FIELD     p = &q->f_k    (offsets interned, FIELD-ADD collapsing)";
+      "LOAD      p = *q";
+      "STORE     *p = q";
+      "CALL      p = q(r1, ..., rn)   (direct or via function pointer)";
+      "FUNENTRY  fun(r1, ..., rn)";
+      "FUNEXIT   ret_fun p";
+      "MEMPHI    o = phi(o, o)  (memory SSA; an SVFG node, as in SVF)";
+    ];
+  (* Domain sizes of an example program. *)
+  let e = List.hd (Suite.benchmarks ~scale:0.3 ()) in
+  let b = Pipeline.build e.Suite.cfg in
+  let prog = b.Pipeline.prog in
+  pf "@.Domains for benchmark '%s' at scale 0.3:@." e.Suite.name;
+  pf "  |P| (top-level pointers)    = %d@." (Pta_ir.Prog.count_tops prog);
+  pf "  |A| (address-taken objects) = %d@." (Pta_ir.Prog.count_objects prog);
+  let sn = ref 0 in
+  Pta_ir.Prog.iter_objects prog (fun o ->
+      if Pta_ir.Prog.is_singleton prog o then incr sn);
+  pf "  |SN| (singletons)           = %d@." !sn;
+  let svfg = Pipeline.fresh_svfg b in
+  let ver = Vsfs_core.Versioning.compute svfg in
+  pf "  |K| (versions after meld labelling) = %d@.@."
+    (Vsfs_core.Versioning.n_versions ver)
+
+(* ------------------------------------------------------------------ *)
+(* Table II: benchmark characteristics.                                *)
+(* ------------------------------------------------------------------ *)
+
+let built_cache : (string, Pipeline.built) Hashtbl.t = Hashtbl.create 16
+
+let build_bench (e : Suite.entry) =
+  match Hashtbl.find_opt built_cache e.Suite.name with
+  | Some b -> b
+  | None ->
+    let b = Pipeline.build e.Suite.cfg in
+    Hashtbl.add built_cache e.Suite.name b;
+    b
+
+let table2 ?(scale = 1.0) () =
+  pf "== Table II: benchmark characteristics (synthetic suite, scale %.2f) ==@.@."
+    scale;
+  let rows =
+    List.map
+      (fun (e : Suite.entry) ->
+        let b = build_bench e in
+        let svfg = Pipeline.fresh_svfg b in
+        let prog = b.Pipeline.prog in
+        [
+          e.Suite.name;
+          string_of_int b.Pipeline.loc;
+          Printf.sprintf "%.1f" (float b.Pipeline.src_bytes /. 1024.);
+          string_of_int (Svfg.n_nodes svfg);
+          string_of_int (Svfg.n_direct_edges svfg);
+          string_of_int (Svfg.n_indirect_edges svfg);
+          string_of_int (Pta_ir.Prog.count_tops prog);
+          string_of_int (Pta_ir.Prog.count_objects prog);
+          e.Suite.description;
+        ])
+      (Suite.benchmarks ~scale ())
+  in
+  T.render Format.std_formatter
+    ~header:
+      [ "Bench."; "LOC"; "Size(KiB)"; "#Nodes"; "#D.Edges"; "#I.Edges";
+        "Top-Level"; "Addr-Taken"; "Description" ]
+    ~align:[ T.L; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.L ]
+    rows;
+  pf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Table III: Andersen / SFS / VSFS time and memory + ratios.          *)
+(* ------------------------------------------------------------------ *)
+
+let table3 ?(scale = 1.0) ?(check = true) () =
+  pf "== Table III: analysis time and memory (scale %.2f) ==@.@." scale;
+  pf "Time in seconds (main phase; VSFS versioning listed separately, as in@.";
+  pf "the paper). Memory is the logical footprint of the points-to sets and@.";
+  pf "versioning structures in MB (8-byte words); both analyses share the@.";
+  pf "same front end, auxiliary analysis and SVFG, which are excluded.@.@.";
+  let time_ratios = ref [] and mem_ratios = ref [] in
+  let easy_excluded_time = ref [] in
+  let rows =
+    List.map
+      (fun (e : Suite.entry) ->
+        let b = build_bench e in
+        let sfs_r, sfs = Pipeline.run_sfs b in
+        let vsfs_r, vsfs = Pipeline.run_vsfs b in
+        let equal =
+          if check then begin
+            let svfg = Pipeline.fresh_svfg b in
+            Vsfs_core.Equiv.is_equal (Vsfs_core.Equiv.compare sfs_r vsfs_r svfg)
+          end
+          else true
+        in
+        let tdiff = sfs.Pipeline.seconds /. max vsfs.Pipeline.seconds 1e-9 in
+        let mdiff =
+          float sfs.Pipeline.set_words /. float (max vsfs.Pipeline.set_words 1)
+        in
+        time_ratios := tdiff :: !time_ratios;
+        mem_ratios := mdiff :: !mem_ratios;
+        if not e.Suite.easy then easy_excluded_time := tdiff :: !easy_excluded_time;
+        Printf.eprintf "  [done] %-14s sfs=%.2fs vsfs=%.2fs (%s)\n%!" e.Suite.name
+          sfs.Pipeline.seconds vsfs.Pipeline.seconds
+          (if equal then "precision equal" else "PRECISION MISMATCH!");
+        [
+          e.Suite.name;
+          Printf.sprintf "%.2f" b.Pipeline.andersen_seconds;
+          Printf.sprintf "%.2f" sfs.Pipeline.seconds;
+          Printf.sprintf "%.1f" (float sfs.Pipeline.set_words *. 8. /. 1048576.);
+          Printf.sprintf "%.2f" vsfs.Pipeline.pre_seconds;
+          Printf.sprintf "%.2f" vsfs.Pipeline.seconds;
+          Printf.sprintf "%.1f" (float vsfs.Pipeline.set_words *. 8. /. 1048576.);
+          Printf.sprintf "%.2fx" tdiff;
+          Printf.sprintf "%.2fx" mdiff;
+          (if equal then "yes" else "NO!");
+        ])
+      (Suite.benchmarks ~scale ())
+  in
+  T.render Format.std_formatter
+    ~header:
+      [ "Bench."; "Ander."; "SFS"; "SFS MB"; "Version."; "VSFS"; "VSFS MB";
+        "Time diff."; "Mem diff."; "Equal" ]
+    ~align:[ T.L; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.L ]
+    rows;
+  pf "@.geometric mean speedup:            %.2fx@." (T.geomean !time_ratios);
+  pf "geometric mean speedup (hard set): %.2fx@."
+    (T.geomean !easy_excluded_time);
+  pf "geometric mean memory reduction:   %.2fx@." (T.geomean !mem_ratios);
+  pf "(paper: 5.31x mean speedup, up to 26.22x; 2.11x mean memory, up to 5.46x)@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ablations ?(scale = 1.0) () =
+  pf "== Ablations (design-choice benchmarks) ==@.@.";
+  let e = Option.get (Suite.find ~scale "janet") in
+  let b = build_bench e in
+  pf "benchmark: %s at scale %.2f (loc %d)@.@." e.Suite.name scale b.Pipeline.loc;
+  let run name f =
+    let _, seconds = Pipeline.time f in
+    pf "  %-44s %10s@." name (T.human_seconds seconds)
+  in
+  pf "1. worklist scheduling (FIFO vs SCC-topological):@.";
+  run "SFS, FIFO worklist" (fun () ->
+      ignore (Pta_sfs.Sfs.solve ~strategy:`Fifo (Pipeline.fresh_svfg b)));
+  run "SFS, topological worklist" (fun () ->
+      ignore (Pta_sfs.Sfs.solve ~strategy:`Topo (Pipeline.fresh_svfg b)));
+  run "VSFS, FIFO worklist" (fun () ->
+      ignore (Vsfs_core.Vsfs.solve ~strategy:`Fifo (Pipeline.fresh_svfg b)));
+  run "VSFS, topological worklist" (fun () ->
+      ignore (Vsfs_core.Vsfs.solve ~strategy:`Topo (Pipeline.fresh_svfg b)));
+  pf "@.2. strong updates on/off (identical toggle for both solvers):@.";
+  run "SFS, strong updates on" (fun () ->
+      ignore (Pta_sfs.Sfs.solve (Pipeline.fresh_svfg b)));
+  run "SFS, strong updates off" (fun () ->
+      ignore (Pta_sfs.Sfs.solve ~strong_updates:false (Pipeline.fresh_svfg b)));
+  run "VSFS, strong updates on" (fun () ->
+      ignore (Vsfs_core.Vsfs.solve (Pipeline.fresh_svfg b)));
+  run "VSFS, strong updates off" (fun () ->
+      ignore (Vsfs_core.Vsfs.solve ~strong_updates:false (Pipeline.fresh_svfg b)));
+  pf "@.3. on-the-fly vs static (auxiliary) call graph:@.";
+  (* Static: connect every auxiliary call edge before versioning, so no δ
+     machinery is exercised and versioning sees the full graph. *)
+  run "VSFS, on-the-fly call graph (paper)" (fun () ->
+      let svfg = Pipeline.fresh_svfg b in
+      let ver = Vsfs_core.Versioning.compute svfg in
+      ignore (Vsfs_core.Vsfs.solve ~versioning:ver svfg));
+  run "VSFS, static auxiliary call graph" (fun () ->
+      let svfg = Pipeline.fresh_svfg b in
+      Svfg.connect_callgraph svfg (Svfg.aux svfg).Pta_memssa.Modref.cg;
+      let ver = Vsfs_core.Versioning.compute svfg in
+      ignore (Vsfs_core.Vsfs.solve ~versioning:ver svfg));
+  pf "@.4. version sharing factor (consume points per distinct version;@.";
+  pf "   SFS is 1.0 by construction — this is the single-object sparsity won):@.";
+  List.iter
+    (fun name ->
+      match Suite.find ~scale name with
+      | Some e ->
+        let b = build_bench e in
+        let svfg = Pipeline.fresh_svfg b in
+        let ver = Vsfs_core.Versioning.compute svfg in
+        pf "  %-14s %.2f consume-points per version (%d versions)@." name
+          (Vsfs_core.Versioning.sharing_factor ver)
+          (Vsfs_core.Versioning.n_versions ver)
+      | None -> ())
+    [ "du"; "dpkg"; "bake"; "astyle"; "bash" ];
+  pf "@.5. versioning cost share (paper §V-A: negligible and shrinking):@.";
+  List.iter
+    (fun s ->
+      match Suite.find ~scale:s "janet" with
+      | Some e ->
+        let b = Pipeline.build e.Suite.cfg in
+        let _, m = Pipeline.run_vsfs b in
+        pf "  scale %.2f: versioning %s vs main phase %s (%.1f%%)@." s
+          (T.human_seconds m.Pipeline.pre_seconds)
+          (T.human_seconds m.Pipeline.seconds)
+          (100. *. m.Pipeline.pre_seconds
+          /. max (m.Pipeline.pre_seconds +. m.Pipeline.seconds) 1e-9)
+      | None -> ())
+    [ 0.25; 0.5; 1.0 ];
+  pf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table.                 *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  pf "== Bechamel micro-benchmarks ==@.@.";
+  (* Table II scale: the graph construction kernels. *)
+  let tiny = { (List.hd (Suite.benchmarks ~scale:0.1 ())).Suite.cfg with
+               Gen.seed = 7 } in
+  let tiny_built = lazy (Pipeline.build tiny) in
+  let test_table1 =
+    Test.make ~name:"tableI:ir-construction"
+      (Staged.stage (fun () ->
+           let src = Gen.source { tiny with Gen.n_functions = 3 } in
+           ignore (Pta_cfront.Lower.compile src)))
+  in
+  let test_table2 =
+    Test.make ~name:"tableII:svfg-construction"
+      (Staged.stage (fun () ->
+           ignore (Pipeline.fresh_svfg (Lazy.force tiny_built))))
+  in
+  let test_table3 =
+    Test.make ~name:"tableIII:vsfs-solve"
+      (Staged.stage (fun () ->
+           let svfg = Pipeline.fresh_svfg (Lazy.force tiny_built) in
+           ignore (Vsfs_core.Vsfs.solve svfg)))
+  in
+  let test_bitset =
+    let a = Pta_ds.Bitset.of_list (List.init 200 (fun i -> i * 17)) in
+    let b0 = Pta_ds.Bitset.of_list (List.init 200 (fun i -> (i * 13) + 5)) in
+    Test.make ~name:"kernel:bitset-union"
+      (Staged.stage (fun () ->
+           let c = Pta_ds.Bitset.copy a in
+           ignore (Pta_ds.Bitset.union_into ~into:c b0)))
+  in
+  let test_meld =
+    Test.make ~name:"kernel:meld-hashcons"
+      (Staged.stage (fun () ->
+           let t = Vsfs_core.Version.create () in
+           let vs =
+             Array.init 16 (fun i ->
+                 Vsfs_core.Version.fresh t ~table_label:(string_of_int i))
+           in
+           let acc = ref Vsfs_core.Version.epsilon in
+           Array.iter (fun v -> acc := Vsfs_core.Version.meld t !acc v) vs))
+  in
+  let tests =
+    Test.make_grouped ~name:"vsfs"
+      [ test_table1; test_table2; test_table3; test_bitset; test_meld ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances tests in
+    List.map (fun i -> Analyze.all ols i raw_results) instances
+  in
+  let results = benchmark () in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> pf "  %-40s %14.1f ns/run@." name est
+          | _ -> pf "  %-40s (no estimate)@." name)
+        tbl)
+    results;
+  pf "@."
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let scale =
+    List.fold_left
+      (fun acc a -> match float_of_string_opt a with Some f -> f | None -> acc)
+      1.0 argv
+  in
+  let has cmd = List.mem cmd argv in
+  let default = not (List.exists (fun c -> has c)
+                       [ "tableI"; "tableII"; "tableIII"; "ablations"; "micro"; "all" ]) in
+  (* bare invocation = everything, so a tee'd run records the full
+     reproduction *)
+  if has "tableI" || has "all" || default then table1 ();
+  if has "tableII" || has "all" || default then table2 ~scale ();
+  if has "tableIII" || has "all" || default then table3 ~scale ();
+  if has "ablations" || has "all" || default then ablations ~scale ();
+  if has "micro" || has "all" || default then micro ()

@@ -1,0 +1,232 @@
+(* Command-line driver.
+
+     vsfs analyze FILE [--analysis vsfs|sfs|dense|andersen] [--query NAME]
+                       [--dump-ir] [--dump-svfg] [--check] [--stats]
+     vsfs gen [--bench NAME | --seed N] [--scale S] [-o FILE]
+     vsfs bench ...          (hint to use bench/main.exe)
+
+   FILE is mini-C (.c/.mc) or textual IR (.ir, see Pta_ir.Parser). *)
+
+open Pta_ir
+module Svfg = Pta_svfg.Svfg
+
+let load_program path =
+  if Filename.check_suffix path ".ir" then Parser.parse_file path
+  else Pta_cfront.Lower.compile_file path
+
+let build_aux prog =
+  let r = Pta_andersen.Solver.solve prog in
+  let aux =
+    { Pta_memssa.Modref.pt = Pta_andersen.Solver.pts r;
+      cg = Pta_andersen.Solver.callgraph r }
+  in
+  Pta_memssa.Singleton.refine prog ~cg:aux.Pta_memssa.Modref.cg;
+  (r, aux)
+
+let fresh_svfg prog aux =
+  let svfg = Svfg.build prog aux in
+  Svfg.connect_direct_calls svfg;
+  svfg
+
+let print_set prog what set =
+  Format.printf "%s = {%s}@." what
+    (String.concat ", " (List.map (Prog.name prog) (Pta_ds.Bitset.elements set)))
+
+let resolve_query prog name =
+  let r = ref (-1) in
+  Prog.iter_vars prog (fun v -> if Prog.name prog v = name then r := v);
+  if !r < 0 then None else Some !r
+
+let analyze file analysis queries dump_ir dump_svfg dot_file check stats =
+  let prog = load_program file in
+  (match Validate.check prog with
+  | [] -> ()
+  | errs ->
+    Format.eprintf "invalid program:@.%s@." (String.concat "\n" errs);
+    exit 1);
+  if dump_ir then Format.printf "%s@." (Printer.prog_to_string prog);
+  let aux_r, aux = build_aux prog in
+  let svfg = fresh_svfg prog aux in
+  (match dot_file with
+  | Some path ->
+    Pta_svfg.Dot.to_file svfg path;
+    Format.printf "wrote SVFG dot to %s@." path
+  | None -> ());
+  if dump_svfg then begin
+    Format.printf "SVFG: %d nodes, %d indirect edges, %d direct edges@."
+      (Svfg.n_nodes svfg) (Svfg.n_indirect_edges svfg)
+      (Svfg.n_direct_edges svfg);
+    for n = 0 to Svfg.n_nodes svfg - 1 do
+      Svfg.iter_ind_all svfg n (fun o m ->
+          Format.printf "  %a --%s--> %a@." (Svfg.pp_node svfg) n
+            (Prog.name prog o) (Svfg.pp_node svfg) m)
+    done
+  end;
+  let top_pt, obj_pt, label =
+    match analysis with
+    | `Andersen ->
+      ( Pta_andersen.Solver.pts aux_r,
+        Pta_andersen.Solver.pts aux_r,
+        "andersen" )
+    | `Sfs ->
+      let r = Pta_sfs.Sfs.solve svfg in
+      (Pta_sfs.Sfs.pt r, Pta_sfs.Sfs.object_pt r, "sfs")
+    | `Dense ->
+      let r = Pta_sfs.Dense.solve prog aux in
+      (Pta_sfs.Dense.pt r, Pta_sfs.Dense.pt r, "dense")
+    | `Vsfs ->
+      let r = Vsfs_core.Vsfs.solve svfg in
+      (Vsfs_core.Vsfs.pt r, Vsfs_core.Vsfs.object_pt r, "vsfs")
+  in
+  Format.printf "analysis: %s@." label;
+  List.iter
+    (fun q ->
+      match resolve_query prog q with
+      | None -> Format.printf "pt(%s): unknown variable@." q
+      | Some v ->
+        let set = if Prog.is_object prog v then obj_pt v else top_pt v in
+        print_set prog (Printf.sprintf "pt(%s)" q) set)
+    queries;
+  if queries = [] && not (dump_ir || dump_svfg) then begin
+    (* default report: non-empty points-to sets of globals *)
+    Prog.iter_vars prog (fun v ->
+        if Prog.is_object prog v then
+          match Prog.obj_kind prog v with
+          | Prog.Global ->
+            let set = obj_pt v in
+            if not (Pta_ds.Bitset.is_empty set) then
+              print_set prog (Printf.sprintf "pt(%s)" (Prog.name prog v)) set
+          | _ -> ())
+  end;
+  if check then begin
+    let sfs = Pta_sfs.Sfs.solve (fresh_svfg prog aux) in
+    let svfg2 = fresh_svfg prog aux in
+    let vsfs = Vsfs_core.Vsfs.solve svfg2 in
+    let report = Vsfs_core.Equiv.compare sfs vsfs svfg2 in
+    if Vsfs_core.Equiv.is_equal report then
+      Format.printf "check: SFS and VSFS agree@."
+    else begin
+      Format.printf "check FAILED:@.%a@." (Vsfs_core.Equiv.pp_report prog) report;
+      exit 1
+    end
+  end;
+  if stats then begin
+    Format.printf "-- stats --@.";
+    Format.printf "%a" Pta_ds.Stats.pp ()
+  end;
+  0
+
+let gen bench corpus seed scale output =
+  let src =
+    match corpus with
+    | Some name -> (
+      match Pta_workload.Corpus.find name with
+      | Some src -> src
+      | None ->
+        Format.eprintf "unknown corpus program %s; available: %s@." name
+          (String.concat ", " (List.map fst Pta_workload.Corpus.programs));
+        exit 1)
+    | None ->
+      let cfg =
+        match bench with
+        | Some name -> (
+          match Pta_workload.Suite.find ~scale name with
+          | Some e -> e.Pta_workload.Suite.cfg
+          | None ->
+            Format.eprintf "unknown benchmark %s (see Suite.benchmarks)@." name;
+            exit 1)
+        | None -> Pta_workload.Gen.small_random seed
+      in
+      Pta_workload.Gen.source cfg
+  in
+  (match output with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc src;
+    close_out oc;
+    Format.printf "wrote %d lines to %s@." (Pta_workload.Gen.loc src) path
+  | None -> print_string src);
+  0
+
+(* ---------------- cmdliner plumbing ---------------- *)
+
+open Cmdliner
+
+let analysis_conv =
+  Arg.enum
+    [ ("vsfs", `Vsfs); ("sfs", `Sfs); ("dense", `Dense); ("andersen", `Andersen) ]
+
+let analyze_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let analysis =
+    Arg.(value & opt analysis_conv `Vsfs & info [ "analysis"; "a" ]
+           ~doc:"Analysis to run: vsfs (default), sfs, dense, or andersen.")
+  in
+  let queries =
+    Arg.(value & opt_all string [] & info [ "query"; "q" ]
+           ~docv:"NAME"
+           ~doc:"Print the points-to set of the named variable or object \
+                 (e.g. g.o for global g's storage). Repeatable.")
+  in
+  let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the IR.") in
+  let dump_svfg =
+    Arg.(value & flag & info [ "dump-svfg" ] ~doc:"Print SVFG nodes/edges.")
+  in
+  let dot_file =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write the SVFG as Graphviz dot.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Run both SFS and VSFS and verify they agree (§IV-E).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Dump internal counters.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyse a mini-C (.c) or textual-IR (.ir) file")
+    Term.(
+      const analyze $ file $ analysis $ queries $ dump_ir $ dump_svfg
+      $ dot_file $ check $ stats)
+
+let gen_cmd =
+  let bench =
+    Arg.(value & opt (some string) None & info [ "bench" ]
+           ~doc:"Generate the named suite benchmark (du, ninja, ..., \
+                 hyriseConsole).")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None & info [ "corpus" ]
+           ~doc:"Write one of the hand-written corpus programs (hash_table, \
+                 string_builder, event_loop, binary_tree, arena, \
+                 state_machine, observer).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (if no --bench).")
+  in
+  let scale = Arg.(value & opt float 1.0 & info [ "scale" ]) in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic mini-C benchmark program")
+    Term.(const gen $ bench $ corpus $ seed $ scale $ output)
+
+let bench_cmd =
+  Cmd.v (Cmd.info "bench" ~doc:"Reproduce the paper's tables")
+    Term.(
+      const (fun () ->
+          Format.printf
+            "Use: dune exec bench/main.exe -- [tableI|tableII|tableIII|ablations|micro|all] [scale]@.";
+          0)
+      $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "vsfs" ~version:"1.0"
+       ~doc:
+         "Object versioning for flow-sensitive pointer analysis (CGO 2021 \
+          reproduction)")
+    [ analyze_cmd; gen_cmd; bench_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

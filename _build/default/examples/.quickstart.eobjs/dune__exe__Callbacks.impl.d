@@ -1,0 +1,1 @@
+examples/callbacks.ml: Callgraph Format List Prog Pta_ds Pta_ir Pta_svfg Pta_workload String Vsfs_core

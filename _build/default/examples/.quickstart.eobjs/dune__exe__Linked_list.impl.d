@@ -1,0 +1,1 @@
+examples/linked_list.ml: Format List Prog Pta_ds Pta_ir Pta_workload String Vsfs_core

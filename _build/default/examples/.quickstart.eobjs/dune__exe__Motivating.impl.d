@@ -1,0 +1,1 @@
+examples/motivating.ml: Array Format Hashtbl Inst List Printer Prog Pta_ds Pta_graph Pta_ir Pta_memssa Pta_svfg Pta_workload Sys Vsfs_core

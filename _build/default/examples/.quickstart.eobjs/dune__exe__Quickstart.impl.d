@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printer Prog Pta_andersen Pta_ds Pta_ir Pta_sfs Pta_svfg Pta_workload String Vsfs_core

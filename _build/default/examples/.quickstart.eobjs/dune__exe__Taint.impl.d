@@ -1,0 +1,1 @@
+examples/taint.ml: Format List Prog Pta_andersen Pta_ds Pta_ir Pta_workload String Vsfs_core

@@ -1,0 +1,87 @@
+(* Function-pointer dispatch: shows on-the-fly call-graph resolution and the
+   δ-node machinery (§IV-C1). Indirect-call boundaries receive their SVFG
+   edges only during flow-sensitive solving; the δ prelabels placed during
+   versioning keep the late edges sound.
+
+   Run with: dune exec examples/callbacks.exe *)
+
+open Pta_ir
+module Svfg = Pta_svfg.Svfg
+
+let source =
+  {|
+  global handlers_head, log_sink;
+
+  func log_handler(ev) {
+    log_sink = ev;
+    return ev;
+  }
+
+  func drop_handler(ev) {
+    return null;
+  }
+
+  func subscribe(fn) {
+    var cell;
+    cell = malloc();
+    cell->cb = fn;
+    cell->next = handlers_head;
+    handlers_head = cell;
+  }
+
+  func publish(ev) {
+    var cur, cb, r;
+    cur = handlers_head;
+    while (cur != null) {
+      cb = cur->cb;
+      r = cb(ev);
+      cur = cur->next;
+    }
+  }
+
+  func main() {
+    var e;
+    subscribe(&log_handler);
+    subscribe(&drop_handler);
+    e = malloc();
+    publish(e);
+  }
+  |}
+
+let () =
+  let built = Pta_workload.Pipeline.build_source source in
+  let prog = built.Pta_workload.Pipeline.prog in
+  let svfg = Pta_workload.Pipeline.fresh_svfg built in
+  let ver = Vsfs_core.Versioning.compute svfg in
+  let vsfs = Vsfs_core.Vsfs.solve ~versioning:ver svfg in
+
+  (* δ nodes: formal-ins of potential indirect targets, actual-outs of
+     indirect call sites *)
+  let deltas = ref 0 in
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    if Vsfs_core.Versioning.is_delta ver n then begin
+      incr deltas;
+      if !deltas <= 8 then Format.printf "δ node: %a@." (Svfg.pp_node svfg) n
+    end
+  done;
+  Format.printf "total δ nodes: %d@.@." !deltas;
+
+  (* the flow-sensitively resolved call graph *)
+  let cg = Vsfs_core.Vsfs.callgraph vsfs in
+  Format.printf "flow-sensitive call graph (%d edges):@." (Callgraph.n_edges cg);
+  Callgraph.iter_edges cg (fun cs g ->
+      Format.printf "  %s:L%d -> %s@."
+        (Prog.func prog cs.Callgraph.cs_func).Prog.fname cs.Callgraph.cs_inst
+        (Prog.func prog g).Prog.fname);
+
+  (* what reached the log sink through the dispatch *)
+  let sink = ref (-1) in
+  Prog.iter_vars prog (fun v -> if Prog.name prog v = "log_sink.o" then sink := v);
+  Format.printf "@.log_sink may contain: {%s}@."
+    (String.concat ", "
+       (List.map (Prog.name prog)
+          (Pta_ds.Bitset.elements (Vsfs_core.Vsfs.object_pt vsfs !sink))));
+  Format.printf "versioning: %d versions, %d reliances, %.1f ms@."
+    (Vsfs_core.Versioning.n_versions ver)
+    (Vsfs_core.Versioning.n_reliances ver)
+    (Vsfs_core.Versioning.duration ver *. 1000.)

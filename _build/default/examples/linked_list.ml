@@ -1,0 +1,94 @@
+(* A heap-intensive workload: linked-list building and walking — the
+   pattern the paper's introduction motivates ("real-world heap-intensive
+   programs"), where many loads consume the same object state and SFS
+   duplicates it at every program point while VSFS shares one set per
+   version.
+
+   Run with: dune exec examples/linked_list.exe *)
+
+open Pta_ir
+
+let source =
+  {|
+  global head, cursor;
+
+  func push(value) {
+    var node;
+    node = malloc();
+    node->next = head;
+    node->data = value;
+    head = node;
+    return node;
+  }
+
+  func find(needle) {
+    var cur, d;
+    cur = head;
+    while (cur != null) {
+      d = cur->data;
+      if (d == needle) { return cur; }
+      cur = cur->next;
+    }
+    return cur;
+  }
+
+  func reverse() {
+    var prev, cur, nxt;
+    prev = null;
+    cur = head;
+    while (cur != null) {
+      nxt = cur->next;
+      cur->next = prev;
+      prev = cur;
+      cur = nxt;
+    }
+    head = prev;
+  }
+
+  func main() {
+    var a, b, c, hit;
+    a = malloc();
+    b = malloc();
+    c = malloc();
+    push(a);
+    push(b);
+    push(c);
+    reverse();
+    hit = find(b);
+    cursor = hit;
+  }
+  |}
+
+let () =
+  let built = Pta_workload.Pipeline.build_source source in
+  let prog = built.Pta_workload.Pipeline.prog in
+  let sfs_r, sfs = Pta_workload.Pipeline.run_sfs built in
+  let vsfs_r, vsfs = Pta_workload.Pipeline.run_vsfs built in
+  let by_name name =
+    let r = ref (-1) in
+    Prog.iter_vars prog (fun v -> if Prog.name prog v = name then r := v);
+    !r
+  in
+  let show what set =
+    Format.printf "%-28s {%s}@." what
+      (String.concat ", "
+         (List.map (Prog.name prog) (Pta_ds.Bitset.elements set)))
+  in
+  Format.printf "== linked-list analysis ==@.";
+  show "head may contain:" (Vsfs_core.Vsfs.object_pt vsfs_r (by_name "head.o"));
+  show "cursor may contain:" (Vsfs_core.Vsfs.object_pt vsfs_r (by_name "cursor.o"));
+  (* field sensitivity: the cell's data field holds only payloads *)
+  Prog.iter_objects prog (fun o ->
+      match Prog.obj_kind prog o with
+      | Prog.FieldOf _ ->
+        show (Prog.name prog o ^ " may contain:") (Vsfs_core.Vsfs.object_pt vsfs_r o)
+      | _ -> ());
+  Format.printf "@.== cost comparison (the paper's motivation) ==@.";
+  Format.printf "%-12s %10s %12s %8s@." "" "pts sets" "propagations" "time";
+  Format.printf "%-12s %10d %12d %8s@." "SFS"
+    sfs.Pta_workload.Pipeline.sets sfs.Pta_workload.Pipeline.props
+    (Pta_workload.Table.human_seconds sfs.Pta_workload.Pipeline.seconds);
+  Format.printf "%-12s %10d %12d %8s@." "VSFS"
+    vsfs.Pta_workload.Pipeline.sets vsfs.Pta_workload.Pipeline.props
+    (Pta_workload.Table.human_seconds vsfs.Pta_workload.Pipeline.seconds);
+  ignore sfs_r

@@ -1,0 +1,75 @@
+(* Quickstart: analyse a small mini-C program with the whole pipeline and
+   query points-to results from both SFS and VSFS.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Pta_ir
+
+let source =
+  {|
+  global config;
+
+  func make_config() {
+    var c;
+    c = malloc();          // the configuration record
+    c->owner = &make_config;
+    return c;
+  }
+
+  func install(c) {
+    config = c;
+  }
+
+  func main() {
+    var c, active;
+    c = make_config();
+    install(c);
+    active = config;       // what can this be?
+    active->flag = c;
+  }
+  |}
+
+let () =
+  (* 1. Front end: mini-C -> partial SSA (mem2reg included). *)
+  let built = Pta_workload.Pipeline.build_source source in
+  let prog = built.Pta_workload.Pipeline.prog in
+  Format.printf "== program (partial SSA after mem2reg) ==@.%s@."
+    (Printer.prog_to_string prog);
+
+  (* 2. The auxiliary analysis already ran; inspect a result. *)
+  let aux = built.Pta_workload.Pipeline.aux_result in
+  Format.printf "Andersen ran in %d waves.@.@."
+    (Pta_andersen.Solver.n_waves aux);
+
+  (* 3. Flow-sensitive analyses on a fresh SVFG each. *)
+  let svfg = Pta_workload.Pipeline.fresh_svfg built in
+  Format.printf "SVFG: %d nodes, %d indirect edges, %d direct edges@.@."
+    (Pta_svfg.Svfg.n_nodes svfg)
+    (Pta_svfg.Svfg.n_indirect_edges svfg)
+    (Pta_svfg.Svfg.n_direct_edges svfg);
+  let sfs = Pta_sfs.Sfs.solve (Pta_workload.Pipeline.fresh_svfg built) in
+  let vsfs = Vsfs_core.Vsfs.solve svfg in
+
+  (* 4. Query: what can the global [config] contain? *)
+  let by_name name =
+    let r = ref (-1) in
+    Prog.iter_vars prog (fun v -> if Prog.name prog v = name then r := v);
+    !r
+  in
+  let show what set =
+    Format.printf "%-24s {%s}@." what
+      (String.concat ", "
+         (List.map (Prog.name prog) (Pta_ds.Bitset.elements set)))
+  in
+  show "config may contain:" (Vsfs_core.Vsfs.object_pt vsfs (by_name "config.o"));
+  show "ditto, per SFS:" (Pta_sfs.Sfs.object_pt sfs (by_name "config.o"));
+
+  (* 5. The two analyses agree (the paper's §IV-E), but VSFS stores far
+     fewer points-to sets. *)
+  let report = Vsfs_core.Equiv.compare sfs vsfs svfg in
+  Format.printf "@.precision equal: %b@." (Vsfs_core.Equiv.is_equal report);
+  Format.printf "points-to sets stored: SFS %d vs VSFS %d@."
+    (Pta_sfs.Sfs.n_sets sfs) (Vsfs_core.Vsfs.n_sets vsfs);
+  Format.printf "propagations executed: SFS %d vs VSFS %d@."
+    (Pta_sfs.Sfs.n_propagations sfs)
+    (Vsfs_core.Vsfs.n_propagations vsfs)

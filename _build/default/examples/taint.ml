@@ -1,0 +1,94 @@
+(* A small downstream client — the "vulnerability detection" use the paper's
+   introduction motivates: a flow-to-sink taint check built on VSFS results.
+
+   Sources are heap allocations in functions whose name starts with [recv];
+   sinks are stores into globals whose name starts with [out]. The checker
+   reports every source object that can reach a sink, using the
+   flow-sensitive points-to sets (Andersen's would flag more pairs —
+   imprecision that becomes false positives; the example prints both).
+
+   Run with: dune exec examples/taint.exe *)
+
+open Pta_ir
+
+let source_code =
+  {|
+  global out_log, out_net, scratch;
+
+  func recv_packet() {
+    var p;
+    p = malloc();          // tainted source 1
+    return p;
+  }
+
+  func recv_header() {
+    var h;
+    h = malloc();          // tainted source 2
+    return h;
+  }
+
+  func sanitize(x) {
+    var clean;
+    clean = malloc();      // a fresh, untainted copy
+    clean->payload = x;    // (the reference survives inside, but the clean
+    return clean;          //  object itself is what flows on)
+  }
+
+  func main() {
+    var pkt, hdr, clean, tmp;
+    pkt = recv_packet();
+    hdr = recv_header();
+    out_net = pkt;         // BAD: raw packet reaches the network sink
+    clean = sanitize(hdr);
+    out_log = clean;       // OK: only the sanitised wrapper reaches the log
+    scratch = hdr;         // not a sink
+  }
+  |}
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let () =
+  let built = Pta_workload.Pipeline.build_source source_code in
+  let prog = built.Pta_workload.Pipeline.prog in
+  let svfg = Pta_workload.Pipeline.fresh_svfg built in
+  let vsfs = Vsfs_core.Vsfs.solve svfg in
+
+  (* sources: heap objects allocated in recv* functions *)
+  let sources = ref [] in
+  Prog.iter_objects prog (fun o ->
+      match Prog.obj_kind prog o with
+      | Prog.Heap when starts_with "recv" (Prog.name prog o) ->
+        sources := o :: !sources
+      | _ -> ());
+
+  (* sinks: global objects named out* *)
+  let sinks = ref [] in
+  Prog.iter_objects prog (fun o ->
+      match Prog.obj_kind prog o with
+      | Prog.Global when starts_with "out" (Prog.name prog o) ->
+        sinks := o :: !sinks
+      | _ -> ());
+
+  Format.printf "sources: %s@."
+    (String.concat ", " (List.map (Prog.name prog) !sources));
+  Format.printf "sinks:   %s@.@."
+    (String.concat ", " (List.map (Prog.name prog) !sinks));
+
+  let report analysis pt_of =
+    Format.printf "-- %s --@." analysis;
+    List.iter
+      (fun sink ->
+        List.iter
+          (fun src ->
+            if Pta_ds.Bitset.mem (pt_of sink) src then
+              Format.printf "TAINT: %s may receive %s@." (Prog.name prog sink)
+                (Prog.name prog src))
+          !sources)
+      !sinks;
+    Format.printf "@."
+  in
+  report "flow-sensitive (VSFS)" (Vsfs_core.Vsfs.object_pt vsfs);
+  report "flow-insensitive (Andersen)"
+    (Pta_andersen.Solver.pts built.Pta_workload.Pipeline.aux_result)

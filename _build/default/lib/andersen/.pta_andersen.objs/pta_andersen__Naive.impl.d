@@ -1,0 +1,1 @@
+lib/andersen/naive.ml: Bitset Callgraph Hashtbl Inst List Prog Pta_ds Pta_ir

@@ -1,0 +1,1 @@
+lib/andersen/naive.mli: Pta_ds Pta_ir

@@ -1,0 +1,1 @@
+lib/andersen/solver.ml: Array Bitset Callgraph Hashtbl Inst Int List Option Prog Pta_ds Pta_graph Pta_ir Stats Union_find Vec

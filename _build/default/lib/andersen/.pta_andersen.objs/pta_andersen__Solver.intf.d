@@ -1,0 +1,1 @@
+lib/andersen/solver.mli: Pta_ds Pta_ir

@@ -1,0 +1,81 @@
+open Pta_ds
+open Pta_ir
+
+type result = { sets : (Inst.var, Bitset.t) Hashtbl.t; cg : Callgraph.t }
+
+let pts r v =
+  match Hashtbl.find_opt r.sets v with
+  | Some s -> s
+  | None ->
+    let s = Bitset.create () in
+    Hashtbl.add r.sets v s;
+    s
+
+let callgraph r = r.cg
+
+let solve prog =
+  let r = { sets = Hashtbl.create 256; cg = Callgraph.create () } in
+  let changed = ref true in
+  let union_into dst src = if Bitset.union_into ~into:dst src then changed := true in
+  let add dst o = if Bitset.add dst o then changed := true in
+  let apply_call fn i lhs callee args =
+    let cs = { Callgraph.cs_func = fn.Prog.id; cs_inst = i } in
+    let targets =
+      match callee with
+      | Inst.Direct fid -> [ fid ]
+      | Inst.Indirect fp ->
+        Bitset.fold
+          (fun o acc ->
+            match Prog.is_function_obj prog o with
+            | Some fid ->
+              Callgraph.mark_indirect_target r.cg fid;
+              fid :: acc
+            | None -> acc)
+          (pts r fp) []
+    in
+    List.iter
+      (fun fid ->
+        if Callgraph.add r.cg cs fid then changed := true;
+        let callee = Prog.func prog fid in
+        let rec zip args params =
+          match (args, params) with
+          | a :: args, p :: params ->
+            union_into (pts r p) (pts r a);
+            zip args params
+          | _ -> ()
+        in
+        zip args callee.Prog.params;
+        match (lhs, callee.Prog.ret) with
+        | Some l, Some ret -> union_into (pts r l) (pts r ret)
+        | _ -> ())
+      targets
+  in
+  while !changed do
+    changed := false;
+    Prog.iter_funcs prog (fun fn ->
+        for i = 0 to Prog.n_insts fn - 1 do
+          match Prog.inst fn i with
+          | Inst.Alloc { lhs; obj } -> add (pts r lhs) obj
+          | Inst.Copy { lhs; rhs } -> union_into (pts r lhs) (pts r rhs)
+          | Inst.Phi { lhs; rhs } ->
+            List.iter (fun x -> union_into (pts r lhs) (pts r x)) rhs
+          | Inst.Field { lhs; base; offset } ->
+            Bitset.iter
+              (fun o ->
+                match Prog.obj_kind prog o with
+                | Prog.Func _ -> ()
+                | _ -> add (pts r lhs) (Prog.field_obj prog ~base:o ~offset))
+              (Bitset.copy (pts r base))
+          | Inst.Load { lhs; ptr } ->
+            Bitset.iter
+              (fun o -> union_into (pts r lhs) (pts r o))
+              (Bitset.copy (pts r ptr))
+          | Inst.Store { ptr; rhs } ->
+            Bitset.iter
+              (fun o -> union_into (pts r o) (pts r rhs))
+              (Bitset.copy (pts r ptr))
+          | Inst.Call { lhs; callee; args } -> apply_call fn i lhs callee args
+          | Inst.Entry | Inst.Exit | Inst.Branch -> ()
+        done)
+  done;
+  r

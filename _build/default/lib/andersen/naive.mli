@@ -1,0 +1,10 @@
+(** Reference Andersen's solver: re-applies every constraint until nothing
+    changes, with no cycle collapsing and no difference propagation.
+    Quadratic and only meant as the oracle for differential tests of
+    {!Solver}. *)
+
+type result
+
+val solve : Pta_ir.Prog.t -> result
+val pts : result -> Pta_ir.Inst.var -> Pta_ds.Bitset.t
+val callgraph : result -> Pta_ir.Callgraph.t

@@ -1,0 +1,276 @@
+open Pta_ds
+open Pta_ir
+
+type complex = {
+  (* [lhs = *p] constraints keyed by pointer [p] *)
+  mutable load_lhss : Inst.var list;
+  (* [*p = q] constraints keyed by pointer [p] *)
+  mutable store_rhss : Inst.var list;
+  (* [lhs = &p->k] constraints keyed by base [p] *)
+  mutable geps : (Inst.var * int) list;
+  (* indirect call sites whose function pointer is [p] *)
+  mutable calls : (Callgraph.callsite * Inst.var option * Inst.var list) list;
+  (* objects already expanded for this constraint-carrying variable *)
+  cdone : Bitset.t;
+}
+
+type state = {
+  prog : Prog.t;
+  uf : Union_find.t;
+  pts : Bitset.t Vec.t;  (* authoritative at representatives *)
+  prev : Bitset.t Vec.t;  (* what has been pushed to copy successors *)
+  copy : Pta_graph.Digraph.t;  (* copy edges over original variable ids *)
+  complex : (Inst.var, complex) Hashtbl.t;
+  cg : Callgraph.t;
+  mutable changed : bool;
+  mutable waves : int;
+}
+
+type result = state
+
+(* The Vec dummy is a shared empty bitset; never mutated. [pts_of] and
+   [prev_of] install a private set on demand. *)
+let dummy = Bitset.create ()
+
+let ensure st v =
+  Union_find.grow st.uf (v + 1);
+  Vec.grow_to st.pts (v + 1);
+  Vec.grow_to st.prev (v + 1);
+  Pta_graph.Digraph.ensure st.copy (v + 1)
+
+let pts_of st v =
+  let v = Union_find.find st.uf v in
+  let s = Vec.get st.pts v in
+  if s == dummy then begin
+    let s = Bitset.create () in
+    Vec.set st.pts v s;
+    s
+  end
+  else s
+
+let prev_of st v =
+  let v = Union_find.find st.uf v in
+  let s = Vec.get st.prev v in
+  if s == dummy then begin
+    let s = Bitset.create () in
+    Vec.set st.prev v s;
+    s
+  end
+  else s
+
+let complex_of st v =
+  match Hashtbl.find_opt st.complex v with
+  | Some c -> c
+  | None ->
+    let c =
+      { load_lhss = []; store_rhss = []; geps = []; calls = [];
+        cdone = Bitset.create () }
+    in
+    Hashtbl.add st.complex v c;
+    c
+
+let add_copy st u w =
+  if u <> w then
+    if Pta_graph.Digraph.add_edge st.copy u w then st.changed <- true
+
+let add_pt st v o = if Bitset.add (pts_of st v) o then st.changed <- true
+
+(* ---------- constraint extraction ---------- *)
+
+let link_call st ~(caller : Callgraph.callsite) ~lhs ~args fid =
+  if Callgraph.add st.cg caller fid then st.changed <- true;
+  let callee = Prog.func st.prog fid in
+  let rec zip args params =
+    match (args, params) with
+    | a :: args, p :: params ->
+      add_copy st a p;
+      zip args params
+    | _, _ -> ()
+  in
+  zip args callee.Prog.params;
+  match (lhs, callee.Prog.ret) with
+  | Some l, Some r -> add_copy st r l
+  | _ -> ()
+
+let extract st =
+  Prog.iter_funcs st.prog (fun fn ->
+      for i = 0 to Prog.n_insts fn - 1 do
+        match Prog.inst fn i with
+        | Inst.Alloc { lhs; obj } ->
+          ensure st (max lhs obj);
+          add_pt st lhs obj
+        | Inst.Copy { lhs; rhs } ->
+          ensure st (max lhs rhs);
+          add_copy st rhs lhs
+        | Inst.Phi { lhs; rhs } ->
+          ensure st lhs;
+          List.iter
+            (fun r ->
+              ensure st r;
+              add_copy st r lhs)
+            rhs
+        | Inst.Field { lhs; base; offset } ->
+          ensure st (max lhs base);
+          (complex_of st base).geps <- (lhs, offset) :: (complex_of st base).geps
+        | Inst.Load { lhs; ptr } ->
+          ensure st (max lhs ptr);
+          (complex_of st ptr).load_lhss <- lhs :: (complex_of st ptr).load_lhss
+        | Inst.Store { ptr; rhs } ->
+          ensure st (max ptr rhs);
+          (complex_of st ptr).store_rhss <- rhs :: (complex_of st ptr).store_rhss
+        | Inst.Call { lhs; callee; args } -> (
+          List.iter (ensure st) args;
+          Option.iter (ensure st) lhs;
+          let cs = { Callgraph.cs_func = fn.Prog.id; cs_inst = i } in
+          match callee with
+          | Inst.Direct fid -> link_call st ~caller:cs ~lhs ~args fid
+          | Inst.Indirect fp ->
+            ensure st fp;
+            (complex_of st fp).calls <- (cs, lhs, args) :: (complex_of st fp).calls)
+        | Inst.Entry | Inst.Exit | Inst.Branch -> ()
+      done)
+
+(* ---------- one wave ---------- *)
+
+let collapse_sccs st =
+  let n = Pta_graph.Digraph.n_nodes st.copy in
+  (* Condensed view of the copy graph over current representatives. *)
+  let canon = Pta_graph.Digraph.create ~n () in
+  Pta_graph.Digraph.iter_edges st.copy (fun u w ->
+      let cu = Union_find.find st.uf u and cw = Union_find.find st.uf w in
+      if cu <> cw then ignore (Pta_graph.Digraph.add_edge canon cu cw));
+  let scc = Pta_graph.Scc.compute canon in
+  (* Merge every non-trivial component. *)
+  let leader = Array.make scc.Pta_graph.Scc.n_comps (-1) in
+  for v = 0 to n - 1 do
+    if Union_find.find st.uf v = v then begin
+      let c = scc.Pta_graph.Scc.comp.(v) in
+      if scc.Pta_graph.Scc.sizes.(c) > 1 then
+        if leader.(c) = -1 then leader.(c) <- v
+        else begin
+          let l = leader.(c) in
+          (* Keep [l] as representative; fold [v]'s data into it. *)
+          let pv = pts_of st v and qv = prev_of st v in
+          Union_find.union_into st.uf ~winner:l v;
+          Stats.incr "andersen.scc_merges";
+          ignore (Bitset.union_into ~into:(pts_of st l) pv);
+          (* [prev] must under-approximate what reached every successor of
+             the merged node, so intersect. *)
+          let merged_prev = Bitset.inter (prev_of st l) qv in
+          Bitset.clear (prev_of st l);
+          ignore (Bitset.union_into ~into:(prev_of st l) merged_prev)
+        end
+    end
+  done;
+  (canon, scc)
+
+let propagate st (canon, scc) =
+  let n = Pta_graph.Digraph.n_nodes canon in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      Int.compare (Pta_graph.Scc.rank_of_node scc a) (Pta_graph.Scc.rank_of_node scc b))
+    order;
+  Array.iter
+    (fun v ->
+      if Union_find.find st.uf v = v then begin
+        let p = pts_of st v and q = prev_of st v in
+        let diff = Bitset.diff p q in
+        if not (Bitset.is_empty diff) then begin
+          ignore (Bitset.union_into ~into:q diff);
+          Stats.add "andersen.propagated" (Bitset.cardinal diff);
+          Pta_graph.Digraph.iter_succs st.copy v (fun w0 ->
+              let w = Union_find.find st.uf w0 in
+              if w <> v then
+                if Bitset.union_into ~into:(pts_of st w) diff then
+                  st.changed <- true)
+        end
+      end)
+    order;
+  (* Stale edges from non-representatives still need their targets fed;
+     canonicalise by also walking edges whose source is merged away. *)
+  Pta_graph.Digraph.iter_edges st.copy (fun u w ->
+      let cu = Union_find.find st.uf u and cw = Union_find.find st.uf w in
+      if cu <> cw then
+        if Bitset.union_into ~into:(pts_of st cw) (prev_of st cu) then
+          st.changed <- true)
+
+let expand_complex st =
+  let geps_todo = ref [] in
+  Hashtbl.iter
+    (fun v c ->
+      let p = pts_of st v in
+      let delta = Bitset.diff p c.cdone in
+      if not (Bitset.is_empty delta) then begin
+        ignore (Bitset.union_into ~into:c.cdone delta);
+        Bitset.iter
+          (fun o ->
+            (* [lhs = *p]: value flows from the object to lhs. *)
+            List.iter (fun lhs -> add_copy st o lhs) c.load_lhss;
+            (* [*p = q]: value flows from q into the object. *)
+            List.iter (fun rhs -> add_copy st rhs o) c.store_rhss;
+            (* [lhs = &p->k] *)
+            if c.geps <> [] then begin
+              match Prog.obj_kind st.prog o with
+              | Prog.Func _ -> () (* no fields on functions *)
+              | _ ->
+                List.iter
+                  (fun (lhs, k) -> geps_todo := (lhs, o, k) :: !geps_todo)
+                  c.geps
+            end;
+            (* indirect calls through p *)
+            if c.calls <> [] then
+              match Prog.is_function_obj st.prog o with
+              | Some fid ->
+                Callgraph.mark_indirect_target st.cg fid;
+                List.iter
+                  (fun (cs, lhs, args) -> link_call st ~caller:cs ~lhs ~args fid)
+                  c.calls
+              | None -> ())
+          delta
+      end)
+    st.complex;
+  (* Field-object creation grows the variable table; done outside the
+     iteration over [st.complex]. *)
+  List.iter
+    (fun (lhs, o, k) ->
+      let fo = Prog.field_obj st.prog ~base:o ~offset:k in
+      ensure st fo;
+      ensure st lhs;
+      add_pt st lhs fo)
+    !geps_todo
+
+let solve prog =
+  let n = Prog.n_vars prog in
+  let st =
+    {
+      prog;
+      uf = Union_find.create (max n 1);
+      pts = Vec.create ~dummy ();
+      prev = Vec.create ~dummy ();
+      copy = Pta_graph.Digraph.create ~n ();
+      complex = Hashtbl.create 256;
+      cg = Callgraph.create ();
+      changed = false;
+      waves = 0;
+    }
+  in
+  Vec.grow_to st.pts (max n 1);
+  Vec.grow_to st.prev (max n 1);
+  extract st;
+  st.changed <- true;
+  while st.changed do
+    st.changed <- false;
+    st.waves <- st.waves + 1;
+    Stats.incr "andersen.waves";
+    let condensed = collapse_sccs st in
+    propagate st condensed;
+    expand_complex st
+  done;
+  st
+
+let pts st v = pts_of st v
+let points_to st v o = Bitset.mem (pts_of st v) o
+let callgraph st = st.cg
+let rep st v = Union_find.find st.uf v
+let n_waves st = st.waves

@@ -1,0 +1,1 @@
+lib/cfront/cparser.ml: Array Ast Format Lexer List

@@ -1,0 +1,1 @@
+lib/cfront/lower.ml: Ast Builder Cparser Entrypoint Format Hashtbl Inst List Mem2reg Option Printf Prog Pta_ir

@@ -1,0 +1,1 @@
+lib/cfront/lower.mli: Ast Pta_ir

@@ -1,0 +1,1 @@
+lib/cfront/mem2reg.ml: Array Digraph Dom Hashtbl Inst Int List Option Printf Prog Pta_ds Pta_graph Pta_ir

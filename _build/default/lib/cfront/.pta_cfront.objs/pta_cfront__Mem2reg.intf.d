@@ -1,0 +1,1 @@
+lib/cfront/mem2reg.mli: Pta_ir

@@ -1,0 +1,28 @@
+type pos = int
+
+type expr =
+  | Var of string
+  | Null
+  | Malloc
+  | Deref of expr
+  | AddrVar of string
+  | AddrField of expr * string
+  | Arrow of expr * string
+  | Call of expr * expr list
+  | Cmp of expr * expr
+
+type stmt =
+  | Decl of pos * string list
+  | Assign of pos * expr * expr
+  | Expr of pos * expr
+  | If of pos * expr * stmt list * stmt list
+  | While of pos * expr * stmt list
+  | For of pos * stmt option * expr option * stmt option * stmt list
+  | DoWhile of pos * stmt list * expr
+  | Return of pos * expr option
+
+type def =
+  | Global of pos * string * expr option
+  | Func of { pos : pos; name : string; params : string list; body : stmt list }
+
+type program = def list

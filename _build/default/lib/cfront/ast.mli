@@ -1,0 +1,39 @@
+(** Abstract syntax of mini-C.
+
+    Mini-C is the pointer-manipulating C subset the analyses consume;
+    everything a points-to analysis does not track (integers, arithmetic,
+    condition outcomes) is parsed but lowered to nothing. Field accesses use
+    names; each distinct field name is interned to a small offset, giving
+    field sensitivity by name. *)
+
+type pos = int
+(** 1-based source line, for error messages. *)
+
+type expr =
+  | Var of string
+  | Null  (** [null] and integer literals *)
+  | Malloc  (** [malloc()] — one heap object per call site *)
+  | Deref of expr  (** [*e] *)
+  | AddrVar of string  (** [&x] — local, global, or function *)
+  | AddrField of expr * string  (** [&e->f] *)
+  | Arrow of expr * string  (** [e->f] (a load) *)
+  | Call of expr * expr list
+  | Cmp of expr * expr  (** comparisons — operands lowered for effect only *)
+
+type stmt =
+  | Decl of pos * string list  (** [var x, y;] *)
+  | Assign of pos * expr * expr  (** lhs must be Var, Deref, or Arrow *)
+  | Expr of pos * expr
+  | If of pos * expr * stmt list * stmt list
+  | While of pos * expr * stmt list
+  | For of pos * stmt option * expr option * stmt option * stmt list
+      (** [for (init; cond; step) { body }] — init/step are assignments or
+          expression statements *)
+  | DoWhile of pos * stmt list * expr
+  | Return of pos * expr option
+
+type def =
+  | Global of pos * string * expr option  (** [global g;] / [global g = e;] *)
+  | Func of { pos : pos; name : string; params : string list; body : stmt list }
+
+type program = def list

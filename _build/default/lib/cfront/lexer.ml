@@ -1,0 +1,163 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_VAR
+  | KW_GLOBAL
+  | KW_FUNC
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_DO
+  | KW_RETURN
+  | KW_MALLOC
+  | KW_NULL
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | STAR
+  | AMP
+  | ARROW
+  | EQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | EOF
+
+exception Lex_error of int * string
+
+let keyword = function
+  | "var" -> Some KW_VAR
+  | "global" -> Some KW_GLOBAL
+  | "func" -> Some KW_FUNC
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "do" -> Some KW_DO
+  | "return" -> Some KW_RETURN
+  | "malloc" -> Some KW_MALLOC
+  | "null" -> Some KW_NULL
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokens src =
+  let n = String.length src in
+  let line = ref 1 in
+  let i = ref 0 in
+  let acc = ref [] in
+  let push t = acc := (t, !line) :: !acc in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Lex_error (!line, "unterminated comment"))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      push (match keyword word with Some k -> k | None -> IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      push (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "->" ->
+        push ARROW;
+        i := !i + 2
+      | "==" ->
+        push EQ;
+        i := !i + 2
+      | "!=" ->
+        push NEQ;
+        i := !i + 2
+      | "&&" ->
+        push ANDAND;
+        i := !i + 2
+      | "||" ->
+        push OROR;
+        i := !i + 2
+      | _ ->
+        (match c with
+        | '(' -> push LPAREN
+        | ')' -> push RPAREN
+        | '{' -> push LBRACE
+        | '}' -> push RBRACE
+        | ';' -> push SEMI
+        | ',' -> push COMMA
+        | '=' -> push ASSIGN
+        | '*' -> push STAR
+        | '&' -> push AMP
+        | c -> raise (Lex_error (!line, Printf.sprintf "unexpected character %C" c)));
+        incr i
+    end
+  done;
+  push EOF;
+  List.rev !acc
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT k -> string_of_int k
+  | KW_VAR -> "var"
+  | KW_GLOBAL -> "global"
+  | KW_FUNC -> "func"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_DO -> "do"
+  | KW_RETURN -> "return"
+  | KW_MALLOC -> "malloc"
+  | KW_NULL -> "null"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | STAR -> "*"
+  | AMP -> "&"
+  | ARROW -> "->"
+  | EQ -> "=="
+  | NEQ -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | EOF -> "<eof>"

@@ -1,0 +1,39 @@
+(** Hand-rolled lexer for mini-C. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_VAR
+  | KW_GLOBAL
+  | KW_FUNC
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_DO
+  | KW_RETURN
+  | KW_MALLOC
+  | KW_NULL
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | ASSIGN  (** [=] *)
+  | STAR
+  | AMP
+  | ARROW  (** [->] *)
+  | EQ  (** [==] *)
+  | NEQ  (** [!=] *)
+  | ANDAND  (** [&&] *)
+  | OROR  (** [||] *)
+  | EOF
+
+exception Lex_error of int * string
+
+val tokens : string -> (token * int) list
+(** All tokens with their 1-based line, ending with [(EOF, line)]. Supports
+    [//] and [/* */] comments. *)
+
+val token_to_string : token -> string

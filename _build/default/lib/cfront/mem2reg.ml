@@ -1,0 +1,194 @@
+open Pta_ir
+open Pta_graph
+
+(* A candidate slot: handle variable [h] defined by the alloca at [alloc_node],
+   allocating object [o]. *)
+type slot = { h : Inst.var; o : Inst.var; alloc_node : int }
+
+(* Phi placeholder created during placement; operands are gathered during
+   renaming and the final instruction materialised afterwards. *)
+type phi = { node : int; lhs : Inst.var; slot_obj : Inst.var; mutable ops : Inst.var list }
+
+let candidates prog fn =
+  (* Objects with more than one allocation site anywhere are not promotable
+     (two handles would alias). The frontend never produces those for locals,
+     but builder-constructed programs can. *)
+  let alloc_count = Hashtbl.create 64 in
+  Prog.iter_funcs prog (fun f ->
+      for i = 0 to Prog.n_insts f - 1 do
+        match Prog.inst f i with
+        | Inst.Alloc { obj; _ } ->
+          Hashtbl.replace alloc_count obj
+            (1 + Option.value ~default:0 (Hashtbl.find_opt alloc_count obj))
+        | _ -> ()
+      done);
+  let slots = Hashtbl.create 16 in
+  (* handle var -> slot *)
+  for i = 0 to Prog.n_insts fn - 1 do
+    match Prog.inst fn i with
+    | Inst.Alloc { lhs; obj }
+      when Prog.obj_kind prog obj = Prog.Stack
+           && Hashtbl.find_opt alloc_count obj = Some 1 ->
+      Hashtbl.replace slots lhs { h = lhs; o = obj; alloc_node = i }
+    | _ -> ()
+  done;
+  (* Disqualify handles that escape. *)
+  let disqualify v = Hashtbl.remove slots v in
+  (match fn.Prog.ret with Some r -> disqualify r | None -> ());
+  for i = 0 to Prog.n_insts fn - 1 do
+    match Prog.inst fn i with
+    | Inst.Load _ -> () (* load through a handle is fine *)
+    | Inst.Store { ptr = _; rhs } -> disqualify rhs
+    | ins -> List.iter disqualify (Inst.uses ins)
+  done;
+  slots
+
+let run_function prog (fn : Prog.func) =
+  let slots = candidates prog fn in
+  if Hashtbl.length slots > 0 then begin
+    let cfg = fn.Prog.cfg in
+    let by_obj = Hashtbl.create 16 in
+    Hashtbl.iter (fun _ s -> Hashtbl.replace by_obj s.o s) slots;
+    (* Store sites per slot. *)
+    let defs = Hashtbl.create 16 in
+    (* obj -> node list *)
+    for i = 0 to Prog.n_insts fn - 1 do
+      match Prog.inst fn i with
+      | Inst.Store { ptr; _ } -> (
+        match Hashtbl.find_opt slots ptr with
+        | Some s ->
+          Hashtbl.replace defs s.o (i :: Option.value ~default:[] (Hashtbl.find_opt defs s.o))
+        | None -> ())
+      | _ -> ()
+    done;
+    (* Phi placement on the original CFG. *)
+    let dom = Dom.compute cfg ~entry:fn.Prog.entry_inst in
+    let df = Dom.dom_frontier cfg dom in
+    let placements = Hashtbl.create 16 in
+    (* join node -> obj list *)
+    Hashtbl.iter
+      (fun o def_nodes ->
+        let joins = Dom.iterated_frontier df def_nodes in
+        Pta_ds.Bitset.iter
+          (fun j ->
+            Hashtbl.replace placements j
+              (o :: Option.value ~default:[] (Hashtbl.find_opt placements j)))
+          joins)
+      defs;
+    (* Splice phi chains before each join. [chain_start] maps the first node
+       of each chain to all its phis so that renaming can route operands from
+       the join's original predecessors to every phi of the chain. *)
+    let phis : (int, phi) Hashtbl.t = Hashtbl.create 16 in
+    (* node -> phi *)
+    let chain_start : (int, phi list) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun j objs ->
+        let group =
+          List.map
+            (fun o ->
+              let node_hint = Prog.n_insts fn in
+              let lhs =
+                Prog.fresh_top prog
+                  (Printf.sprintf "%s.m2r%d" (Prog.name prog o) node_hint)
+              in
+              let node = Prog.add_inst fn Inst.Branch in
+              let p = { node; lhs; slot_obj = o; ops = [] } in
+              Hashtbl.replace phis node p;
+              p)
+            objs
+        in
+        let first = (List.hd group).node in
+        let preds = Pta_ds.Bitset.elements (Digraph.preds cfg j) in
+        List.iter
+          (fun q ->
+            ignore (Digraph.remove_edge cfg q j);
+            ignore (Digraph.add_edge cfg q first))
+          preds;
+        let rec link = function
+          | [ last ] -> ignore (Digraph.add_edge cfg last.node j)
+          | a :: (b :: _ as rest) ->
+            ignore (Digraph.add_edge cfg a.node b.node);
+            link rest
+          | [] -> assert false
+        in
+        link group;
+        Hashtbl.replace chain_start first group)
+      placements;
+    (* Renaming over the dominator tree of the spliced CFG. *)
+    let dom = Dom.compute cfg ~entry:fn.Prog.entry_inst in
+    let children = Dom.dom_tree_children dom in
+    let stacks : (Inst.var, Inst.var list ref) Hashtbl.t = Hashtbl.create 16 in
+    let stack_of o =
+      match Hashtbl.find_opt stacks o with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace stacks o r;
+        r
+    in
+    let rec rename node =
+      let pushed = ref [] in
+      let push o v =
+        let st = stack_of o in
+        st := v :: !st;
+        pushed := o :: !pushed
+      in
+      (match Hashtbl.find_opt phis node with
+      | Some p -> push p.slot_obj p.lhs
+      | None -> (
+        match Prog.inst fn node with
+        | Inst.Load { lhs; ptr } -> (
+          match Hashtbl.find_opt slots ptr with
+          | Some s -> (
+            match !(stack_of s.o) with
+            | v :: _ -> Prog.set_inst fn node (Inst.Copy { lhs; rhs = v })
+            | [] ->
+              (* Use before any store: an undefined value. *)
+              Prog.set_inst fn node (Inst.Phi { lhs; rhs = [] }))
+          | None -> ())
+        | Inst.Store { ptr; rhs } -> (
+          match Hashtbl.find_opt slots ptr with
+          | Some s ->
+            push s.o rhs;
+            Prog.set_inst fn node Inst.Branch
+          | None -> ())
+        | Inst.Alloc { lhs; _ } ->
+          if Hashtbl.mem slots lhs then Prog.set_inst fn node Inst.Branch
+        | _ -> ()));
+      Digraph.iter_succs cfg node (fun m ->
+          match Hashtbl.find_opt chain_start m with
+          | Some group ->
+            List.iter
+              (fun p ->
+                match !(stack_of p.slot_obj) with
+                | v :: _ -> p.ops <- v :: p.ops
+                | [] -> ())
+              group
+          | None -> ());
+      List.iter rename children.(node);
+      List.iter
+        (fun o ->
+          let st = stack_of o in
+          st := List.tl !st)
+        !pushed
+    in
+    rename fn.Prog.entry_inst;
+    (* Materialise the phis. *)
+    Hashtbl.iter
+      (fun node p ->
+        let ops = List.sort_uniq Int.compare p.ops in
+        match ops with
+        | [ v ] -> Prog.set_inst fn node (Inst.Copy { lhs = p.lhs; rhs = v })
+        | ops -> Prog.set_inst fn node (Inst.Phi { lhs = p.lhs; rhs = ops }))
+      phis;
+    (* Retire the promoted objects. *)
+    Hashtbl.iter (fun _ s -> Prog.mark_dead prog s.o) slots
+  end
+
+let run prog = Prog.iter_funcs prog (fun fn -> run_function prog fn)
+
+let promoted_count prog =
+  let n = ref 0 in
+  Prog.iter_vars prog (fun v ->
+      if Prog.is_dead prog v then incr n);
+  !n

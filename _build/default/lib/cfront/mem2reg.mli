@@ -1,0 +1,16 @@
+(** Promotion of non-address-taken alloca slots to SSA registers.
+
+    This is the LLVM mem2reg pass reimplemented on the instruction-level CFG:
+    a stack slot qualifies when its handle is used only as the pointer of
+    loads and stores (its address never escapes) and its object has a single
+    allocation site. Qualifying slots' loads become copies of the reaching
+    stored value, PHIs are placed at iterated dominance frontiers of the
+    store sites, and the alloca and stores disappear. The result is the
+    partial SSA form of the paper: promoted scalars are top-level variables,
+    everything else remains an address-taken object. *)
+
+val run : Pta_ir.Prog.t -> unit
+(** Promote in every function of the program (in place). *)
+
+val promoted_count : Pta_ir.Prog.t -> int
+(** Number of objects retired by previous {!run} calls (dead objects). *)

@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Bitset Format Inst List Option Printf Prog Pta_ds Pta_ir Pta_memssa Pta_sfs Pta_svfg String Vsfs

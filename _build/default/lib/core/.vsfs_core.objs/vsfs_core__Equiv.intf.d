@@ -1,0 +1,1 @@
+lib/core/equiv.mli: Format Pta_ir Pta_sfs Pta_svfg Vsfs

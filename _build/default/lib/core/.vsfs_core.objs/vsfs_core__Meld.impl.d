@@ -1,0 +1,1 @@
+lib/core/meld.ml: Array List Pta_ds Pta_graph Version Worklist

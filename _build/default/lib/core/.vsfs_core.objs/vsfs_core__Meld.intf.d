@@ -1,0 +1,1 @@
+lib/core/meld.mli: Pta_graph Version

@@ -1,0 +1,1 @@
+lib/core/queries.ml: Bitset Inst List Prog Pta_ds Pta_ir Pta_svfg Vsfs

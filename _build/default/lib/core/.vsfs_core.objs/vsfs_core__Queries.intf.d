@@ -1,0 +1,1 @@
+lib/core/queries.mli: Inst Pta_ds Pta_ir Pta_svfg Vsfs

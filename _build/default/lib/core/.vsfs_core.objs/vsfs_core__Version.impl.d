@@ -1,0 +1,1 @@
+lib/core/version.ml: Bitset Format Hashcons Hashtbl Pta_ds Stats

@@ -1,0 +1,1 @@
+lib/core/versioning.ml: Array Bitset Callgraph Hashtbl Inst Prog Pta_ds Pta_ir Pta_memssa Pta_svfg Stats Unix Version Worklist

@@ -1,0 +1,1 @@
+lib/core/versioning.mli: Inst Pta_ir Pta_svfg Version

@@ -1,0 +1,1 @@
+lib/core/vsfs.ml: Bitset Hashtbl Inst List Option Pta_ds Pta_ir Pta_memssa Pta_sfs Pta_svfg Queue Stats Version Versioning

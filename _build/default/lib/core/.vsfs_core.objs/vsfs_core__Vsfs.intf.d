@@ -1,0 +1,1 @@
+lib/core/vsfs.mli: Callgraph Inst Pta_ds Pta_ir Pta_sfs Pta_svfg Version Versioning

@@ -1,0 +1,17 @@
+(** Precision-equality checking between SFS and VSFS (§IV-E).
+
+    The paper's correctness argument is that VSFS computes exactly the same
+    points-to information as SFS. These helpers verify it on concrete
+    programs; they back both the test suite and the [--check] mode of the
+    CLI. *)
+
+type report = {
+  top_level_mismatches : (Pta_ir.Inst.var * string) list;
+      (** variables whose final points-to sets differ *)
+  load_mismatches : (int * Pta_ir.Inst.var * string) list;
+      (** (load node, object) whose consumed sets differ *)
+}
+
+val compare : Pta_sfs.Sfs.result -> Vsfs.result -> Pta_svfg.Svfg.t -> report
+val is_equal : report -> bool
+val pp_report : Pta_ir.Prog.t -> Format.formatter -> report -> unit

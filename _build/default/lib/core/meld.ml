@@ -1,0 +1,24 @@
+open Pta_ds
+
+let run ?(frozen = fun _ -> false) table g ~prelabels =
+  let n = Pta_graph.Digraph.n_nodes g in
+  let label = Array.make n Version.epsilon in
+  List.iter (fun (node, v) -> label.(node) <- v) prelabels;
+  let wl = Worklist.Fifo.create () in
+  List.iter (fun (node, _) -> Worklist.Fifo.push wl node) prelabels;
+  let rec loop () =
+    match Worklist.Fifo.pop wl with
+    | None -> ()
+    | Some u ->
+      Pta_graph.Digraph.iter_succs g u (fun v ->
+          if not (frozen v) then begin
+            let merged = Version.meld table label.(v) label.(u) in
+            if merged <> label.(v) then begin
+              label.(v) <- merged;
+              Worklist.Fifo.push wl v
+            end
+          end);
+      loop ()
+  in
+  loop ();
+  label

@@ -1,0 +1,33 @@
+open Pta_ds
+open Pta_ir
+module Svfg = Pta_svfg.Svfg
+
+let points_to r p o = Bitset.mem (Vsfs.pt r p) o
+let may_alias r p q = Bitset.intersects (Vsfs.pt r p) (Vsfs.pt r q)
+let pt_size r p = Bitset.cardinal (Vsfs.pt r p)
+
+let loaded_values r svfg f i =
+  let prog = Svfg.prog svfg in
+  match Prog.inst (Prog.func prog f) i with
+  | Inst.Load { ptr; _ } ->
+    let node = Svfg.node_of_inst svfg f i in
+    let acc = Bitset.create () in
+    Bitset.iter
+      (fun o ->
+        match Vsfs.consumed_pt r node o with
+        | Some s -> ignore (Bitset.union_into ~into:acc s)
+        | None -> ())
+      (Vsfs.pt r ptr);
+    acc
+  | _ -> invalid_arg "Queries.loaded_values: not a load"
+
+let points_to_null r p = Bitset.is_empty (Vsfs.pt r p)
+
+let devirtualise r prog fp =
+  Bitset.fold
+    (fun o acc ->
+      match Prog.is_function_obj prog o with
+      | Some f -> f :: acc
+      | None -> acc)
+    (Vsfs.pt r fp) []
+  |> List.rev

@@ -1,0 +1,29 @@
+(** Client-facing queries over VSFS results — the operations downstream
+    analyses (compiler optimisations, bug detectors, slicers; §I of the
+    paper) actually ask for. *)
+
+open Pta_ir
+
+val points_to : Vsfs.result -> Inst.var -> Inst.var -> bool
+(** [points_to r p o] — may [p] point to object [o]? *)
+
+val may_alias : Vsfs.result -> Inst.var -> Inst.var -> bool
+(** Do the two pointers' points-to sets intersect? Top-level variables only
+    (address-taken objects alias iff equal, after field collapsing). *)
+
+val pt_size : Vsfs.result -> Inst.var -> int
+
+val loaded_values : Vsfs.result -> Pta_svfg.Svfg.t -> Inst.func_id -> int ->
+  Pta_ds.Bitset.t
+(** The values a LOAD instruction may read, flow-sensitively: the union over
+    objects its pointer targets of the consumed versions' points-to sets.
+    @raise Invalid_argument if the instruction is not a load. *)
+
+val points_to_null : Vsfs.result -> Inst.var -> bool
+(** [true] iff the pointer's points-to set is empty — it can only hold null
+    or an undefined value (useful as a null-dereference pre-filter). *)
+
+val devirtualise :
+  Vsfs.result -> Pta_ir.Prog.t -> Inst.var -> Inst.func_id list
+(** Possible targets of an indirect call through the given pointer — the
+    compiler-optimisation client from the paper's introduction. *)

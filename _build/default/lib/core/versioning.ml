@@ -1,0 +1,223 @@
+open Pta_ds
+open Pta_ir
+module Svfg = Pta_svfg.Svfg
+
+type t = {
+  svfg : Svfg.t;
+  vt : Version.table;
+  (* all keys are packed as [a lsl 31 lor b] to avoid tuple allocation *)
+  consume : (int, Version.t) Hashtbl.t;  (* (node, obj) -> C *)
+  store_yield : (int, Version.t) Hashtbl.t;  (* store prelabels *)
+  delta : Bitset.t;
+  reliance : (int, Bitset.t) Hashtbl.t;  (* (obj, κ) -> κ' set *)
+  subscribers : (int, Bitset.t) Hashtbl.t;  (* (obj, κ) -> nodes *)
+  mutable n_reliances : int;
+  mutable duration : float;
+}
+
+let key a b = (a lsl 31) lor b
+
+let table t = t.vt
+let svfg t = t.svfg
+
+let consume t n o =
+  match Hashtbl.find_opt t.consume (key n o) with
+  | Some v -> v
+  | None -> Version.epsilon
+
+let is_store_node svfg n =
+  match Svfg.kind svfg n with
+  | Svfg.NInst _ -> Inst.is_store (Svfg.inst_of svfg n)
+  | _ -> false
+
+let yield t n o =
+  if is_store_node t.svfg n then
+    match Hashtbl.find_opt t.store_yield (key n o) with
+    | Some v -> v
+    | None -> Version.epsilon
+  else consume t n o
+
+let is_delta t n = Bitset.mem t.delta n
+
+let add_reliance t o y c =
+  let k = key o y in
+  let set =
+    match Hashtbl.find_opt t.reliance k with
+    | Some s -> s
+    | None ->
+      let s = Bitset.create () in
+      Hashtbl.add t.reliance k s;
+      s
+  in
+  if Bitset.add set c then begin
+    t.n_reliances <- t.n_reliances + 1;
+    true
+  end
+  else false
+
+let add_dynamic_edge t src o dst =
+  let y = yield t src o and c = consume t dst o in
+  if Version.is_epsilon y || y = c then None
+  else begin
+    ignore (add_reliance t o y c);
+    Some (y, c)
+  end
+
+let iter_relied t o v f =
+  match Hashtbl.find_opt t.reliance (key o v) with
+  | Some s -> Bitset.iter f s
+  | None -> ()
+
+let iter_subscribers t o v f =
+  match Hashtbl.find_opt t.subscribers (key o v) with
+  | Some s -> Bitset.iter f s
+  | None -> ()
+
+let subscribe t o v n =
+  if not (Version.is_epsilon v) then begin
+    let k = key o v in
+    let set =
+      match Hashtbl.find_opt t.subscribers k with
+      | Some s -> s
+      | None ->
+        let s = Bitset.create () in
+        Hashtbl.add t.subscribers k s;
+        s
+    in
+    ignore (Bitset.add set n)
+  end
+
+let duration t = t.duration
+let n_versions t = Version.n_versions t.vt
+
+let sharing_factor t =
+  (* consume-points per distinct (object, version) pair: how many SVFG
+     node/object states share one points-to set. SFS is by definition 1.0. *)
+  let distinct = Hashtbl.create 256 in
+  let points = ref 0 in
+  Hashtbl.iter
+    (fun k v ->
+      if not (Version.is_epsilon v) then begin
+        incr points;
+        let o = k land ((1 lsl 31) - 1) in
+        Hashtbl.replace distinct (o, v) ()
+      end)
+    t.consume;
+  if Hashtbl.length distinct = 0 then 1.0
+  else float !points /. float (Hashtbl.length distinct)
+
+let n_reliances t = t.n_reliances
+
+let words t =
+  let acc = ref (Version.words t.vt) in
+  let add_tbl tbl = acc := !acc + (4 * Hashtbl.length tbl) in
+  add_tbl t.consume;
+  add_tbl t.store_yield;
+  Hashtbl.iter (fun _ s -> acc := !acc + Bitset.words s) t.reliance;
+  Hashtbl.iter (fun _ s -> acc := !acc + Bitset.words s) t.subscribers;
+  !acc + Bitset.words t.delta
+
+let compute ?(release_labels = true) ?(order = `Fifo) svfg =
+  let start = Unix.gettimeofday () in
+  let prog = Svfg.prog svfg in
+  let aux = Svfg.aux svfg in
+  let t =
+    {
+      svfg;
+      vt = Version.create ();
+      consume = Hashtbl.create 1024;
+      store_yield = Hashtbl.create 256;
+      delta = Bitset.create ();
+      reliance = Hashtbl.create 1024;
+      subscribers = Hashtbl.create 1024;
+      n_reliances = 0;
+      duration = 0.;
+    }
+  in
+  (* Meld labelling converges fastest when nodes are visited in topological
+     order of the SVFG's SCC condensation (labels only flow forward); FIFO
+     is kept for the ablation. *)
+  let wl =
+    match order with
+    | `Fifo -> `F (Worklist.Fifo.create ())
+    | `Topo ->
+      let rank = Svfg.topo_rank svfg in
+      let priority n = if n < Array.length rank then rank.(n) else max_int in
+      `P (Worklist.Prio.create ~priority ())
+  in
+  let wl_push n =
+    match wl with
+    | `F w -> Worklist.Fifo.push w n
+    | `P w -> Worklist.Prio.push w n
+  in
+  let wl_pop () =
+    match wl with `F w -> Worklist.Fifo.pop w | `P w -> Worklist.Prio.pop w
+  in
+  (* Prelabelling (Fig. 6). *)
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    match Svfg.kind svfg n with
+    | Svfg.NInst { f; i } -> (
+      match Prog.inst (Prog.func prog f) i with
+      | Inst.Store _ ->
+        Bitset.iter
+          (fun o ->
+            Hashtbl.replace t.store_yield (key n o)
+              (Version.fresh t.vt ~table_label:"store");
+            wl_push n)
+          (Pta_memssa.Annot.chi (Svfg.annot svfg) f i)
+      | _ -> ())
+    | Svfg.NFormalIn { f; obj } ->
+      (* δ: functions that may be the target of an indirect call. *)
+      if Callgraph.is_indirect_target aux.Pta_memssa.Modref.cg f then begin
+        ignore (Bitset.add t.delta n);
+        Hashtbl.replace t.consume (key n obj)
+          (Version.fresh t.vt ~table_label:"delta-fin");
+        wl_push n
+      end
+    | Svfg.NActualOut { f; call; obj } -> (
+      (* δ: return targets of indirect calls. *)
+      match Prog.inst (Prog.func prog f) call with
+      | Inst.Call { callee = Inst.Indirect _; _ } ->
+        ignore (Bitset.add t.delta n);
+        Hashtbl.replace t.consume (key n obj)
+          (Version.fresh t.vt ~table_label:"delta-aout");
+        wl_push n
+      | _ -> ())
+    | _ -> ()
+  done;
+  Stats.add "vsfs.prelabels" (Version.n_prelabels t.vt);
+  (* Meld labelling (Fig. 8): [EXTERNAL] melds Y of the source into C of the
+     destination (unless δ); [INTERNAL] is folded into [yield]. *)
+  let rec loop () =
+    match wl_pop () with
+    | None -> ()
+    | Some n ->
+      Svfg.iter_ind_all svfg n (fun o m ->
+          let y = yield t n o in
+          if (not (Version.is_epsilon y)) && not (is_delta t m) then begin
+            let c = consume t m o in
+            let merged = Version.meld t.vt c y in
+            if merged <> c then begin
+              Hashtbl.replace t.consume (key m o) merged;
+              (* Non-store nodes yield what they consume, so successors of m
+                 must be revisited; stores yield a fixed prelabel but are
+                 pushed harmlessly (their outgoing yields are unchanged). *)
+              if not (is_store_node svfg m) then wl_push m
+            end
+          end);
+      loop ()
+  in
+  loop ();
+  (* Static version reliances ([A-PROP] with differing versions). *)
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    Svfg.iter_ind_all svfg n (fun o m ->
+        let y = yield t n o in
+        if not (Version.is_epsilon y) then begin
+          let c = consume t m o in
+          if y <> c then ignore (add_reliance t o y c)
+        end)
+  done;
+  if release_labels then Version.seal t.vt;
+  t.duration <- Unix.gettimeofday () -. start;
+  Stats.add "vsfs.versions" (Version.n_versions t.vt);
+  t

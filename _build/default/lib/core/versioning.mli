@@ -1,0 +1,70 @@
+(** Object versioning of the SVFG by meld labelling (§IV-C).
+
+    Prelabelling (Fig. 6): every STORE yields a fresh version for each
+    object it may define; every δ node — a node that may receive new
+    incoming indirect edges during the flow-sensitive analysis because of
+    on-the-fly call-graph resolution, i.e. the FormalIn nodes of potential
+    indirect-call targets and the ActualOut nodes of indirect call sites —
+    consumes a fresh version.
+
+    Meld labelling (Fig. 8) then propagates versions along object-labelled
+    indirect edges: [EXTERNAL] melds a yielded version into the successor's
+    consumed version (δ nodes excluded — their prelabels are frozen), and
+    [INTERNAL] makes every non-store node yield what it consumes.
+
+    The result is exposed both as the consume/yield maps (C_ℓ(o), Y_ℓ(o))
+    and as the two precomputed relations the solver runs on:
+    - version reliance: (o, κ) → consumed versions κ' ≠ κ that must receive
+      κ's points-to set ([A-PROP] where versions differ);
+    - statement reliance: (o, κ) → LOAD/STORE nodes consuming (o, κ) that
+      must be re-processed when pt_κ(o) grows. *)
+
+open Pta_ir
+
+type t
+
+val compute :
+  ?release_labels:bool -> ?order:[ `Topo | `Fifo ] -> Pta_svfg.Svfg.t -> t
+(** Requires direct-call interprocedural edges to be present
+    ({!Pta_svfg.Svfg.connect_direct_calls}). [release_labels] (default
+    [true]) seals the version table after the fixpoint — the solver only
+    compares version ids — reclaiming the label sets; pass [false] to keep
+    them inspectable ({!Version.labels}). *)
+
+val table : t -> Version.table
+val svfg : t -> Pta_svfg.Svfg.t
+
+val consume : t -> int -> Inst.var -> Version.t
+(** C_node(o); ε if the node never consumes a version of [o]. *)
+
+val yield : t -> int -> Inst.var -> Version.t
+(** Y_node(o). *)
+
+val is_delta : t -> int -> bool
+
+val add_dynamic_edge : t -> int -> Inst.var -> int -> (Version.t * Version.t) option
+(** Registers the version reliance of an interprocedural edge discovered by
+    on-the-fly call-graph resolution. Returns [Some (y, c)] when propagation
+    from [pt_y(o)] to [pt_c(o)] is required (y ≠ c, y ≠ ε). *)
+
+val iter_relied : t -> Inst.var -> Version.t -> (Version.t -> unit) -> unit
+val iter_subscribers : t -> Inst.var -> Version.t -> (int -> unit) -> unit
+
+val subscribe : t -> Inst.var -> Version.t -> int -> unit
+(** Used by the solver for loads/stores (statement reliance). *)
+
+(* Diagnostics / bench metrics *)
+
+val duration : t -> float
+(** Wall-clock seconds spent versioning (the paper's "versioning" column). *)
+
+val n_versions : t -> int
+
+val n_reliances : t -> int
+
+(** Average number of (node, object) consume-points sharing one distinct
+    (object, version) pair — the single-object sparsity VSFS gains; SFS is
+    1.0 by construction. *)
+val sharing_factor : t -> float
+val words : t -> int
+(** Footprint of the versioning maps in machine words. *)

@@ -1,0 +1,184 @@
+open Pta_ds
+open Pta_ir
+module Svfg = Pta_svfg.Svfg
+module Solver_common = Pta_sfs.Solver_common
+
+type result = {
+  c : Solver_common.t;
+  ver : Versioning.t;
+  ptk : (int, Bitset.t) Hashtbl.t;  (* key (obj lsl 31 lor κ) -> pt_κ(o) *)
+  mutable props : int;
+  mutable pops : int;
+}
+
+let key o v = (o lsl 31) lor v
+
+let ptk_of t o v =
+  let k = key o v in
+  match Hashtbl.find_opt t.ptk k with
+  | Some s -> s
+  | None ->
+    let s = Bitset.create () in
+    Hashtbl.add t.ptk k s;
+    s
+
+let ptk_opt t o v = Hashtbl.find_opt t.ptk (key o v)
+
+let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
+  let ver =
+    match versioning with Some v -> v | None -> Versioning.compute svfg
+  in
+  let c = Solver_common.create ?strong_updates svfg in
+  let t = { c; ver; ptk = Hashtbl.create 1024; props = 0; pops = 0 } in
+  let wl = Solver_common.make_worklist strategy svfg in
+  let push = Solver_common.wl_push wl in
+  let push_users v = List.iter push (Svfg.users svfg v) in
+  (* pt_κ(o) just changed: push the statements consuming it and flow along
+     the version-reliance relation transitively. *)
+  let propagate_version o v0 =
+    let q = Queue.create () in
+    Queue.push v0 q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      Versioning.iter_subscribers ver o v push;
+      let src = ptk_of t o v in
+      Versioning.iter_relied ver o v (fun v' ->
+          t.props <- t.props + 1;
+          Stats.incr "vsfs.propagations";
+          if Bitset.union_into ~into:(ptk_of t o v') src then Queue.push v' q)
+    done
+  in
+  let on_call_edge cs g =
+    List.iter
+      (fun (src, o, dst) ->
+        match Versioning.add_dynamic_edge ver src o dst with
+        | Some (y, c') ->
+          t.props <- t.props + 1;
+          if Bitset.union_into ~into:(ptk_of t o c') (ptk_of t o y) then
+            propagate_version o c'
+        | None -> ())
+      (Svfg.add_call_edges svfg cs g)
+  in
+  let annot = Svfg.annot svfg in
+  let process n =
+    match Svfg.kind svfg n with
+    | Svfg.NInst { f; i } -> (
+      match Svfg.inst_of svfg n with
+      | Inst.Load { lhs; ptr } ->
+        let mu = Pta_memssa.Annot.mu annot f i in
+        let changed = ref false in
+        Bitset.iter
+          (fun o ->
+            if Bitset.mem mu o then begin
+              let cv = Versioning.consume ver n o in
+              Versioning.subscribe ver o cv n;
+              if not (Version.is_epsilon cv) then
+                if Solver_common.union_pt c lhs (ptk_of t o cv) then
+                  changed := true
+            end)
+          (Solver_common.pt_of c ptr);
+        if !changed then push_users lhs
+      | Inst.Store { ptr; rhs } ->
+        let chi = Pta_memssa.Annot.chi annot f i in
+        let ptr_pts = Solver_common.pt_of c ptr in
+        (* Iterate the χ objects: those the store may define flow-sensitively
+           get GEN (+ weak/strong); the spuriously-annotated rest pass their
+           consumed version through to the yielded one (identity), because
+           the SVFG routes their def-use chains through this node. *)
+        Bitset.iter
+          (fun o ->
+            let y = Versioning.yield ver n o in
+            let out = ptk_of t o y in
+            let cv = Versioning.consume ver n o in
+            Versioning.subscribe ver o cv n;
+            let changed = ref false in
+            if Bitset.mem ptr_pts o then begin
+              if Bitset.union_into ~into:out (Solver_common.pt_of c rhs) then
+                changed := true;
+              if not (Solver_common.strong_update_ok c ~ptr o) then
+                if not (Version.is_epsilon cv) then
+                  if Bitset.union_into ~into:out (ptk_of t o cv) then
+                    changed := true
+            end
+            else if
+              (not (Version.is_epsilon cv))
+              && not (Solver_common.strong_update_ok c ~ptr o)
+            then begin
+              if Bitset.union_into ~into:out (ptk_of t o cv) then changed := true
+            end;
+            if !changed then propagate_version o y)
+          chi
+      | ins -> Solver_common.process_top_level c ~push_users ~on_call_edge ~node:n ins)
+    | Svfg.NMemPhi _ | Svfg.NFormalIn _ | Svfg.NFormalOut _ | Svfg.NActualIn _
+    | Svfg.NActualOut _ ->
+      (* Memory nodes do no runtime work in VSFS: their effect is the
+         precomputed version reliance. *)
+      ()
+  in
+  (* Seed with instruction nodes only. *)
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    match Svfg.kind svfg n with Svfg.NInst _ -> push n | _ -> ()
+  done;
+  let rec loop () =
+    match Solver_common.wl_pop wl with
+    | Some n ->
+      t.pops <- t.pops + 1;
+      process n;
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  t
+
+let pt t v = Solver_common.pt_of t.c v
+let pt_version t o v = ptk_opt t o v
+
+let consumed_pt t n o =
+  let cv = Versioning.consume t.ver n o in
+  ptk_opt t o cv
+
+(* Flow-insensitive collapse of an object's contents: the union of all its
+   versions' points-to sets ("may contain anywhere"). *)
+let object_pt t o =
+  let acc = Bitset.create () in
+  Hashtbl.iter
+    (fun k s -> if k lsr 31 = o then ignore (Bitset.union_into ~into:acc s))
+    t.ptk;
+  acc
+
+(* §IV-C1: versioning with auxiliary (imprecise) points-to information "may
+   give us more versions than necessary whereby two versions may be
+   collapsible into a single version (both versions have equivalent
+   points-to sets per the flow-sensitive analysis)". This counts that excess
+   after solving: versions of the same object whose final sets are equal. *)
+let collapsible_versions t =
+  let groups = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun k s ->
+      let o = k lsr 31 in
+      let key = (o, Bitset.hash s) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (s :: prev))
+    t.ptk;
+  let collapsible = ref 0 in
+  Hashtbl.iter
+    (fun _ sets ->
+      match sets with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        (* hash collisions are possible; verify equality *)
+        List.iter (fun s -> if Bitset.equal first s then incr collapsible) rest)
+    groups;
+  (!collapsible, Hashtbl.length t.ptk)
+
+let callgraph t = t.c.Solver_common.cg_fs
+let versioning t = t.ver
+let n_sets t = Hashtbl.length t.ptk
+
+let words t =
+  let total = ref (Versioning.words t.ver) in
+  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.ptk;
+  !total
+
+let n_propagations t = t.props
+let processed t = t.pops

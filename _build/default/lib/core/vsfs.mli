@@ -1,0 +1,56 @@
+(** Versioned staged flow-sensitive points-to analysis (VSFS) — the paper's
+    contribution (Fig. 10).
+
+    Identical precision to {!Pta_sfs.Sfs} with finer single-object sparsity:
+    instead of IN/OUT points-to sets per (node, object), one global set per
+    (object, version) is kept, with versions assigned by {!Versioning}.
+    Memory nodes (MEMPHIs and call-boundary nodes) do no runtime work at
+    all — their effect is precomputed as version reliances — so both
+    propagation and storage shrink wherever SFS would have duplicated a set.
+
+    On-the-fly call-graph resolution adds version reliances (and immediate
+    propagation) for each newly discovered call edge; the δ prelabels placed
+    by {!Versioning} guarantee soundness of those late arrivals. *)
+
+open Pta_ir
+
+type result
+
+val solve :
+  ?strategy:Pta_sfs.Solver_common.strategy ->
+  ?strong_updates:bool ->
+  ?versioning:Versioning.t ->
+  Pta_svfg.Svfg.t ->
+  result
+(** [versioning] defaults to [Versioning.compute svfg] (pass it explicitly
+    to time the phases separately, as the paper's Table III does). *)
+
+val pt : result -> Inst.var -> Pta_ds.Bitset.t
+val pt_version : result -> Inst.var -> Version.t -> Pta_ds.Bitset.t option
+(** pt_κ(o), if materialised. *)
+
+val consumed_pt : result -> int -> Inst.var -> Pta_ds.Bitset.t option
+(** The set a node reads for [o] ([pt_{C_n(o)}(o)]) — for the SFS
+    equivalence tests. *)
+
+val object_pt : result -> Inst.var -> Pta_ds.Bitset.t
+(** Flow-insensitive collapse: the union of the object's points-to sets over
+    all its versions — "what may this object ever contain". *)
+
+val callgraph : result -> Callgraph.t
+val versioning : result -> Versioning.t
+
+val n_sets : result -> int
+(** Number of (object, version) points-to sets materialised. *)
+
+val words : result -> int
+(** Logical memory of the versioned sets plus the versioning maps. *)
+
+val n_propagations : result -> int
+val processed : result -> int
+
+val collapsible_versions : result -> int * int
+(** [(excess, total)]: how many materialised (object, version) sets turned
+    out equal to another version of the same object — the avoidable
+    versions §IV-C1 predicts from using imprecise auxiliary results for the
+    prelabelling. *)

@@ -1,0 +1,1 @@
+lib/ds/bitset.ml: Array Format Int List Stats Sys

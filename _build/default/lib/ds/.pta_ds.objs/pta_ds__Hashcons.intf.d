@@ -1,0 +1,1 @@
+lib/ds/hashcons.mli: Hashtbl

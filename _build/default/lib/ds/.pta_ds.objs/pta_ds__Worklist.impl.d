@@ -1,0 +1,1 @@
+lib/ds/worklist.ml: Array Bitset Queue

@@ -1,0 +1,66 @@
+(** Sparse bit vectors over non-negative integers.
+
+    This is the points-to-set representation used throughout the analyses,
+    modelled after LLVM's [SparseBitVector] which the paper's implementation
+    uses for both points-to sets and versions. Elements are stored as a
+    sorted array of (word index, bit word) pairs, so dense clusters of ids
+    cost one word per 63 elements while far-apart ids stay cheap.
+
+    All operations keep the invariant that stored words are non-zero and word
+    indices are strictly increasing. *)
+
+type t
+
+val create : unit -> t
+(** A fresh empty set. *)
+
+val singleton : int -> t
+val of_list : int list -> t
+
+val copy : t -> t
+
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val add : t -> int -> bool
+(** [add s x] inserts [x]; returns [true] iff [s] changed. *)
+
+val remove : t -> int -> bool
+(** [remove s x] deletes [x]; returns [true] iff [s] changed. *)
+
+val clear : t -> unit
+
+val cardinal : t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+val compare : t -> t -> int
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val union_into : into:t -> t -> bool
+(** [union_into ~into src] adds all of [src] to [into]; returns [true] iff
+    [into] changed. This is the hot operation of every solver here; counted
+    by {!Stats} key ["bitset.union_into"]. *)
+
+val union : t -> t -> t
+(** Fresh union; neither argument is modified. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val intersects : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val words : t -> int
+(** Approximate heap footprint in machine words (used by the logical memory
+    metric of the benchmarks). *)
+
+val pp : Format.formatter -> t -> unit

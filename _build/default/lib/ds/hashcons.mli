@@ -1,0 +1,29 @@
+(** Hash-consing tables: map structurally-equal values to a unique small id.
+
+    Object versions in VSFS are (conceptually) sets of prelabels; melding two
+    versions unions the sets. Hash-consing those sets means a version is just
+    an [int], version equality is [Int.equal], and each distinct melded set
+    is stored exactly once — this is the "sharing" that makes versioning
+    cheap. *)
+
+module Make (H : Hashtbl.HashedType) : sig
+  type t
+
+  val create : int -> t
+
+  val intern : t -> H.t -> int
+  (** [intern t v] returns the unique id of [v], registering it if new. The
+      value is owned by the table afterwards and must not be mutated. *)
+
+  val find_opt : t -> H.t -> int option
+  (** Like {!intern} but without registering unknown values. *)
+
+  val get : t -> int -> H.t
+  (** [get t id] is the value with id [id]. @raise Invalid_argument on
+      unknown ids. *)
+
+  val count : t -> int
+  (** Number of distinct interned values. *)
+
+  val iter : (int -> H.t -> unit) -> t -> unit
+end

@@ -1,0 +1,23 @@
+let table : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt table name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add table name r;
+    r
+
+let incr name = Stdlib.incr (counter name)
+let add name n = counter name := !(counter name) + n
+let get name = !(counter name)
+let reset_all () = Hashtbl.iter (fun _ r -> r := 0) table
+
+let snapshot () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf () =
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-32s %d@." name v)
+    (snapshot ())

@@ -1,0 +1,21 @@
+(** Global named counters.
+
+    The solvers bump counters for propagations, set unions, processed nodes,
+    etc. The benchmark harness snapshots them to report the paper's
+    "number of propagation constraints / points-to sets" style figures
+    deterministically (unlike wall-clock time). *)
+
+val counter : string -> int ref
+(** [counter name] returns the (shared) counter registered under [name],
+    creating it at 0 on first use. *)
+
+val incr : string -> unit
+val add : string -> int -> unit
+val get : string -> int
+
+val reset_all : unit -> unit
+
+val snapshot : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val pp : Format.formatter -> unit -> unit

@@ -1,0 +1,62 @@
+type t = { mutable parent : int array; mutable rank : int array; mutable n : int }
+
+let create n =
+  { parent = Array.init (max n 1) (fun i -> i); rank = Array.make (max n 1) 0; n }
+
+let size t = t.n
+
+let grow t n =
+  if n > t.n then begin
+    if n > Array.length t.parent then begin
+      let cap = ref (max 1 (Array.length t.parent)) in
+      while !cap < n do
+        cap := !cap * 2
+      done;
+      let parent = Array.init !cap (fun i -> i) in
+      let rank = Array.make !cap 0 in
+      Array.blit t.parent 0 parent 0 t.n;
+      Array.blit t.rank 0 rank 0 t.n;
+      t.parent <- parent;
+      t.rank <- rank
+    end;
+    for i = t.n to n - 1 do
+      t.parent.(i) <- i;
+      t.rank.(i) <- 0
+    done;
+    t.n <- n
+  end
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else if t.rank.(ra) < t.rank.(rb) then begin
+    t.parent.(ra) <- rb;
+    rb
+  end
+  else if t.rank.(ra) > t.rank.(rb) then begin
+    t.parent.(rb) <- ra;
+    ra
+  end
+  else begin
+    t.parent.(rb) <- ra;
+    t.rank.(ra) <- t.rank.(ra) + 1;
+    ra
+  end
+
+let union_into t ~winner x =
+  let rw = find t winner and rx = find t x in
+  if rw <> rx then begin
+    t.parent.(rx) <- rw;
+    if t.rank.(rw) <= t.rank.(rx) then t.rank.(rw) <- t.rank.(rx) + 1
+  end
+
+let equiv t a b = find t a = find t b

@@ -1,0 +1,27 @@
+(** Union-find over dense integer ids, with path compression and union by
+    rank. Used by Andersen's solver to collapse constraint-graph cycles and
+    by the SCC-based meld-labelling scheduler. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0..n-1], each in its own class. *)
+
+val grow : t -> int -> unit
+(** [grow t n] adds singleton elements up to id [n-1]. *)
+
+val size : t -> int
+
+val find : t -> int -> int
+(** Representative of the class of the argument. *)
+
+val union : t -> int -> int -> int
+(** [union t a b] merges the two classes and returns the surviving
+    representative. *)
+
+val union_into : t -> winner:int -> int -> unit
+(** [union_into t ~winner x] merges [x]'s class into [winner]'s class and
+    forces [find t winner] (the old winner representative) to stay the
+    representative. Needed when the solver must keep one node's identity. *)
+
+val equiv : t -> int -> int -> bool

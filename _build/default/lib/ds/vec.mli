@@ -1,0 +1,29 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not ship [Dynarray]; this is a minimal replacement used
+    pervasively for id-indexed tables (variables, objects, SVFG nodes). A
+    [dummy] element is required at creation to fill unused capacity. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector. [dummy] fills unused slots. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element. @raise Invalid_argument if out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val grow_to : 'a t -> int -> unit
+(** [grow_to v n] extends [v] with dummies so that [length v >= n]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit

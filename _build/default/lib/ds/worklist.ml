@@ -1,0 +1,83 @@
+module Fifo = struct
+  type t = { queue : int Queue.t; queued : Bitset.t }
+
+  let create () = { queue = Queue.create (); queued = Bitset.create () }
+
+  let push t x = if Bitset.add t.queued x then Queue.push x t.queue
+
+  let pop t =
+    match Queue.pop t.queue with
+    | x ->
+      ignore (Bitset.remove t.queued x);
+      Some x
+    | exception Queue.Empty -> None
+
+  let is_empty t = Queue.is_empty t.queue
+  let length t = Queue.length t.queue
+end
+
+module Prio = struct
+  (* Binary min-heap of (priority, item) pairs with an "on heap" bitset for
+     deduplication. *)
+  type t = {
+    mutable heap : (int * int) array;
+    mutable len : int;
+    queued : Bitset.t;
+    priority : int -> int;
+  }
+
+  let create ~priority () =
+    { heap = Array.make 16 (0, 0); len = 0; queued = Bitset.create (); priority }
+
+  let swap t i j =
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(j);
+    t.heap.(j) <- tmp
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if fst t.heap.(i) < fst t.heap.(parent) then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.len && fst t.heap.(l) < fst t.heap.(!smallest) then smallest := l;
+    if r < t.len && fst t.heap.(r) < fst t.heap.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let push t x =
+    if Bitset.add t.queued x then begin
+      if t.len = Array.length t.heap then begin
+        let heap = Array.make (2 * t.len) (0, 0) in
+        Array.blit t.heap 0 heap 0 t.len;
+        t.heap <- heap
+      end;
+      t.heap.(t.len) <- (t.priority x, x);
+      t.len <- t.len + 1;
+      sift_up t (t.len - 1)
+    end
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let _, x = t.heap.(0) in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.heap.(0) <- t.heap.(t.len);
+        sift_down t 0
+      end;
+      ignore (Bitset.remove t.queued x);
+      Some x
+    end
+
+  let is_empty t = t.len = 0
+  let length t = t.len
+end

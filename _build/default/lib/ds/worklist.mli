@@ -1,0 +1,30 @@
+(** Deduplicating worklists over dense integer ids.
+
+    {!Fifo} is the classic pointer-analysis worklist: FIFO order, an item
+    already on the list is not enqueued twice. {!Prio} pops the item with the
+    smallest priority first (used to process SVFG nodes in topological order
+    of their SCCs, which is what SVF does for both SFS solving and meld
+    labelling). *)
+
+module Fifo : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val is_empty : t -> bool
+  val length : t -> int
+end
+
+module Prio : sig
+  type t
+
+  val create : priority:(int -> int) -> unit -> t
+  (** [priority] maps an item to its rank; smaller pops first. The rank is
+      read at push time. *)
+
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val is_empty : t -> bool
+  val length : t -> int
+end

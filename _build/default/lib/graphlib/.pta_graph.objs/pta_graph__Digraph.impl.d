@@ -1,0 +1,1 @@
+lib/graphlib/digraph.ml: Bitset Pta_ds Vec

@@ -1,0 +1,1 @@
+lib/graphlib/dom.ml: Array Bitset Digraph List Order Pta_ds Queue

@@ -1,0 +1,1 @@
+lib/graphlib/dom.mli: Digraph Order Pta_ds

@@ -1,0 +1,1 @@
+lib/graphlib/order.ml: Array Digraph Pta_ds Stack

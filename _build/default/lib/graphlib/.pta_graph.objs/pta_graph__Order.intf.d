@@ -1,0 +1,1 @@
+lib/graphlib/order.mli: Digraph

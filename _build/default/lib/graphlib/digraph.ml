@@ -1,0 +1,69 @@
+open Pta_ds
+
+type t = {
+  succ : Bitset.t Vec.t;
+  pred : Bitset.t Vec.t;
+  mutable edges : int;
+}
+
+let dummy = Bitset.create ()
+
+let create ?(n = 0) () =
+  let g = { succ = Vec.create ~dummy (); pred = Vec.create ~dummy (); edges = 0 } in
+  for _ = 1 to n do
+    ignore (Vec.push g.succ (Bitset.create ()));
+    ignore (Vec.push g.pred (Bitset.create ()))
+  done;
+  g
+
+let add_node g =
+  ignore (Vec.push g.succ (Bitset.create ()));
+  Vec.push g.pred (Bitset.create ())
+
+let ensure g n =
+  while Vec.length g.succ < n do
+    ignore (add_node g)
+  done
+
+let n_nodes g = Vec.length g.succ
+let n_edges g = g.edges
+
+let add_edge g u v =
+  ensure g (1 + max u v);
+  if Bitset.add (Vec.get g.succ u) v then begin
+    ignore (Bitset.add (Vec.get g.pred v) u);
+    g.edges <- g.edges + 1;
+    true
+  end
+  else false
+
+let remove_edge g u v =
+  if u < n_nodes g && Bitset.remove (Vec.get g.succ u) v then begin
+    ignore (Bitset.remove (Vec.get g.pred v) u);
+    g.edges <- g.edges - 1;
+    true
+  end
+  else false
+
+let has_edge g u v = u < n_nodes g && Bitset.mem (Vec.get g.succ u) v
+let succs g u = Vec.get g.succ u
+let preds g u = Vec.get g.pred u
+let iter_succs g u f = Bitset.iter f (Vec.get g.succ u)
+let iter_preds g u f = Bitset.iter f (Vec.get g.pred u)
+let out_degree g u = Bitset.cardinal (Vec.get g.succ u)
+let in_degree g u = Bitset.cardinal (Vec.get g.pred u)
+
+let iter_edges g f =
+  for u = 0 to n_nodes g - 1 do
+    iter_succs g u (fun v -> f u v)
+  done
+
+let transpose g =
+  let t = create ~n:(n_nodes g) () in
+  iter_edges g (fun u v -> ignore (add_edge t v u));
+  t
+
+let copy g =
+  let t = create ~n:(n_nodes g) () in
+  iter_edges g (fun u v -> ignore (add_edge t u v));
+  t

@@ -1,0 +1,37 @@
+(** Mutable directed graphs over dense integer node ids.
+
+    Successor and predecessor sets are {!Pta_ds.Bitset}s, so parallel edges
+    are coalesced and edge insertion is idempotent — the behaviour every
+    solver here wants. *)
+
+type t
+
+val create : ?n:int -> unit -> t
+(** [create ~n ()] has nodes [0..n-1] and no edges. *)
+
+val add_node : t -> int
+(** Append a fresh node; returns its id. *)
+
+val ensure : t -> int -> unit
+(** [ensure g n] guarantees nodes [0..n-1] exist. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val add_edge : t -> int -> int -> bool
+(** [add_edge g u v] returns [true] iff the edge was new. *)
+
+val remove_edge : t -> int -> int -> bool
+(** [remove_edge g u v] returns [true] iff the edge existed. *)
+
+val has_edge : t -> int -> int -> bool
+val succs : t -> int -> Pta_ds.Bitset.t
+val preds : t -> int -> Pta_ds.Bitset.t
+val iter_succs : t -> int -> (int -> unit) -> unit
+val iter_preds : t -> int -> (int -> unit) -> unit
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val transpose : t -> t
+val copy : t -> t

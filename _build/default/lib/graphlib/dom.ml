@@ -1,0 +1,95 @@
+open Pta_ds
+
+type t = { idom : int array; order : Order.t; entry : int }
+
+(* Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm". Nodes are
+   compared by postorder index; [intersect] walks the two idom chains up to
+   their common ancestor. *)
+let compute g ~entry =
+  let order = Order.dfs g ~entry in
+  let n = Digraph.n_nodes g in
+  let idom = Array.make n (-1) in
+  let pidx = order.Order.post_index in
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while pidx.(!a) < pidx.(!b) do
+        a := idom.(!a)
+      done;
+      while pidx.(!b) < pidx.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  idom.(entry) <- entry;
+  let rpo = Order.reverse_postorder order in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun v ->
+        if v <> entry then begin
+          (* First processed predecessor that already has an idom. *)
+          let new_idom = ref (-1) in
+          Digraph.iter_preds g v (fun p ->
+              if pidx.(p) >= 0 && idom.(p) >= 0 then
+                if !new_idom = -1 then new_idom := p
+                else new_idom := intersect p !new_idom);
+          if !new_idom >= 0 && idom.(v) <> !new_idom then begin
+            idom.(v) <- !new_idom;
+            changed := true
+          end
+        end)
+      rpo
+  done;
+  { idom; order; entry }
+
+let dominates t a b =
+  if t.idom.(b) = -1 then false
+  else begin
+    let x = ref b in
+    let res = ref (a = b) in
+    while (not !res) && !x <> t.entry do
+      x := t.idom.(!x);
+      if !x = a then res := true
+    done;
+    !res
+  end
+
+let dom_frontier g t =
+  let n = Digraph.n_nodes g in
+  let df = Array.init n (fun _ -> Bitset.create ()) in
+  for v = 0 to n - 1 do
+    if t.idom.(v) >= 0 && Digraph.in_degree g v >= 2 then
+      Digraph.iter_preds g v (fun p ->
+          if t.idom.(p) >= 0 then begin
+            let runner = ref p in
+            while !runner <> t.idom.(v) do
+              ignore (Bitset.add df.(!runner) v);
+              runner := t.idom.(!runner)
+            done
+          end)
+  done;
+  df
+
+let iterated_frontier df defs =
+  let result = Bitset.create () in
+  let work = Queue.create () in
+  List.iter (fun d -> Queue.push d work) defs;
+  while not (Queue.is_empty work) do
+    let d = Queue.pop work in
+    Bitset.iter
+      (fun f -> if Bitset.add result f then Queue.push f work)
+      df.(d)
+  done;
+  result
+
+let dom_tree_children t =
+  let n = Array.length t.idom in
+  let children = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if v <> t.entry && t.idom.(v) >= 0 then
+      children.(t.idom.(v)) <- v :: children.(t.idom.(v))
+  done;
+  children

@@ -1,0 +1,28 @@
+(** Dominator trees and dominance frontiers (Cooper-Harvey-Kennedy).
+
+    Used twice in the pipeline: by mem2reg to place PHIs for promoted locals,
+    and by memory-SSA construction to place MEMPHIs for address-taken
+    objects. *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator of each node; [idom entry = entry]; [-1] for
+          nodes unreachable from the entry *)
+  order : Order.t;
+  entry : int;
+}
+
+val compute : Digraph.t -> entry:int -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — reflexive. Walks the idom chain. *)
+
+val dom_frontier : Digraph.t -> t -> Pta_ds.Bitset.t array
+(** Dominance frontier of every node (empty for unreachable nodes). *)
+
+val iterated_frontier : Pta_ds.Bitset.t array -> int list -> Pta_ds.Bitset.t
+(** [iterated_frontier df defs] is DF+ of the def sites: the standard
+    phi-placement fixpoint. *)
+
+val dom_tree_children : t -> int list array
+(** Children lists of the dominator tree (for SSA-renaming walks). *)

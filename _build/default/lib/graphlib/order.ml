@@ -1,0 +1,38 @@
+type t = { postorder : int array; post_index : int array }
+
+let dfs g ~entry =
+  let n = Digraph.n_nodes g in
+  let post_index = Array.make n (-1) in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let count = ref 0 in
+  (* Iterative DFS recording postorder. *)
+  let stack = Stack.create () in
+  visited.(entry) <- true;
+  Stack.push (entry, ref (Pta_ds.Bitset.elements (Digraph.succs g entry))) stack;
+  while not (Stack.is_empty stack) do
+    let v, rest = Stack.top stack in
+    match !rest with
+    | w :: tl ->
+      rest := tl;
+      if not visited.(w) then begin
+        visited.(w) <- true;
+        Stack.push (w, ref (Pta_ds.Bitset.elements (Digraph.succs g w))) stack
+      end
+    | [] ->
+      ignore (Stack.pop stack);
+      order := v :: !order;
+      incr count
+  done;
+  (* [order] currently holds reverse postorder; postorder is its reverse. *)
+  let rpo = Array.of_list !order in
+  let postorder = Array.make !count 0 in
+  Array.iteri (fun i v -> postorder.(!count - 1 - i) <- v) rpo;
+  Array.iteri (fun i v -> post_index.(v) <- i) postorder;
+  { postorder; post_index }
+
+let reverse_postorder t =
+  let n = Array.length t.postorder in
+  Array.init n (fun i -> t.postorder.(n - 1 - i))
+
+let reachable t v = t.post_index.(v) >= 0

@@ -1,0 +1,14 @@
+(** Depth-first orders rooted at an entry node. *)
+
+type t = {
+  postorder : int array;  (** reachable nodes in postorder *)
+  post_index : int array;  (** node -> position in [postorder]; -1 if unreachable *)
+}
+
+val dfs : Digraph.t -> entry:int -> t
+
+val reverse_postorder : t -> int array
+(** Reachable nodes, sources-first; the iteration order for forward
+    data-flow problems. *)
+
+val reachable : t -> int -> bool

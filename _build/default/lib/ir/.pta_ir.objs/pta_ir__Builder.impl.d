@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Inst List Option Printf Prog

@@ -1,0 +1,1 @@
+lib/ir/callgraph.ml: Bitset Hashtbl Inst List Pta_ds Queue

@@ -1,0 +1,1 @@
+lib/ir/entrypoint.ml: Builder Inst List Prog

@@ -1,0 +1,1 @@
+lib/ir/entrypoint.mli: Builder Inst Prog

@@ -1,0 +1,1 @@
+lib/ir/icfg.ml: Array Inst List Prog Pta_graph

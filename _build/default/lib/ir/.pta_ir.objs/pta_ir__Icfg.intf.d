@@ -1,0 +1,1 @@
+lib/ir/icfg.mli: Inst Prog Pta_graph

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Format Hashtbl Inst List Prog String

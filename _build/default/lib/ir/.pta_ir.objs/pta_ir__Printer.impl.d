@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Format Inst List Prog Pta_ds Pta_graph

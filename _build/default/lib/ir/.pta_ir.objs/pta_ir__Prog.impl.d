@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Hashtbl Inst Option Printf Pta_ds Pta_graph Vec

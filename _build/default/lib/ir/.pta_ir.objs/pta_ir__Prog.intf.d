@@ -1,0 +1,1 @@
+lib/ir/prog.mli: Inst Pta_ds Pta_graph

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Format Inst List Prog Pta_graph String

@@ -1,0 +1,68 @@
+open Pta_ds
+
+type callsite = { cs_func : Inst.func_id; cs_inst : int }
+
+type t = {
+  edges : (callsite, Bitset.t) Hashtbl.t;
+  by_func : (Inst.func_id, callsite list ref) Hashtbl.t;
+  indirect_targets : Bitset.t;
+  mutable n_edges : int;
+}
+
+let create () =
+  {
+    edges = Hashtbl.create 64;
+    by_func = Hashtbl.create 16;
+    indirect_targets = Bitset.create ();
+    n_edges = 0;
+  }
+
+let add t cs f =
+  let set =
+    match Hashtbl.find_opt t.edges cs with
+    | Some s -> s
+    | None ->
+      let s = Bitset.create () in
+      Hashtbl.add t.edges cs s;
+      (match Hashtbl.find_opt t.by_func cs.cs_func with
+      | Some l -> l := cs :: !l
+      | None -> Hashtbl.add t.by_func cs.cs_func (ref [ cs ]));
+      s
+  in
+  if Bitset.add set f then begin
+    t.n_edges <- t.n_edges + 1;
+    true
+  end
+  else false
+
+let targets t cs =
+  match Hashtbl.find_opt t.edges cs with
+  | Some s -> Bitset.elements s
+  | None -> []
+
+let iter_edges t f =
+  Hashtbl.iter (fun cs set -> Bitset.iter (fun g -> f cs g) set) t.edges
+
+let iter_callsites_of t fid f =
+  match Hashtbl.find_opt t.by_func fid with
+  | Some l -> List.iter f !l
+  | None -> ()
+
+let n_edges t = t.n_edges
+
+let mark_indirect_target t f = ignore (Bitset.add t.indirect_targets f)
+let is_indirect_target t f = Bitset.mem t.indirect_targets f
+
+let functions_reachable_from _prog t root =
+  let seen = Bitset.create () in
+  let work = Queue.create () in
+  ignore (Bitset.add seen root);
+  Queue.push root work;
+  while not (Queue.is_empty work) do
+    let f = Queue.pop work in
+    iter_callsites_of t f (fun cs ->
+        List.iter
+          (fun g -> if Bitset.add seen g then Queue.push g work)
+          (targets t cs))
+  done;
+  seen

@@ -1,0 +1,32 @@
+(** Call graphs: call sites to resolved targets.
+
+    Produced by Andersen's analysis (the auxiliary call graph used to build
+    the SVFG and the mod/ref summaries) and re-resolved on the fly by the
+    flow-sensitive solvers, which discover a subset of the auxiliary
+    targets. *)
+
+type callsite = { cs_func : Inst.func_id; cs_inst : int }
+
+type t
+
+val create : unit -> t
+
+val add : t -> callsite -> Inst.func_id -> bool
+(** [true] iff the edge is new. Direct or indirect alike. *)
+
+val targets : t -> callsite -> Inst.func_id list
+val iter_edges : t -> (callsite -> Inst.func_id -> unit) -> unit
+val iter_callsites_of : t -> Inst.func_id -> (callsite -> unit) -> unit
+(** Call sites *inside* the given function that have at least one target. *)
+
+val n_edges : t -> int
+
+val mark_indirect_target : t -> Inst.func_id -> unit
+(** Record that the function was resolved as the target of an indirect
+    call (it is then a δ-node candidate in VSFS). *)
+
+val is_indirect_target : t -> Inst.func_id -> bool
+
+val functions_reachable_from : Prog.t -> t -> Inst.func_id -> Pta_ds.Bitset.t
+(** Functions reachable by call edges from the given root (the root is
+    included). *)

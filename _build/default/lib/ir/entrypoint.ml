@@ -1,0 +1,12 @@
+let build prog ~globals ?(init = fun _ -> ()) ~main () =
+  let b = Builder.create prog ~name:"__init" ~param_names:[] in
+  List.iter
+    (fun (g, o) ->
+      ignore (Builder.emit b (Inst.Alloc { lhs = g; obj = o })))
+    globals;
+  init b;
+  Builder.call_void b ~callee:(Inst.Direct main.Prog.id) [];
+  Builder.finish b;
+  let f = Builder.fn b in
+  Prog.set_entry prog f.Prog.id;
+  f

@@ -1,0 +1,18 @@
+(** Synthetic program entry.
+
+    C programs start at [main] but globals are initialised beforehand; we
+    model this with a synthetic [__init] function that allocates every global
+    object, runs the global-initialiser stores, then calls [main]. All
+    analyses treat [__init] as the root. *)
+
+val build :
+  Prog.t ->
+  globals:(Inst.var * Inst.var) list ->
+  ?init:(Builder.t -> unit) ->
+  main:Prog.func ->
+  unit ->
+  Prog.func
+(** [build prog ~globals ~init ~main ()] creates [__init]; [globals] pairs a
+    global's top-level handle with its object ([g = alloca_og] is emitted for
+    each); [init] appends initialiser code; [main] is called with no
+    arguments. Sets the program entry. *)

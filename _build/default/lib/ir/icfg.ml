@@ -1,0 +1,64 @@
+type node = { func : Inst.func_id; inst : int }
+
+type t = {
+  graph : Pta_graph.Digraph.t;
+  nodes : node array;
+  base : int array;
+  entry : int;
+}
+
+let node_id t f i = t.base.(f) + i
+let inst prog t id =
+  let n = t.nodes.(id) in
+  Prog.inst (Prog.func prog n.func) n.inst
+
+let build prog ~callees =
+  let nf = Prog.n_funcs prog in
+  let base = Array.make nf 0 in
+  let total = ref 0 in
+  for f = 0 to nf - 1 do
+    base.(f) <- !total;
+    total := !total + Prog.n_insts (Prog.func prog f)
+  done;
+  let nodes = Array.make (max !total 1) { func = 0; inst = 0 } in
+  for f = 0 to nf - 1 do
+    for i = 0 to Prog.n_insts (Prog.func prog f) - 1 do
+      nodes.(base.(f) + i) <- { func = f; inst = i }
+    done
+  done;
+  let graph = Pta_graph.Digraph.create ~n:!total () in
+  let t = { graph; nodes; base; entry = 0 } in
+  (* Intraprocedural edges; call nodes keep their fall-through edges as
+     return-site edges only when the call has at least one unknown target —
+     here we always route through callees and also keep the fall-through so
+     that calls with no resolved target (e.g. dead indirect calls) do not
+     disconnect the graph. *)
+  for f = 0 to nf - 1 do
+    let fn = Prog.func prog f in
+    for i = 0 to Prog.n_insts fn - 1 do
+      let src = node_id t f i in
+      match Prog.inst fn i with
+      | Inst.Call _ ->
+        let targets = callees f i in
+        List.iter
+          (fun g ->
+            let callee = Prog.func prog g in
+            ignore
+              (Pta_graph.Digraph.add_edge graph src
+                 (node_id t g callee.Prog.entry_inst));
+            Pta_graph.Digraph.iter_succs fn.Prog.cfg i (fun ret_site ->
+                ignore
+                  (Pta_graph.Digraph.add_edge graph
+                     (node_id t g callee.Prog.exit_inst)
+                     (node_id t f ret_site))))
+          targets;
+        if targets = [] then
+          Pta_graph.Digraph.iter_succs fn.Prog.cfg i (fun s ->
+              ignore (Pta_graph.Digraph.add_edge graph src (node_id t f s)))
+      | _ ->
+        Pta_graph.Digraph.iter_succs fn.Prog.cfg i (fun s ->
+            ignore (Pta_graph.Digraph.add_edge graph src (node_id t f s)))
+    done
+  done;
+  let entry_fn = Prog.entry prog in
+  { t with entry = node_id t entry_fn.Prog.id entry_fn.Prog.entry_inst }

@@ -1,0 +1,28 @@
+(** The interprocedural control-flow graph.
+
+    Flattens every function's instruction-level CFG into one id space and
+    wires call sites to callee entries and callee exits back to the call
+    sites' successors ("return sites"). Used by the dense flow-sensitive
+    reference analysis and by diagnostics; the sparse analyses work on the
+    SVFG instead. *)
+
+type node = { func : Inst.func_id; inst : int }
+
+type t = {
+  graph : Pta_graph.Digraph.t;
+  nodes : node array;  (** global id -> (function, instruction) *)
+  base : int array;  (** function id -> first global id of its instructions *)
+  entry : int;  (** global id of the program entry's ENTRY instruction *)
+}
+
+val node_id : t -> Inst.func_id -> int -> int
+(** [node_id t f i] is the global id of instruction [i] of function [f]. *)
+
+val inst : Prog.t -> t -> int -> Inst.t
+
+val build : Prog.t -> callees:(Inst.func_id -> int -> Inst.func_id list) -> t
+(** [build prog ~callees] uses [callees f i] as the call targets of the call
+    instruction [i] in function [f] (from any call graph, e.g. Andersen's).
+    Call nodes get edges to target entries; target exits get edges to the
+    call's intraprocedural successors. Direct calls always link to their
+    static target. *)

@@ -1,0 +1,39 @@
+type var = int
+type func_id = int
+type callee = Direct of func_id | Indirect of var
+
+type t =
+  | Entry
+  | Exit
+  | Alloc of { lhs : var; obj : var }
+  | Copy of { lhs : var; rhs : var }
+  | Phi of { lhs : var; rhs : var list }
+  | Field of { lhs : var; base : var; offset : int }
+  | Load of { lhs : var; ptr : var }
+  | Store of { ptr : var; rhs : var }
+  | Call of { lhs : var option; callee : callee; args : var list }
+  | Branch
+
+let def = function
+  | Alloc { lhs; _ }
+  | Copy { lhs; _ }
+  | Phi { lhs; _ }
+  | Field { lhs; _ }
+  | Load { lhs; _ } ->
+    Some lhs
+  | Call { lhs; _ } -> lhs
+  | Entry | Exit | Store _ | Branch -> None
+
+let uses = function
+  | Copy { rhs; _ } -> [ rhs ]
+  | Phi { rhs; _ } -> rhs
+  | Field { base; _ } -> [ base ]
+  | Load { ptr; _ } -> [ ptr ]
+  | Store { ptr; rhs } -> [ ptr; rhs ]
+  | Call { callee; args; _ } -> (
+    match callee with Direct _ -> args | Indirect fp -> fp :: args)
+  | Alloc _ | Entry | Exit | Branch -> []
+
+let is_store = function Store _ -> true | _ -> false
+let is_load = function Load _ -> true | _ -> false
+let is_call = function Call _ -> true | _ -> false

@@ -1,0 +1,41 @@
+(** The LLVM-like instruction set of the paper (Table I).
+
+    Variables are dense integer ids issued by {!Prog}; both top-level
+    pointers and address-taken objects live in one id space (an object id can
+    appear inside a points-to set and also carry its own points-to set, i.e.
+    what is stored in the object).
+
+    Partial SSA: [Entry], [Exit], [Phi], [Copy], [Field], [Load], [Alloc] and
+    [Call] define top-level variables (at most once per variable program-
+    wide); address-taken objects are only touched via [Load]/[Store].
+    MEMPHIs are not instructions here — they are introduced later as SVFG
+    nodes by memory-SSA construction, exactly as in SVF. *)
+
+type var = int
+type func_id = int
+
+type callee =
+  | Direct of func_id
+  | Indirect of var  (** call through a function pointer *)
+
+type t =
+  | Entry  (** FUNENTRY — formals are in the function record *)
+  | Exit  (** FUNEXIT — the returned variable is in the function record *)
+  | Alloc of { lhs : var; obj : var }  (** p = alloca_o (stack/global/heap) *)
+  | Copy of { lhs : var; rhs : var }  (** p = (t) q — CAST and plain copies *)
+  | Phi of { lhs : var; rhs : var list }  (** p = phi(q, r, ...) *)
+  | Field of { lhs : var; base : var; offset : int }  (** p = &q->f_k *)
+  | Load of { lhs : var; ptr : var }  (** p = *q *)
+  | Store of { ptr : var; rhs : var }  (** *p = q *)
+  | Call of { lhs : var option; callee : callee; args : var list }
+  | Branch  (** control-flow-only node (conditional/unconditional jump) *)
+
+val def : t -> var option
+(** The top-level variable defined, if any. *)
+
+val uses : t -> var list
+(** Top-level variables read (for [Call], includes the function pointer). *)
+
+val is_store : t -> bool
+val is_load : t -> bool
+val is_call : t -> bool

@@ -1,0 +1,86 @@
+let pp_var prog ppf v = Format.fprintf ppf "%%%s" (Prog.name prog v)
+
+let kind_string = function
+  | Prog.Stack -> "stack"
+  | Prog.Global -> "global"
+  | Prog.Heap -> "heap"
+  | Prog.Func _ -> "func"
+  | Prog.FieldOf _ -> "field"
+
+let pp_obj prog ppf o =
+  Format.fprintf ppf "@%s:%s" (kind_string (Prog.obj_kind prog o)) (Prog.name prog o)
+
+let pp_callee prog ppf = function
+  | Inst.Direct f -> Format.pp_print_string ppf (Prog.func prog f).Prog.fname
+  | Inst.Indirect v -> Format.fprintf ppf "*%a" (pp_var prog) v
+
+let pp_args prog ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (pp_var prog) ppf args
+
+let pp_inst prog ppf i =
+  let var = pp_var prog in
+  match i with
+  | Inst.Entry -> Format.pp_print_string ppf "entry"
+  | Inst.Exit -> Format.pp_print_string ppf "exit"
+  | Inst.Alloc { lhs; obj } ->
+    Format.fprintf ppf "%a = alloc %a" var lhs (pp_obj prog) obj
+  | Inst.Copy { lhs; rhs } -> Format.fprintf ppf "%a = copy %a" var lhs var rhs
+  | Inst.Phi { lhs; rhs } ->
+    Format.fprintf ppf "%a = phi(%a)" var lhs (pp_args prog) rhs
+  | Inst.Field { lhs; base; offset } ->
+    Format.fprintf ppf "%a = field %a %d" var lhs var base offset
+  | Inst.Load { lhs; ptr } -> Format.fprintf ppf "%a = load %a" var lhs var ptr
+  | Inst.Store { ptr; rhs } -> Format.fprintf ppf "store %a %a" var ptr var rhs
+  | Inst.Call { lhs; callee; args } -> (
+    match lhs with
+    | Some lhs ->
+      Format.fprintf ppf "%a = call %a(%a)" var lhs (pp_callee prog) callee
+        (pp_args prog) args
+    | None ->
+      Format.fprintf ppf "call %a(%a)" (pp_callee prog) callee (pp_args prog)
+        args)
+  | Inst.Branch -> Format.pp_print_string ppf "br"
+
+let pp_func prog ppf (f : Prog.func) =
+  Format.fprintf ppf "func %s(%a)" f.Prog.fname (pp_args prog) f.Prog.params;
+  (match f.Prog.ret with
+  | Some r -> Format.fprintf ppf " -> %a" (pp_var prog) r
+  | None -> ());
+  Format.fprintf ppf " {@.";
+  for i = 0 to Prog.n_insts f - 1 do
+    Format.fprintf ppf "  L%d: %a" i (pp_inst prog) (Prog.inst f i);
+    let succs = Pta_graph.Digraph.succs f.Prog.cfg i in
+    if not (Pta_ds.Bitset.is_empty succs) then begin
+      Format.fprintf ppf "  ->";
+      Pta_ds.Bitset.iter (fun s -> Format.fprintf ppf " L%d" s) succs
+    end;
+    Format.fprintf ppf "@."
+  done;
+  Format.fprintf ppf "}@."
+
+(* Global handles are the variables defined by an [Alloc] of a [Global]
+   object; they must be declared up-front so that the parser can give them
+   program-wide scope. *)
+let globals_of prog =
+  let acc = ref [] in
+  Prog.iter_funcs prog (fun f ->
+      for i = 0 to Prog.n_insts f - 1 do
+        match Prog.inst f i with
+        | Inst.Alloc { lhs; obj } when Prog.obj_kind prog obj = Prog.Global ->
+          acc := lhs :: !acc
+        | _ -> ()
+      done);
+  List.rev !acc
+
+let pp_prog ppf prog =
+  (try Format.fprintf ppf "entry %s@." (Prog.entry prog).Prog.fname
+   with Failure _ -> ());
+  List.iter
+    (fun g -> Format.fprintf ppf "global %a@." (pp_var prog) g)
+    (globals_of prog);
+  Prog.iter_funcs prog (fun f -> pp_func prog ppf f)
+
+let func_to_string prog f = Format.asprintf "%a" (pp_func prog) f
+let prog_to_string prog = Format.asprintf "%a" pp_prog prog

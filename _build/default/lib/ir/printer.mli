@@ -1,0 +1,9 @@
+(** Textual rendering of programs, functions and instructions; the output is
+    accepted back by {!Parser} (round-trip tested). *)
+
+val pp_var : Prog.t -> Format.formatter -> Inst.var -> unit
+val pp_inst : Prog.t -> Format.formatter -> Inst.t -> unit
+val pp_func : Prog.t -> Format.formatter -> Prog.func -> unit
+val pp_prog : Format.formatter -> Prog.t -> unit
+val func_to_string : Prog.t -> Prog.func -> string
+val prog_to_string : Prog.t -> string

@@ -1,0 +1,192 @@
+open Pta_ds
+
+type obj_kind =
+  | Stack
+  | Global
+  | Heap
+  | Func of Inst.func_id
+  | FieldOf of { base : Inst.var; offset : int }
+
+type var_info = {
+  vname : string;
+  okind : obj_kind option;  (* None = top-level pointer *)
+  mutable singleton : bool;
+  mutable dead : bool;
+}
+
+type func = {
+  id : Inst.func_id;
+  fname : string;
+  params : Inst.var list;
+  mutable ret : Inst.var option;
+  insts : Inst.t Pta_ds.Vec.t;
+  cfg : Pta_graph.Digraph.t;
+  entry_inst : int;
+  mutable exit_inst : int;
+  mutable address_taken : bool;
+  mutable fobj : Inst.var;
+}
+
+type t = {
+  vars : var_info Vec.t;
+  funcs : func Vec.t;
+  by_name : (string, Inst.func_id) Hashtbl.t;
+  fields : (int * int, Inst.var) Hashtbl.t;
+  mutable entry_func : Inst.func_id;
+}
+
+let field_cap = 8
+
+let dummy_var = { vname = ""; okind = None; singleton = false; dead = false }
+
+let dummy_func =
+  {
+    id = -1;
+    fname = "";
+    params = [];
+    ret = None;
+    insts = Vec.create ~dummy:Inst.Branch ();
+    cfg = Pta_graph.Digraph.create ();
+    entry_inst = 0;
+    exit_inst = 0;
+    address_taken = false;
+    fobj = -1;
+  }
+
+let create () =
+  {
+    vars = Vec.create ~dummy:dummy_var ();
+    funcs = Vec.create ~dummy:dummy_func ();
+    by_name = Hashtbl.create 16;
+    fields = Hashtbl.create 64;
+    entry_func = -1;
+  }
+
+let fresh_top t vname =
+  Vec.push t.vars { vname; okind = None; singleton = false; dead = false }
+
+let fresh_obj t vname kind =
+  let singleton =
+    match kind with
+    | Stack | Global -> true
+    | Heap | Func _ | FieldOf _ -> false
+  in
+  Vec.push t.vars { vname; okind = Some kind; singleton; dead = false }
+
+let n_vars t = Vec.length t.vars
+let info t v = Vec.get t.vars v
+let name t v = (info t v).vname
+let is_object t v = (info t v).okind <> None
+let is_top t v = (info t v).okind = None
+
+let obj_kind t v =
+  match (info t v).okind with
+  | Some k -> k
+  | None -> invalid_arg "Prog.obj_kind: top-level variable"
+
+let is_function_obj t v =
+  match (info t v).okind with Some (Func f) -> Some f | _ -> None
+
+let mark_dead t v = (info t v).dead <- true
+let is_dead t v = (info t v).dead
+let is_singleton t v = (info t v).singleton
+let mark_not_singleton t v = (info t v).singleton <- false
+
+let field_obj t ~base ~offset =
+  if offset < 0 then invalid_arg "Prog.field_obj: negative offset";
+  (* Collapse fields of fields by adding offsets ([FIELD-ADD]). *)
+  let base, offset =
+    match (info t base).okind with
+    | Some (FieldOf { base = b; offset = o }) -> (b, o + offset)
+    | _ -> (base, offset)
+  in
+  let offset = min offset field_cap in
+  if offset = 0 then base
+  else
+    match Hashtbl.find_opt t.fields (base, offset) with
+    | Some f -> f
+    | None ->
+      let vname = Printf.sprintf "%s.f%d" (name t base) offset in
+      let f = fresh_obj t vname (FieldOf { base; offset }) in
+      (info t f).singleton <- (info t base).singleton;
+      Hashtbl.add t.fields (base, offset) f;
+      f
+
+let iter_vars t f =
+  for v = 0 to n_vars t - 1 do
+    f v
+  done
+
+let iter_objects t f =
+  iter_vars t (fun v -> if is_object t v && not (is_dead t v) then f v)
+
+let declare_func t fname ~params =
+  let id = Vec.length t.funcs in
+  if Hashtbl.mem t.by_name fname then
+    invalid_arg ("Prog.declare_func: duplicate function " ^ fname);
+  let insts = Vec.create ~dummy:Inst.Branch () in
+  let cfg = Pta_graph.Digraph.create () in
+  let entry_inst = Vec.push insts Inst.Entry in
+  Pta_graph.Digraph.ensure cfg 1;
+  let exit_inst = Vec.push insts Inst.Exit in
+  Pta_graph.Digraph.ensure cfg 2;
+  let f =
+    {
+      id;
+      fname;
+      params;
+      ret = None;
+      insts;
+      cfg;
+      entry_inst;
+      exit_inst;
+      address_taken = false;
+      fobj = -1;
+    }
+  in
+  ignore (Vec.push t.funcs f);
+  Hashtbl.add t.by_name fname id;
+  f
+
+let func t id = Vec.get t.funcs id
+
+let func_by_name t fname =
+  Option.map (func t) (Hashtbl.find_opt t.by_name fname)
+
+let n_funcs t = Vec.length t.funcs
+let iter_funcs t f = Vec.iter f t.funcs
+
+let add_inst f i =
+  let id = Vec.push f.insts i in
+  Pta_graph.Digraph.ensure f.cfg (id + 1);
+  id
+
+let add_flow f a b = ignore (Pta_graph.Digraph.add_edge f.cfg a b)
+let inst f i = Vec.get f.insts i
+let set_inst f i x = Vec.set f.insts i x
+let n_insts f = Vec.length f.insts
+
+let function_object t f =
+  if f.fobj >= 0 then f.fobj
+  else begin
+    let o = fresh_obj t ("&" ^ f.fname) (Func f.id) in
+    f.fobj <- o;
+    f.address_taken <- true;
+    o
+  end
+
+let set_entry t id = t.entry_func <- id
+
+let entry t =
+  if t.entry_func < 0 then failwith "Prog.entry: no entry function set";
+  func t t.entry_func
+
+let count_tops t =
+  let n = ref 0 in
+  iter_vars t (fun v -> if is_top t v then incr n);
+  !n
+
+let count_objects t =
+  let n = ref 0 in
+  iter_objects t (fun _ -> incr n);
+  !n

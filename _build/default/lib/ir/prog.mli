@@ -1,0 +1,112 @@
+(** Whole programs: the variable/object tables, functions with
+    instruction-level CFGs, and the analysis domains of the paper's Table I.
+
+    The id spaces:
+    - variables (top-level pointers and address-taken objects) share one
+      dense [int] space ({!Inst.var});
+    - functions have their own dense id space ({!Inst.func_id});
+    - instructions are per-function dense ids (CFG node ids).
+
+    Field objects ([&q->f_k] targets) are interned per (base object, offset)
+    with offsets saturating at {!field_cap}; a field of a field collapses by
+    offset addition, implementing the paper's [FIELD-ADD] convention of never
+    building fields of fields. *)
+
+type t
+
+type obj_kind =
+  | Stack  (** alloca in a function *)
+  | Global
+  | Heap  (** malloc-like allocation site *)
+  | Func of Inst.func_id  (** the object denoting a function's address *)
+  | FieldOf of { base : Inst.var; offset : int }
+
+type func = {
+  id : Inst.func_id;
+  fname : string;
+  params : Inst.var list;
+  mutable ret : Inst.var option;
+  insts : Inst.t Pta_ds.Vec.t;
+  cfg : Pta_graph.Digraph.t;  (** over instruction ids of this function *)
+  entry_inst : int;
+  mutable exit_inst : int;
+  mutable address_taken : bool;
+  mutable fobj : Inst.var;  (** object for [&f]; [-1] until address taken *)
+}
+
+val field_cap : int
+(** Maximum distinct field offset per object; larger offsets saturate. *)
+
+val create : unit -> t
+
+(* Variables and objects ---------------------------------------------- *)
+
+val fresh_top : t -> string -> Inst.var
+(** New top-level pointer. *)
+
+val fresh_obj : t -> string -> obj_kind -> Inst.var
+(** New address-taken object. Stack/Global objects start as singletons;
+    Heap objects never are. *)
+
+val field_obj : t -> base:Inst.var -> offset:int -> Inst.var
+(** The interned field object; [offset = 0] is the base itself. Fields of
+    fields collapse by offset addition. Field objects inherit nothing from
+    singleton status (they are singletons iff their base is). *)
+
+val n_vars : t -> int
+val name : t -> Inst.var -> string
+val is_object : t -> Inst.var -> bool
+val is_top : t -> Inst.var -> bool
+val obj_kind : t -> Inst.var -> obj_kind
+val is_function_obj : t -> Inst.var -> Inst.func_id option
+
+val mark_dead : t -> Inst.var -> unit
+(** Used by mem2reg for promoted slots: the object id remains valid but is
+    skipped by {!iter_objects} and the statistics. *)
+
+val is_dead : t -> Inst.var -> bool
+
+val is_singleton : t -> Inst.var -> bool
+(** Membership in SN: the object surely denotes one concrete runtime object,
+    making strong updates sound. *)
+
+val mark_not_singleton : t -> Inst.var -> unit
+
+val iter_vars : t -> (Inst.var -> unit) -> unit
+val iter_objects : t -> (Inst.var -> unit) -> unit
+
+(* Functions ------------------------------------------------------------ *)
+
+val declare_func : t -> string -> params:Inst.var list -> func
+(** Creates the function with [Entry] at instruction 0 and [Exit] at 1. *)
+
+val func : t -> Inst.func_id -> func
+val func_by_name : t -> string -> func option
+val n_funcs : t -> int
+val iter_funcs : t -> (func -> unit) -> unit
+
+val add_inst : func -> Inst.t -> int
+(** Appends an instruction (no CFG edges). Returns its id. *)
+
+val add_flow : func -> int -> int -> unit
+(** CFG edge between two instructions of the function. *)
+
+val inst : func -> int -> Inst.t
+val set_inst : func -> int -> Inst.t -> unit
+(** Replace an instruction in place (used by {!Builder} to turn the return
+    join placeholder into a PHI, and by mem2reg). *)
+
+val n_insts : func -> int
+
+val function_object : t -> func -> Inst.var
+(** The [Func] object for [&f], created on first use; marks the function
+    address-taken. *)
+
+val set_entry : t -> Inst.func_id -> unit
+val entry : t -> func
+(** The program entry function. @raise Failure if never set. *)
+
+(* Statistics (Table II columns) ----------------------------------------- *)
+
+val count_tops : t -> int
+val count_objects : t -> int

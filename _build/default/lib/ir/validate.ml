@@ -1,0 +1,75 @@
+let check prog =
+  let errors = ref [] in
+  let error fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let n = Prog.n_vars prog in
+  let defs = Array.make n 0 in
+  let defined = Array.make n false in
+  (* Parameters and returns are defined by ENTRY / the callee. *)
+  Prog.iter_funcs prog (fun f ->
+      List.iter
+        (fun p ->
+          defs.(p) <- defs.(p) + 1;
+          defined.(p) <- true)
+        f.Prog.params);
+  let check_top what fname v =
+    if v < 0 || v >= n then error "%s: variable id %d out of range in %s" what v fname
+    else if not (Prog.is_top prog v) then
+      error "%s: %s is an object, expected a top-level pointer (in %s)" what
+        (Prog.name prog v) fname
+  in
+  let check_obj what fname v =
+    if v < 0 || v >= n then error "%s: object id %d out of range in %s" what v fname
+    else if not (Prog.is_object prog v) then
+      error "%s: %s is top-level, expected an object (in %s)" what
+        (Prog.name prog v) fname
+  in
+  Prog.iter_funcs prog (fun f ->
+      let fname = f.Prog.fname in
+      for i = 0 to Prog.n_insts f - 1 do
+        let ins = Prog.inst f i in
+        (match Inst.def ins with
+        | Some v ->
+          check_top "def" fname v;
+          if v >= 0 && v < n then begin
+            defs.(v) <- defs.(v) + 1;
+            defined.(v) <- true;
+            if defs.(v) > 1 then
+              error "multiple definitions of %s (in %s)" (Prog.name prog v) fname
+          end
+        | None -> ());
+        List.iter (check_top "use" fname) (Inst.uses ins);
+        (match ins with
+        | Inst.Alloc { obj; _ } -> check_obj "alloc" fname obj
+        | Inst.Call { callee = Inst.Direct g; _ } ->
+          if g < 0 || g >= Prog.n_funcs prog then
+            error "call to invalid function id %d (in %s)" g fname
+        | _ -> ())
+      done;
+      (match f.Prog.ret with
+      | Some r -> check_top "return" fname r
+      | None -> ());
+      (* Reachability of every instruction from the function entry. *)
+      let order = Pta_graph.Order.dfs f.Prog.cfg ~entry:f.Prog.entry_inst in
+      for i = 0 to Prog.n_insts f - 1 do
+        if not (Pta_graph.Order.reachable order i) then
+          error "unreachable instruction L%d in %s" i fname
+      done);
+  (* Every used variable must be defined somewhere. *)
+  Prog.iter_funcs prog (fun f ->
+      for i = 0 to Prog.n_insts f - 1 do
+        List.iter
+          (fun v ->
+            if v >= 0 && v < n && not defined.(v) then begin
+              defined.(v) <- true;
+              (* report once *)
+              error "use of undefined variable %s (in %s)" (Prog.name prog v)
+                f.Prog.fname
+            end)
+          (Inst.uses (Prog.inst f i))
+      done);
+  List.rev !errors
+
+let check_exn prog =
+  match check prog with
+  | [] -> ()
+  | errs -> failwith ("invalid program:\n" ^ String.concat "\n" errs)

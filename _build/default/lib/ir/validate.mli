@@ -1,0 +1,17 @@
+(** Partial-SSA well-formedness checks.
+
+    Run by tests after every construction path (builder, parser, frontend,
+    generator); analyses may assume a validated program. *)
+
+val check : Prog.t -> string list
+(** Returns human-readable violations; [[]] means the program is valid:
+    - every top-level variable has at most one defining instruction
+      program-wide, and every used variable has a definition (instruction,
+      parameter, or [Entry]);
+    - operands have the right sort (e.g. [Load]/[Store] pointers are
+      top-level, [Alloc] allocates an object);
+    - every instruction is reachable from its function's entry;
+    - declared return variables exist and direct call targets are valid. *)
+
+val check_exn : Prog.t -> unit
+(** @raise Failure with all violations if any. *)

@@ -1,0 +1,1 @@
+lib/memssa/annot.ml: Array Bitset Callgraph Inst List Modref Prog Pta_ds Pta_ir

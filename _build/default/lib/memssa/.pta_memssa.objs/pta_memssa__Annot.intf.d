@@ -1,0 +1,1 @@
+lib/memssa/annot.mli: Modref Pta_ds Pta_ir

@@ -1,0 +1,1 @@
+lib/memssa/modref.ml: Array Bitset Callgraph Inst List Prog Pta_ds Pta_ir

@@ -1,0 +1,1 @@
+lib/memssa/modref.mli: Pta_ds Pta_ir

@@ -1,0 +1,1 @@
+lib/memssa/singleton.ml: Callgraph Hashtbl Inst Lazy Option Prog Pta_graph Pta_ir

@@ -1,0 +1,1 @@
+lib/memssa/singleton.mli: Pta_ir

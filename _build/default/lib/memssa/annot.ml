@@ -1,0 +1,47 @@
+open Pta_ds
+open Pta_ir
+
+type t = {
+  mu : Bitset.t array array;
+  chi : Bitset.t array array;
+  entry_chis : Bitset.t array;
+  exit_mus : Bitset.t array;
+}
+
+let empty = Bitset.create ()
+
+let compute prog (aux : Modref.aux) mr =
+  let nf = Prog.n_funcs prog in
+  let mu = Array.make nf [||] and chi = Array.make nf [||] in
+  Prog.iter_funcs prog (fun fn ->
+      let f = fn.Prog.id in
+      let n = Prog.n_insts fn in
+      mu.(f) <- Array.make n empty;
+      chi.(f) <- Array.make n empty;
+      for i = 0 to n - 1 do
+        match Prog.inst fn i with
+        | Inst.Store { ptr; _ } -> chi.(f).(i) <- aux.Modref.pt ptr
+        | Inst.Load { ptr; _ } -> mu.(f).(i) <- aux.Modref.pt ptr
+        | Inst.Call _ ->
+          let cs = { Callgraph.cs_func = f; cs_inst = i } in
+          let targets = Callgraph.targets aux.Modref.cg cs in
+          if targets <> [] then begin
+            let m = Bitset.create () and u = Bitset.create () in
+            List.iter
+              (fun g ->
+                ignore (Bitset.union_into ~into:u (Modref.inflow mr g));
+                ignore (Bitset.union_into ~into:m (Modref.mods mr g)))
+              targets;
+            mu.(f).(i) <- u;
+            chi.(f).(i) <- m
+          end
+        | _ -> ()
+      done);
+  let entry_chis = Array.init nf (fun f -> Modref.inflow mr f) in
+  let exit_mus = Array.init nf (fun f -> Modref.mods mr f) in
+  { mu; chi; entry_chis; exit_mus }
+
+let mu t f i = t.mu.(f).(i)
+let chi t f i = t.chi.(f).(i)
+let entry_chi t f = t.entry_chis.(f)
+let exit_mu t f = t.exit_mus.(f)

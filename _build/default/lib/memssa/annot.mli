@@ -1,0 +1,24 @@
+(** χ/μ annotations (§II-B).
+
+    Every instruction that may define an address-taken object gets a χ for
+    it, every instruction that may use one gets a μ, computed from the
+    auxiliary analysis:
+    - STORE [*p = q]: χ(o) for each o ∈ pt_aux(p);
+    - LOAD [p = *q]: μ(o) for each o ∈ pt_aux(q);
+    - CALL: μ(o) for objects flowing into any auxiliary callee
+      (ref ∪ mod), and χ(o) for objects any callee may modify (mod);
+    - FUNENTRY: χ(o) for o ∈ ref(f) ∪ mod(f) (the formal-in set);
+    - FUNEXIT: μ(o) for o ∈ mod(f) (the formal-out set). *)
+
+type t
+
+val compute : Pta_ir.Prog.t -> Modref.aux -> Modref.t -> t
+
+val mu : t -> Pta_ir.Inst.func_id -> int -> Pta_ds.Bitset.t
+(** Objects with a μ at the instruction (loads and calls). *)
+
+val chi : t -> Pta_ir.Inst.func_id -> int -> Pta_ds.Bitset.t
+(** Objects with a χ at the instruction (stores and calls). *)
+
+val entry_chi : t -> Pta_ir.Inst.func_id -> Pta_ds.Bitset.t
+val exit_mu : t -> Pta_ir.Inst.func_id -> Pta_ds.Bitset.t

@@ -1,0 +1,42 @@
+open Pta_ds
+open Pta_ir
+
+type aux = { pt : Inst.var -> Bitset.t; cg : Callgraph.t }
+
+type t = { mods : Bitset.t array; refs : Bitset.t array; inflows : Bitset.t array }
+
+let compute prog aux =
+  let nf = Prog.n_funcs prog in
+  let mods = Array.init nf (fun _ -> Bitset.create ()) in
+  let refs = Array.init nf (fun _ -> Bitset.create ()) in
+  (* Local contributions. *)
+  Prog.iter_funcs prog (fun fn ->
+      let f = fn.Prog.id in
+      for i = 0 to Prog.n_insts fn - 1 do
+        match Prog.inst fn i with
+        | Inst.Store { ptr; _ } ->
+          ignore (Bitset.union_into ~into:mods.(f) (aux.pt ptr))
+        | Inst.Load { ptr; _ } ->
+          ignore (Bitset.union_into ~into:refs.(f) (aux.pt ptr))
+        | _ -> ()
+      done);
+  (* Transitive closure over the call graph: iterate until stable. The call
+     graph is small (one node per function), so a simple fixpoint is fine. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Prog.iter_funcs prog (fun fn ->
+        let f = fn.Prog.id in
+        Callgraph.iter_callsites_of aux.cg f (fun cs ->
+            List.iter
+              (fun g ->
+                if Bitset.union_into ~into:mods.(f) mods.(g) then changed := true;
+                if Bitset.union_into ~into:refs.(f) refs.(g) then changed := true)
+              (Callgraph.targets aux.cg cs)))
+  done;
+  let inflows = Array.init nf (fun f -> Bitset.union refs.(f) mods.(f)) in
+  { mods; refs; inflows }
+
+let mods t f = t.mods.(f)
+let refs t f = t.refs.(f)
+let inflow t f = t.inflows.(f)

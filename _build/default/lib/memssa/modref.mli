@@ -1,0 +1,26 @@
+(** Interprocedural mod/ref summaries.
+
+    For every function, the sets of address-taken objects it may write
+    ([mods]) or read ([refs]), directly or through callees (fixpoint over the
+    auxiliary call graph). These drive the χ/μ annotation of call sites and
+    function boundaries in memory-SSA construction (§II-B of the paper). *)
+
+type aux = {
+  pt : Pta_ir.Inst.var -> Pta_ds.Bitset.t;
+      (** auxiliary (Andersen) points-to results *)
+  cg : Pta_ir.Callgraph.t;  (** auxiliary call graph *)
+}
+
+type t
+
+val compute : Pta_ir.Prog.t -> aux -> t
+
+val mods : t -> Pta_ir.Inst.func_id -> Pta_ds.Bitset.t
+(** Objects possibly stored to by the function or its transitive callees. *)
+
+val refs : t -> Pta_ir.Inst.func_id -> Pta_ds.Bitset.t
+(** Objects possibly loaded from, transitively. *)
+
+val inflow : t -> Pta_ir.Inst.func_id -> Pta_ds.Bitset.t
+(** [refs ∪ mods] — the objects whose incoming value the function needs
+    (mods are included because weak updates read the previous value). *)

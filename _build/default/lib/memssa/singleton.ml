@@ -1,0 +1,39 @@
+open Pta_ir
+
+let refine prog ~cg =
+  (* Functions involved in call-graph recursion. *)
+  let nf = Prog.n_funcs prog in
+  let fgraph = Pta_graph.Digraph.create ~n:nf () in
+  Callgraph.iter_edges cg (fun cs g ->
+      ignore (Pta_graph.Digraph.add_edge fgraph cs.Callgraph.cs_func g));
+  let fscc = Pta_graph.Scc.compute fgraph in
+  let recursive f = not (Pta_graph.Scc.is_trivial fgraph fscc f) in
+  (* Allocation-site census. *)
+  let count : (Inst.var, int) Hashtbl.t = Hashtbl.create 64 in
+  let repeats : (Inst.var, unit) Hashtbl.t = Hashtbl.create 64 in
+  Prog.iter_funcs prog (fun fn ->
+      let cfg_scc = lazy (Pta_graph.Scc.compute fn.Prog.cfg) in
+      for i = 0 to Prog.n_insts fn - 1 do
+        match Prog.inst fn i with
+        | Inst.Alloc { obj; _ } ->
+          Hashtbl.replace count obj
+            (1 + Option.value ~default:0 (Hashtbl.find_opt count obj));
+          let in_cycle =
+            not (Pta_graph.Scc.is_trivial fn.Prog.cfg (Lazy.force cfg_scc) i)
+          in
+          if in_cycle || recursive fn.Prog.id then Hashtbl.replace repeats obj ()
+        | _ -> ()
+      done);
+  Prog.iter_objects prog (fun o ->
+      match Prog.obj_kind prog o with
+      | Prog.Stack ->
+        let sites = Option.value ~default:0 (Hashtbl.find_opt count o) in
+        if sites <> 1 || Hashtbl.mem repeats o then Prog.mark_not_singleton prog o
+      | Prog.Global | Prog.Heap | Prog.Func _ | Prog.FieldOf _ -> ());
+  (* Fields follow their base (a second pass because field objects may have
+     been interned before their base was demoted). *)
+  Prog.iter_objects prog (fun o ->
+      match Prog.obj_kind prog o with
+      | Prog.FieldOf { base; _ } ->
+        if not (Prog.is_singleton prog base) then Prog.mark_not_singleton prog o
+      | _ -> ())

@@ -1,0 +1,12 @@
+(** Refinement of the singleton-object set SN (the strong-update
+    candidates).
+
+    [Prog] optimistically marks stack and global objects as singletons; this
+    pass demotes stack objects whose allocation site may execute more than
+    once per run — sites inside CFG cycles, sites in functions that are part
+    of call-graph recursion, and objects with several allocation sites.
+    Fields inherit their base's status. Both SFS and VSFS must use the same
+    SN set for the precision-equality theorem to hold, so this runs once
+    before either solver. *)
+
+val refine : Pta_ir.Prog.t -> cg:Pta_ir.Callgraph.t -> unit

@@ -1,0 +1,1 @@
+lib/sfs/dense.ml: Array Bitset Callgraph Hashtbl Icfg Inst List Prog Pta_ds Pta_graph Pta_ir Pta_memssa Vec Worklist

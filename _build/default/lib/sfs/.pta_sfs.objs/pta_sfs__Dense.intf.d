@@ -1,0 +1,1 @@
+lib/sfs/dense.mli: Callgraph Inst Pta_ds Pta_ir Pta_memssa

@@ -1,0 +1,1 @@
+lib/sfs/sfs.ml: Bitset Hashtbl Inst List Pta_ds Pta_ir Pta_memssa Pta_svfg Solver_common Stats

@@ -1,0 +1,1 @@
+lib/sfs/sfs.mli: Callgraph Inst Pta_ds Pta_ir Pta_svfg Solver_common

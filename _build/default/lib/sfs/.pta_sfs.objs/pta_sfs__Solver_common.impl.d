@@ -1,0 +1,1 @@
+lib/sfs/solver_common.ml: Array Bitset Callgraph Hashtbl Inst List Prog Pta_ds Pta_ir Pta_memssa Pta_svfg Stats Vec Worklist

@@ -1,0 +1,1 @@
+lib/sfs/solver_common.mli: Callgraph Hashtbl Inst Pta_ds Pta_ir Pta_svfg

@@ -1,0 +1,302 @@
+open Pta_ds
+open Pta_ir
+
+type result = {
+  prog : Prog.t;
+  icfg : Icfg.t;
+  mr : Pta_memssa.Modref.t;
+  su_obj : (int, int) Hashtbl.t;
+      (* store node -> the object it strongly updates (statically decided
+         from the auxiliary analysis, like the sparse solvers) *)
+  pt : Bitset.t Vec.t;
+  ins : (int * int, Bitset.t) Hashtbl.t;  (* (icfg node, obj) -> set *)
+  outs : (int * int, Bitset.t) Hashtbl.t;  (* store nodes only *)
+  objs : Bitset.t Vec.t;  (* objects materialised at each node *)
+  cg_fs : Callgraph.t;
+  (* per callee: discovered (call node, return sites, lhs) *)
+  callers : (Inst.func_id, (int * int list * Inst.var option) list ref) Hashtbl.t;
+  mutable pops : int;
+}
+
+let dummy = Bitset.create ()
+
+let pt_of t v =
+  if v >= Vec.length t.pt then Vec.grow_to t.pt (v + 1);
+  let s = Vec.get t.pt v in
+  if s == dummy then begin
+    let s = Bitset.create () in
+    Vec.set t.pt v s;
+    s
+  end
+  else s
+
+let find_or_create tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> s
+  | None ->
+    let s = Bitset.create () in
+    Hashtbl.add tbl key s;
+    s
+
+let objs_of t n =
+  let s = Vec.get t.objs n in
+  if s == dummy then begin
+    let s = Bitset.create () in
+    Vec.set t.objs n s;
+    s
+  end
+  else s
+
+let in_of t n o =
+  ignore (Bitset.add (objs_of t n) o);
+  find_or_create t.ins (n, o)
+
+let out_of t n o = find_or_create t.outs (n, o)
+
+let is_store t n = match Icfg.inst t.prog t.icfg n with Inst.Store _ -> true | _ -> false
+
+(* A store only redefines the objects its pointer may target (those have an
+   OUT entry); all other objects pass through its IN unchanged — except a
+   statically strongly-updated object, which never passes through. *)
+let out_for t n o =
+  if is_store t n then
+    if Hashtbl.find_opt t.su_obj n = Some o then out_of t n o
+    else
+      match Hashtbl.find_opt t.outs (n, o) with
+      | Some s -> s
+      | None -> in_of t n o
+  else in_of t n o
+
+let resolve_targets t = function
+  | Inst.Direct f -> [ f ]
+  | Inst.Indirect fp ->
+    Bitset.fold
+      (fun o acc ->
+        match Prog.is_function_obj t.prog o with
+        | Some f -> f :: acc
+        | None -> acc)
+      (pt_of t fp) []
+
+let solve prog (aux : Pta_memssa.Modref.aux) =
+  let mr = Pta_memssa.Modref.compute prog aux in
+  (* ICFG with no call edges: a call's fall-through successors act as the
+     weak "around the call" path; call/return edges are added dynamically. *)
+  let icfg = Icfg.build prog ~callees:(fun _ _ -> []) in
+  let n = Array.length icfg.Icfg.nodes in
+  let t =
+    {
+      prog;
+      icfg;
+      mr;
+      pt = Vec.create ~dummy ();
+      ins = Hashtbl.create 1024;
+      outs = Hashtbl.create 128;
+      su_obj = Hashtbl.create 32;
+      objs = Vec.create ~dummy ();
+      cg_fs = Callgraph.create ();
+      callers = Hashtbl.create 16;
+      pops = 0;
+    }
+  in
+  Vec.grow_to t.pt (Prog.n_vars prog);
+  Vec.grow_to t.objs n;
+  (* Precompute static strong-update sites. *)
+  Prog.iter_funcs prog (fun fn ->
+      for i = 0 to Prog.n_insts fn - 1 do
+        match Prog.inst fn i with
+        | Inst.Store { ptr; _ } -> (
+          let pts = aux.Pta_memssa.Modref.pt ptr in
+          if Bitset.cardinal pts = 1 then
+            match Bitset.choose pts with
+            | Some o when Prog.is_singleton prog o ->
+              Hashtbl.replace t.su_obj (Icfg.node_id icfg fn.Prog.id i) o
+            | _ -> ())
+        | _ -> ()
+      done);
+  let wl = Worklist.Fifo.create () in
+  let push = Worklist.Fifo.push wl in
+  (* users index for top-level variables *)
+  let users : int list Vec.t = Vec.create ~dummy:[] () in
+  Vec.grow_to users (Prog.n_vars prog);
+  let note_user v nid = Vec.set users v (nid :: Vec.get users v) in
+  Prog.iter_funcs prog (fun fn ->
+      for i = 0 to Prog.n_insts fn - 1 do
+        let nid = Icfg.node_id icfg fn.Prog.id i in
+        let ins = Prog.inst fn i in
+        List.iter (fun v -> note_user v nid) (Inst.uses ins);
+        match (ins, fn.Prog.ret) with
+        | Inst.Exit, Some r -> note_user r nid
+        | _ -> ()
+      done);
+  let push_users v = List.iter push (Vec.get users v) in
+  let prop_obj src dst o =
+    if Bitset.union_into ~into:(in_of t dst o) (out_for t src o) then push dst
+  in
+  let prop_all src dst =
+    Bitset.iter (fun o -> prop_obj src dst o) (objs_of t src)
+  in
+  let entry_of f =
+    let fn = Prog.func prog f in
+    Icfg.node_id icfg f fn.Prog.entry_inst
+  in
+  let exit_of f =
+    let fn = Prog.func prog f in
+    Icfg.node_id icfg f fn.Prog.exit_inst
+  in
+  let process nid =
+    let node = t.icfg.Icfg.nodes.(nid) in
+    let fn = Prog.func prog node.Icfg.func in
+    let ins = Prog.inst fn node.Icfg.inst in
+    (* 1. Local transfer (top-level and memory). *)
+    (match ins with
+    | Inst.Alloc { lhs; obj } -> if Bitset.add (pt_of t lhs) obj then push_users lhs
+    | Inst.Copy { lhs; rhs } ->
+      if Bitset.union_into ~into:(pt_of t lhs) (pt_of t rhs) then push_users lhs
+    | Inst.Phi { lhs; rhs } ->
+      let changed = ref false in
+      List.iter
+        (fun r ->
+          if Bitset.union_into ~into:(pt_of t lhs) (pt_of t r) then changed := true)
+        rhs;
+      if !changed then push_users lhs
+    | Inst.Field { lhs; base; offset } ->
+      let changed = ref false in
+      Bitset.iter
+        (fun o ->
+          match Prog.obj_kind prog o with
+          | Prog.Func _ -> ()
+          | _ ->
+            let fo = Prog.field_obj prog ~base:o ~offset in
+            if Bitset.add (pt_of t lhs) fo then changed := true)
+        (pt_of t base);
+      if !changed then push_users lhs
+    | Inst.Load { lhs; ptr } ->
+      let changed = ref false in
+      Bitset.iter
+        (fun o ->
+          if Bitset.union_into ~into:(pt_of t lhs) (in_of t nid o) then
+            changed := true)
+        (pt_of t ptr);
+      if !changed then push_users lhs
+    | Inst.Store { ptr; rhs } ->
+      Bitset.iter
+        (fun o ->
+          ignore (Bitset.add (objs_of t nid) o);
+          let out = out_of t nid o in
+          let su = Hashtbl.find_opt t.su_obj nid = Some o in
+          let changed = ref (Bitset.union_into ~into:out (pt_of t rhs)) in
+          if not su then
+            if Bitset.union_into ~into:out (in_of t nid o) then changed := true;
+          ignore !changed)
+        (pt_of t ptr)
+    | Inst.Call { lhs; callee; args } ->
+      let cs = { Callgraph.cs_func = node.Icfg.func; cs_inst = node.Icfg.inst } in
+      let ret_sites =
+        Bitset.fold
+          (fun s acc -> Icfg.node_id icfg node.Icfg.func s :: acc)
+          (Pta_graph.Digraph.succs fn.Prog.cfg node.Icfg.inst)
+          []
+      in
+      List.iter
+        (fun g ->
+          if Callgraph.add t.cg_fs cs g then begin
+            (match callee with
+            | Inst.Indirect _ -> Callgraph.mark_indirect_target t.cg_fs g
+            | Inst.Direct _ -> ());
+            (match Hashtbl.find_opt t.callers g with
+            | Some l -> l := (nid, ret_sites, lhs) :: !l
+            | None -> Hashtbl.add t.callers g (ref [ (nid, ret_sites, lhs) ]));
+            push (exit_of g)
+          end;
+          let callee_fn = Prog.func prog g in
+          let rec zip args params =
+            match (args, params) with
+            | a :: args, p :: params ->
+              if Bitset.union_into ~into:(pt_of t p) (pt_of t a) then
+                push_users p;
+              zip args params
+            | _ -> ()
+          in
+          zip args callee_fn.Prog.params;
+          (match (lhs, callee_fn.Prog.ret) with
+          | Some l, Some r ->
+            if Bitset.union_into ~into:(pt_of t l) (pt_of t r) then push_users l
+          | _ -> ());
+          (* memory in-flow into the callee entry *)
+          let entry = entry_of g in
+          let changed = ref false in
+          Bitset.iter
+            (fun o ->
+              if Bitset.mem (objs_of t nid) o then
+                if Bitset.union_into ~into:(in_of t entry o) (in_of t nid o)
+                then changed := true)
+            (Pta_memssa.Modref.inflow mr g);
+          if !changed then push entry)
+        (resolve_targets t callee)
+    | Inst.Entry | Inst.Exit | Inst.Branch -> ());
+    (* 2. Flow to CFG successors (for calls these are the weak around-call
+       paths; for exits, to every discovered return site with the mods
+       filter). *)
+    (match ins with
+    | Inst.Exit -> (
+      let f = node.Icfg.func in
+      (match fn.Prog.ret with
+      | Some r ->
+        (match Hashtbl.find_opt t.callers f with
+        | Some l ->
+          List.iter
+            (fun (_, _, lhs) ->
+              match lhs with
+              | Some lhs ->
+                if Bitset.union_into ~into:(pt_of t lhs) (pt_of t r) then
+                  push_users lhs
+              | None -> ())
+            !l
+        | None -> ())
+      | None -> ());
+      match Hashtbl.find_opt t.callers f with
+      | Some l ->
+        List.iter
+          (fun (_, ret_sites, _) ->
+            Bitset.iter
+              (fun o ->
+                if Bitset.mem (objs_of t nid) o then
+                  List.iter
+                    (fun rs ->
+                      if
+                        Bitset.union_into ~into:(in_of t rs o) (in_of t nid o)
+                      then push rs)
+                    ret_sites)
+              (Pta_memssa.Modref.mods mr f))
+          !l
+      | None -> ())
+    | _ ->
+      Pta_graph.Digraph.iter_succs t.icfg.Icfg.graph nid (fun succ ->
+          prop_all nid succ))
+  in
+  (* Seed: every node once. *)
+  for i = 0 to n - 1 do
+    push i
+  done;
+  let rec loop () =
+    match Worklist.Fifo.pop wl with
+    | Some nid ->
+      t.pops <- t.pops + 1;
+      process nid;
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  t
+
+let pt t v = pt_of t v
+let callgraph t = t.cg_fs
+let n_sets t = Hashtbl.length t.ins + Hashtbl.length t.outs
+
+let words t =
+  let total = ref 0 in
+  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.ins;
+  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.outs;
+  !total
+
+let processed t = t.pops

@@ -1,0 +1,170 @@
+open Pta_ds
+open Pta_ir
+module Svfg = Pta_svfg.Svfg
+
+type result = {
+  c : Solver_common.t;
+  (* keys are [node lsl 31 lor obj] — avoids tuple allocation on the hot
+     path; both ids stay far below 2^31 *)
+  ins : (int, Bitset.t) Hashtbl.t;
+  outs : (int, Bitset.t) Hashtbl.t;
+  node_objs : (int, Bitset.t) Hashtbl.t;
+      (* per node: objects with a materialised IN set — a store must pass
+         these through to OUT when it does not actually define them *)
+  mutable props : int;
+  mutable pops : int;
+}
+
+let key n o = (n lsl 31) lor o
+
+let find_or_create tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> s
+  | None ->
+    let s = Bitset.create () in
+    Hashtbl.add tbl key s;
+    s
+
+let in_of t n o =
+  (match Hashtbl.find_opt t.node_objs n with
+  | Some s -> ignore (Bitset.add s o)
+  | None -> Hashtbl.add t.node_objs n (Bitset.singleton o));
+  find_or_create t.ins (key n o)
+let out_of t n o = find_or_create t.outs (key n o)
+
+(* The set a node exposes to its successors for [o]: stores expose OUT,
+   everything else passes its IN through. *)
+let out_for t n o =
+  match Svfg.kind t.c.Solver_common.svfg n with
+  | Svfg.NInst _ when Inst.is_store (Svfg.inst_of t.c.Solver_common.svfg n) ->
+    out_of t n o
+  | _ -> in_of t n o
+
+let solve ?(strategy = `Fifo) ?strong_updates svfg =
+  let c = Solver_common.create ?strong_updates svfg in
+  let t =
+    { c; ins = Hashtbl.create 1024; outs = Hashtbl.create 256;
+      node_objs = Hashtbl.create 256; props = 0; pops = 0 }
+  in
+  let wl = Solver_common.make_worklist strategy svfg in
+  let push = Solver_common.wl_push wl in
+  let push_users v = List.iter push (Svfg.users svfg v) in
+  (* Propagate [set] along every outgoing [o]-edge of [n]. *)
+  let propagate n o set =
+    Svfg.iter_ind_succs svfg n o (fun m ->
+        t.props <- t.props + 1;
+        Stats.incr "sfs.propagations";
+        if Bitset.union_into ~into:(in_of t m o) set then push m)
+  in
+  let on_call_edge cs g =
+    List.iter
+      (fun (src, o, dst) ->
+        t.props <- t.props + 1;
+        if Bitset.union_into ~into:(in_of t dst o) (out_for t src o) then
+          push dst)
+      (Svfg.add_call_edges svfg cs g)
+  in
+  let process n =
+    match Svfg.kind svfg n with
+    | Svfg.NInst _ -> (
+      match Svfg.inst_of svfg n with
+      | Inst.Load { lhs; ptr } ->
+        let mu =
+          match Svfg.kind svfg n with
+          | Svfg.NInst { f; i } -> Pta_memssa.Annot.mu (Svfg.annot svfg) f i
+          | _ -> assert false
+        in
+        let changed = ref false in
+        Bitset.iter
+          (fun o ->
+            if Bitset.mem mu o then
+              if Solver_common.union_pt c lhs (in_of t n o) then changed := true)
+          (Solver_common.pt_of c ptr);
+        if !changed then push_users lhs
+      | Inst.Store { ptr; rhs } ->
+        let chi =
+          match Svfg.kind svfg n with
+          | Svfg.NInst { f; i } -> Pta_memssa.Annot.chi (Svfg.annot svfg) f i
+          | _ -> assert false
+        in
+        let ptr_pts = Solver_common.pt_of c ptr in
+        Bitset.iter
+          (fun o ->
+            if Bitset.mem chi o then begin
+              let out = out_of t n o in
+              let changed = ref (Bitset.union_into ~into:out (Solver_common.pt_of c rhs)) in
+              if not (Solver_common.strong_update_ok c ~ptr o) then
+                if Bitset.union_into ~into:out (in_of t n o) then changed := true;
+              if !changed then propagate n o out
+            end)
+          ptr_pts;
+        (* Spurious χ objects (the auxiliary analysis thought this store may
+           define them, so the SVFG routes their def-use chain through this
+           node, but flow-sensitively the store does not write them): pass
+           IN through to OUT unchanged — except for a statically strong-
+           updated object, which is killed here no matter what. *)
+        (match Hashtbl.find_opt t.node_objs n with
+        | Some objs ->
+          Bitset.iter
+            (fun o ->
+              if
+                (not (Bitset.mem ptr_pts o))
+                && not (Solver_common.strong_update_ok c ~ptr o)
+              then begin
+                let out = out_of t n o in
+                if Bitset.union_into ~into:out (in_of t n o) then
+                  propagate n o out
+              end)
+            objs
+        | None -> ())
+      | ins -> Solver_common.process_top_level c ~push_users ~on_call_edge ~node:n ins)
+    | Svfg.NMemPhi { obj; _ }
+    | Svfg.NFormalIn { obj; _ }
+    | Svfg.NFormalOut { obj; _ }
+    | Svfg.NActualIn { obj; _ }
+    | Svfg.NActualOut { obj; _ } ->
+      propagate n obj (in_of t n obj)
+  in
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    push n
+  done;
+  let rec loop () =
+    match Solver_common.wl_pop wl with
+    | Some n ->
+      t.pops <- t.pops + 1;
+      process n;
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  t
+
+let pt t v = Solver_common.pt_of t.c v
+let in_set t n o = Hashtbl.find_opt t.ins (key n o)
+let out_set t n o = Hashtbl.find_opt t.outs (key n o)
+(* Flow-insensitive collapse of an object's contents over all program
+   points. *)
+let object_pt t o =
+  let mask = (1 lsl 31) - 1 in
+  let acc = Bitset.create () in
+  let scan tbl =
+    Hashtbl.iter
+      (fun k s -> if k land mask = o then ignore (Bitset.union_into ~into:acc s))
+      tbl
+  in
+  scan t.ins;
+  scan t.outs;
+  acc
+
+let callgraph t = t.c.Solver_common.cg_fs
+
+let n_sets t = Hashtbl.length t.ins + Hashtbl.length t.outs
+
+let words t =
+  let total = ref 0 in
+  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.ins;
+  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.outs;
+  !total
+
+let n_propagations t = t.props
+let processed t = t.pops

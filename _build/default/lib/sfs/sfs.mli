@@ -1,0 +1,51 @@
+(** Staged flow-sensitive points-to analysis (SFS, Hardekopf & Lin) — the
+    paper's baseline.
+
+    Works on the SVFG with an IN points-to set per (node, object) and an
+    additional OUT set per (store node, object) (Eq. 6-7). Propagation along
+    an indirect edge [ℓ --o--> ℓ'] unions the source's OUT (or pass-through)
+    set for [o] into the destination's IN set — the per-node duplication of
+    identical sets is the redundancy VSFS removes.
+
+    The call graph is resolved on the fly from the flow-sensitive points-to
+    sets; newly discovered call edges add interprocedural SVFG edges (the
+    gray parts of Fig. 10). *)
+
+open Pta_ir
+
+type result
+
+val solve :
+  ?strategy:Solver_common.strategy ->
+  ?strong_updates:bool ->
+  Pta_svfg.Svfg.t ->
+  result
+(** [strategy] defaults to [`Fifo] (empirically better here; [`Topo] is benchmarked as an ablation). *)
+
+val pt : result -> Inst.var -> Pta_ds.Bitset.t
+(** Final points-to set of a top-level variable. *)
+
+val in_set : result -> int -> Inst.var -> Pta_ds.Bitset.t option
+(** IN set of an SVFG node for an object, if one was materialised. *)
+
+val out_set : result -> int -> Inst.var -> Pta_ds.Bitset.t option
+
+val object_pt : result -> Inst.var -> Pta_ds.Bitset.t
+(** Flow-insensitive collapse: union of the object's IN/OUT sets over all
+    program points. *)
+
+val callgraph : result -> Callgraph.t
+(** Flow-sensitively resolved call graph (subset of the auxiliary one). *)
+
+val n_sets : result -> int
+(** Number of points-to sets materialised (IN + OUT entries) — the storage
+    column of the paper's Fig. 2(b). *)
+
+val words : result -> int
+(** Logical memory: total machine words in all materialised sets. *)
+
+val n_propagations : result -> int
+(** Number of edge propagations executed ([A-PROP] firings). *)
+
+val processed : result -> int
+(** Worklist pops. *)

@@ -1,0 +1,55 @@
+(** Machinery shared by the SFS and VSFS solvers: the global top-level
+    points-to sets (one per variable, valid program-wide thanks to partial
+    SSA), the flow-sensitively resolved call graph, and the top-level
+    transfer functions (ADDR, COPY, PHI, FIELD, CALL, RET of Fig. 10). The
+    two solvers differ only in how address-taken objects' points-to sets are
+    stored and propagated, which is exactly the paper's point. *)
+
+open Pta_ir
+
+type t = {
+  svfg : Pta_svfg.Svfg.t;
+  pt : Pta_ds.Bitset.t Pta_ds.Vec.t;
+  cg_fs : Callgraph.t;  (** call edges discovered flow-sensitively *)
+  callers : (Inst.func_id, (Callgraph.callsite * Inst.var option) list ref) Hashtbl.t;
+  su_enabled : bool;  (** strong updates enabled (ablation switch) *)
+}
+
+val create : ?strong_updates:bool -> Pta_svfg.Svfg.t -> t
+(** [strong_updates] defaults to [true]; [false] disables [SU] entirely
+    (benchmarked as an ablation — both solvers lose the same precision). *)
+
+type strategy = [ `Fifo | `Topo ]
+(** Worklist scheduling: plain FIFO, or SCC-topological order of the SVFG
+    snapshot (SVF's scheduling; usually much faster). Benchmarked as an
+    ablation. *)
+
+type wl
+
+val make_worklist : strategy -> Pta_svfg.Svfg.t -> wl
+val wl_push : wl -> int -> unit
+val wl_pop : wl -> int option
+
+val pt_of : t -> Inst.var -> Pta_ds.Bitset.t
+val add_pt : t -> Inst.var -> Inst.var -> bool
+val union_pt : t -> Inst.var -> Pta_ds.Bitset.t -> bool
+
+val strong_update_ok : t -> ptr:Inst.var -> Inst.var -> bool
+(** [strong_update_ok t ~ptr o]: the store [*ptr = _] may strongly update
+    [o], i.e. [pt(ptr) = {o}] and [o ∈ SN]. *)
+
+val process_top_level :
+  t ->
+  push_users:(Inst.var -> unit) ->
+  on_call_edge:(Callgraph.callsite -> Inst.func_id -> unit) ->
+  node:int ->
+  Inst.t ->
+  unit
+(** Applies the top-level rules for one instruction node. [push_users v] is
+    invoked whenever [pt v] changed; [on_call_edge] whenever the node is a
+    call and one of its (current) targets is seen — idempotent work such as
+    SVFG edge insertion must be guarded by the callee. Loads and stores are
+    ignored here (solver-specific). *)
+
+val resolve_targets : t -> Inst.callee -> Inst.func_id list
+(** Current flow-sensitive targets of a callee expression. *)

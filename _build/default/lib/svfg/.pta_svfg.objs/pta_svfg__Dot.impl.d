@@ -1,0 +1,1 @@
+lib/svfg/dot.ml: Format Fun Inst List Printf Prog Pta_ir String Svfg

@@ -1,0 +1,1 @@
+lib/svfg/dot.mli: Svfg

@@ -1,0 +1,1 @@
+lib/svfg/svfg.ml: Annot Array Bitset Callgraph Format Hashtbl Inst List Modref Option Printer Prog Pta_ds Pta_graph Pta_ir Pta_memssa Vec

@@ -1,0 +1,1 @@
+lib/svfg/svfg.mli: Format Pta_graph Pta_ir Pta_memssa

@@ -1,0 +1,40 @@
+open Pta_ir
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let output ?(extra_label = fun _ -> "") svfg oc =
+  let prog = Svfg.prog svfg in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "digraph svfg {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    let label = escape (Format.asprintf "%a%s" (Svfg.pp_node svfg) n (extra_label n)) in
+    let shape, peripheries =
+      match Svfg.kind svfg n with
+      | Svfg.NInst _ when Inst.is_store (Svfg.inst_of svfg n) -> ("box", 2)
+      | Svfg.NInst _ -> ("box", 1)
+      | _ -> ("ellipse", 1)
+    in
+    pr "  n%d [label=\"%s\", shape=%s, peripheries=%d];\n" n label shape
+      peripheries
+  done;
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    Svfg.iter_ind_all svfg n (fun o m ->
+        pr "  n%d -> n%d [label=\"%s\"];\n" n m (escape (Prog.name prog o)))
+  done;
+  (* direct edges, dashed *)
+  Prog.iter_vars prog (fun v ->
+      let d = Svfg.def_node svfg v in
+      if d >= 0 then
+        List.iter
+          (fun u -> pr "  n%d -> n%d [style=dashed, color=gray];\n" d u)
+          (Svfg.users svfg v));
+  pr "}\n"
+
+let to_file ?extra_label svfg path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output ?extra_label svfg oc)

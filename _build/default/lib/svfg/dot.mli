@@ -1,0 +1,14 @@
+(** Graphviz export of SVFGs (and of the versioned SVFG, with consumed and
+    yielded versions in the node labels when a versioning is supplied by the
+    caller through [extra_label]). *)
+
+val output :
+  ?extra_label:(int -> string) ->
+  Svfg.t ->
+  out_channel ->
+  unit
+(** Writes a [digraph]. Instruction nodes are boxes (stores double-boxed, as
+    in the paper's figures), memory nodes are ellipses; indirect edges are
+    labelled with their object, direct edges drawn dashed. *)
+
+val to_file : ?extra_label:(int -> string) -> Svfg.t -> string -> unit

@@ -1,0 +1,107 @@
+(** The sparse value-flow graph (§II-B).
+
+    Nodes are the program's instructions plus the memory-SSA nodes: MEMPHIs
+    at control-flow joins, and the four call-boundary node kinds that keep a
+    call site's μ and χ channels separate (SVF's ActualIn/ActualOut/
+    FormalIn/FormalOut; the paper folds these into CALL/FUNENTRY/FUNEXIT).
+
+    Indirect edges [ℓ --o--> ℓ'] are labelled with an address-taken object
+    and connect a definition of [o] to a use; they are produced here by a
+    per-function SSA renaming over the dominator tree (χ/μ sites from
+    {!Pta_memssa.Annot}, MEMPHI placement at iterated dominance frontiers).
+    Direct edges connect the unique definition of each top-level variable to
+    its uses.
+
+    Interprocedural indirect edges (ActualIn → FormalIn, FormalOut →
+    ActualOut) are added either statically from the auxiliary call graph
+    ({!connect_callgraph}) or one call edge at a time by the flow-sensitive
+    solvers' on-the-fly call-graph resolution ({!add_call_edges}). *)
+
+type nkind =
+  | NInst of { f : Pta_ir.Inst.func_id; i : int }
+  | NMemPhi of { f : Pta_ir.Inst.func_id; at : int; obj : Pta_ir.Inst.var }
+  | NFormalIn of { f : Pta_ir.Inst.func_id; obj : Pta_ir.Inst.var }
+  | NFormalOut of { f : Pta_ir.Inst.func_id; obj : Pta_ir.Inst.var }
+  | NActualIn of { f : Pta_ir.Inst.func_id; call : int; obj : Pta_ir.Inst.var }
+  | NActualOut of { f : Pta_ir.Inst.func_id; call : int; obj : Pta_ir.Inst.var }
+
+type t
+
+val build : Pta_ir.Prog.t -> Pta_memssa.Modref.aux -> t
+(** Builds nodes, all intraprocedural indirect edges, and all direct edges.
+    Interprocedural indirect edges are not added (see above). *)
+
+(* Structure access ------------------------------------------------------- *)
+
+val prog : t -> Pta_ir.Prog.t
+val aux : t -> Pta_memssa.Modref.aux
+val modref : t -> Pta_memssa.Modref.t
+val annot : t -> Pta_memssa.Annot.t
+
+val n_nodes : t -> int
+val kind : t -> int -> nkind
+val inst_of : t -> int -> Pta_ir.Inst.t
+(** @raise Invalid_argument if the node is not an instruction node. *)
+
+val node_of_inst : t -> Pta_ir.Inst.func_id -> int -> int
+(** Node id of an instruction ([-1] for control-flow-only instructions). *)
+
+val entry_node : t -> Pta_ir.Inst.func_id -> int
+val exit_node : t -> Pta_ir.Inst.func_id -> int
+val formal_in : t -> Pta_ir.Inst.func_id -> Pta_ir.Inst.var -> int option
+val formal_out : t -> Pta_ir.Inst.func_id -> Pta_ir.Inst.var -> int option
+val actual_in : t -> Pta_ir.Callgraph.callsite -> Pta_ir.Inst.var -> int option
+val actual_out : t -> Pta_ir.Callgraph.callsite -> Pta_ir.Inst.var -> int option
+
+(* Indirect edges --------------------------------------------------------- *)
+
+val add_indirect_edge : t -> int -> Pta_ir.Inst.var -> int -> bool
+(** [add_indirect_edge t src o dst]; [true] iff new. *)
+
+val iter_ind_succs : t -> int -> Pta_ir.Inst.var -> (int -> unit) -> unit
+val iter_ind_all : t -> int -> (Pta_ir.Inst.var -> int -> unit) -> unit
+(** All outgoing indirect edges of a node. *)
+
+val iter_objs_defined : t -> int -> (Pta_ir.Inst.var -> unit) -> unit
+(** Objects for which the node is a definition (χ objects for stores/calls,
+    the node's object for memory nodes). *)
+
+val add_call_edges : t -> Pta_ir.Callgraph.callsite -> Pta_ir.Inst.func_id ->
+  (int * Pta_ir.Inst.var * int) list
+(** Adds the interprocedural edges for one resolved call edge; returns the
+    edges that were actually new as [(src, obj, dst)]. *)
+
+val connect_callgraph : t -> Pta_ir.Callgraph.t -> unit
+
+val connect_direct_calls : t -> unit
+(** Adds the interprocedural edges of all *direct* call sites (their targets
+    are static). Must run before versioning and before either flow-sensitive
+    solver; indirect-call edges are added during solving, which is what the
+    paper's δ nodes account for. *)
+
+(* Direct edges ----------------------------------------------------------- *)
+
+val def_node : t -> Pta_ir.Inst.var -> int
+(** Node defining the top-level variable ([-1] if none): its defining
+    instruction, or the function entry node for parameters. *)
+
+val users : t -> Pta_ir.Inst.var -> int list
+(** Instruction nodes that use the variable (function-exit nodes use the
+    returned variable). *)
+
+(* Statistics (Table II) -------------------------------------------------- *)
+
+val n_indirect_edges : t -> int
+val n_direct_edges : t -> int
+
+val to_digraph : t -> Pta_graph.Digraph.t
+(** Snapshot of the current adjacency (direct + indirect edges, labels
+    dropped), used to compute an SCC-topological processing order for the
+    solvers — the scheduling SVF uses. *)
+
+val topo_rank : t -> int array
+(** [rank.(node)]: topological rank of the node's SCC in the snapshot
+    (sources first). Computed on demand; OTF edges added later make it a
+    heuristic, which is all the solvers need. *)
+
+val pp_node : t -> Format.formatter -> int -> unit

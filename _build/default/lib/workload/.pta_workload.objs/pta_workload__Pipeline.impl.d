@@ -1,0 +1,1 @@
+lib/workload/pipeline.ml: Gen Pta_andersen Pta_cfront Pta_ir Pta_memssa Pta_sfs Pta_svfg String Unix Vsfs_core

@@ -1,0 +1,1 @@
+lib/workload/pipeline.mli: Gen Pta_andersen Pta_ir Pta_memssa Pta_sfs Pta_svfg Vsfs_core

@@ -1,0 +1,307 @@
+let hash_table =
+  {|
+// A bucketed hash table: cells chain through ->next, buckets live in a
+// global directory object reached through ->b0..b3 (fields as buckets).
+global directory;
+
+func ht_init() {
+  directory = malloc();
+}
+
+func ht_put(key, value) {
+  var cell, bucket;
+  cell = malloc();
+  cell->key = key;
+  cell->value = value;
+  // pick a bucket (hash of the key is irrelevant to pointer analysis)
+  if (key == value) { bucket = &directory->b0; } else { bucket = &directory->b1; }
+  cell->next = *bucket;
+  *bucket = cell;
+}
+
+func ht_get(key) {
+  var cur, k;
+  if (key == null) { cur = directory->b0; } else { cur = directory->b1; }
+  while (cur != null) {
+    k = cur->key;
+    if (k == key) { return cur->value; }
+    cur = cur->next;
+  }
+  return null;
+}
+
+func main() {
+  var k1, v1, k2, v2, hit;
+  ht_init();
+  k1 = malloc();
+  v1 = malloc();
+  k2 = malloc();
+  v2 = malloc();
+  ht_put(k1, v1);
+  ht_put(k2, v2);
+  hit = ht_get(k1);
+  return hit;
+}
+|}
+
+let string_builder =
+  {|
+// A rope-ish string builder: chunks chained through ->next; the builder
+// object tracks head and tail.
+global default_chunk;
+
+func sb_new() {
+  var b;
+  b = malloc();
+  default_chunk = malloc();
+  b->head = default_chunk;
+  b->tail = default_chunk;
+  return b;
+}
+
+func sb_append(b, data) {
+  var chunk, t;
+  chunk = malloc();
+  chunk->data = data;
+  t = b->tail;
+  t->next = chunk;
+  b->tail = chunk;
+  return b;
+}
+
+func sb_first(b) {
+  var h;
+  h = b->head;
+  return h->data;
+}
+
+func main() {
+  var b, d1, d2, first;
+  b = sb_new();
+  d1 = malloc();
+  d2 = malloc();
+  b = sb_append(b, d1);
+  b = sb_append(b, d2);
+  first = sb_first(b);
+  return first;
+}
+|}
+
+let event_loop =
+  {|
+// An event loop with a handler table: handlers registered through function
+// pointers stored in heap cells, dispatched indirectly in a loop.
+global handlers, pending;
+
+func on_open(ev) { ev->state = ev; return ev; }
+func on_close(ev) { return null; }
+
+func register(kind, fn) {
+  var h;
+  h = malloc();
+  h->kind = kind;
+  h->fn = fn;
+  h->next = handlers;
+  handlers = h;
+}
+
+func emit(ev) {
+  var q;
+  q = malloc();
+  q->ev = ev;
+  q->next = pending;
+  pending = q;
+}
+
+func drain() {
+  var q, h, fn, ev, r;
+  q = pending;
+  while (q != null) {
+    ev = q->ev;
+    for (h = handlers; h != null; h = h->next) {
+      fn = h->fn;
+      r = fn(ev);
+    }
+    q = q->next;
+  }
+  return r;
+}
+
+func main() {
+  var e1, e2, last;
+  register(null, &on_open);
+  register(null, &on_close);
+  e1 = malloc();
+  e2 = malloc();
+  emit(e1);
+  emit(e2);
+  last = drain();
+  return last;
+}
+|}
+
+let binary_tree =
+  {|
+// Recursive binary tree insertion and search.
+global root;
+
+func insert(node, key) {
+  var child;
+  if (node == null) {
+    child = malloc();
+    child->key = key;
+    return child;
+  }
+  if (key == node) {
+    child = insert(node->left, key);
+    node->left = child;
+  } else {
+    child = insert(node->right, key);
+    node->right = child;
+  }
+  return node;
+}
+
+func find_leftmost(node) {
+  var cur, nxt;
+  cur = node;
+  do {
+    nxt = cur->left;
+    if (nxt != null) { cur = nxt; }
+  } while (nxt != null);
+  return cur;
+}
+
+func main() {
+  var k1, k2, leftmost;
+  k1 = malloc();
+  k2 = malloc();
+  root = insert(root, k1);
+  root = insert(root, k2);
+  leftmost = find_leftmost(root);
+  return leftmost;
+}
+|}
+
+let arena =
+  {|
+// An arena allocator: one backing region, objects handed out are fields of
+// the arena block (coarse but how a points-to analysis sees an arena).
+global arena_head;
+
+func arena_new() {
+  var a;
+  a = malloc();
+  arena_head = a;
+  return a;
+}
+
+func arena_alloc(a) {
+  var obj;
+  obj = &a->storage;
+  return obj;
+}
+
+func use(a) {
+  var o1, o2, v;
+  o1 = arena_alloc(a);
+  o2 = arena_alloc(a);
+  v = malloc();
+  *o1 = v;
+  return *o2;   // o1 and o2 alias (same arena slot): reads v
+}
+
+func main() {
+  var a, got;
+  a = arena_new();
+  got = use(a);
+  return got;
+}
+|}
+
+let state_machine =
+  {|
+// A table-driven state machine: each state is a heap record holding a
+// handler function pointer and a successor state.
+global current;
+
+func state_a(ctx) { ctx->seen_a = ctx; return ctx; }
+func state_b(ctx) { return ctx->seen_a; }
+
+func mk_state(fn, nxt) {
+  var s;
+  s = malloc();
+  s->fn = fn;
+  s->nxt = nxt;
+  return s;
+}
+
+func step(ctx) {
+  var fn, r;
+  fn = current->fn;
+  r = fn(ctx);
+  current = current->nxt;
+  return r;
+}
+
+func main() {
+  var sb, sa, ctx, r;
+  sb = mk_state(&state_b, null);
+  sa = mk_state(&state_a, sb);
+  current = sa;
+  ctx = malloc();
+  r = step(ctx);
+  r = step(ctx);
+  return r;
+}
+|}
+
+let observer =
+  {|
+// Observer pattern with swap: the subject's observer list is rebuilt, and
+// a singleton global slot is strongly updated between notifications.
+global subject, active_observer;
+
+func notify(payload) {
+  var obs, cb, r;
+  obs = active_observer;
+  if (obs != null) {
+    cb = obs->callback;
+    r = cb(payload);
+  }
+  return r;
+}
+
+func log_observer(p) { return p; }
+func count_observer(p) { return null; }
+
+func attach(cb) {
+  var o;
+  o = malloc();
+  o->callback = cb;
+  active_observer = o;   // strong update of the singleton global
+}
+
+func main() {
+  var data, r;
+  data = malloc();
+  attach(&log_observer);
+  r = notify(data);
+  attach(&count_observer);
+  r = notify(data);
+  return r;
+}
+|}
+
+let programs =
+  [
+    ("hash_table", hash_table);
+    ("string_builder", string_builder);
+    ("event_loop", event_loop);
+    ("binary_tree", binary_tree);
+    ("arena", arena);
+    ("state_machine", state_machine);
+    ("observer", observer);
+  ]
+
+let find name = List.assoc_opt name programs

@@ -1,0 +1,10 @@
+(** Hand-written mini-C programs with the idioms of the paper's benchmark
+    suite (heap-linked structures, shared pools, callback dispatch,
+    recursion). Used by the integration tests — every program must pass the
+    three-way SFS ≡ VSFS ≡ dense differential — and available to users as
+    ready-made inputs ([vsfs gen] writes them out). *)
+
+val programs : (string * string) list
+(** [(name, mini-C source)] pairs. *)
+
+val find : string -> string option

@@ -1,0 +1,268 @@
+type config = {
+  seed : int;
+  n_functions : int;
+  n_globals : int;
+  n_fp_globals : int;
+  locals_per_fn : int;
+  stmts_per_fn : int;
+  max_depth : int;
+  heap_ratio : float;
+  load_bias : float;
+  field_ratio : float;
+  indirect_ratio : float;
+  call_density : float;
+  recursion_ratio : float;
+  global_traffic : float;
+}
+
+let default =
+  {
+    seed = 42;
+    n_functions = 20;
+    n_globals = 6;
+    n_fp_globals = 3;
+    locals_per_fn = 6;
+    stmts_per_fn = 25;
+    max_depth = 2;
+    heap_ratio = 0.5;
+    load_bias = 2.0;
+    field_ratio = 0.35;
+    indirect_ratio = 0.2;
+    call_density = 2.5;
+    recursion_ratio = 0.08;
+    global_traffic = 0.3;
+  }
+
+let n_fields = 4
+
+type st = {
+  cfg : config;
+  rng : Random.State.t;
+  buf : Buffer.t;
+  mutable indent : int;
+}
+
+let line st fmt =
+  Printf.ksprintf
+    (fun s ->
+      for _ = 1 to st.indent do
+        Buffer.add_string st.buf "  "
+      done;
+      Buffer.add_string st.buf s;
+      Buffer.add_char st.buf '\n')
+    fmt
+
+let chance st p = Random.State.float st.rng 1.0 < p
+let pick st arr = arr.(Random.State.int st.rng (Array.length arr))
+let fname i = Printf.sprintf "f%d" i
+let field st = Printf.sprintf "fld%d" (Random.State.int st.rng n_fields)
+
+(* One random statement; [vars] is the pool of in-scope names, [self] the
+   index of the enclosing function (or -1 for main). *)
+let rec stmt st ~vars ~self ~depth =
+  let v () = pick st vars in
+  let g () = Printf.sprintf "gd%d" (Random.State.int st.rng (max 1 st.cfg.n_globals)) in
+  let gf () = Printf.sprintf "gf%d" (Random.State.int st.rng (max 1 st.cfg.n_fp_globals)) in
+  let r = Random.State.float st.rng 1.0 in
+  let total =
+    st.cfg.load_bias +. 1.0 (* store *) +. 0.7 (* copy *) +. st.cfg.global_traffic
+    +. 0.35 (* control *)
+  in
+  let r = r *. total in
+  if r < st.cfg.load_bias then begin
+    (* load-flavoured: plain, field, or a short walker loop *)
+    if chance st st.cfg.field_ratio then line st "%s = %s->%s;" (v ()) (v ()) (field st)
+    else if chance st 0.2 then begin
+      let x = v () in
+      line st "while (%s != null) {" x;
+      st.indent <- st.indent + 1;
+      line st "%s = %s->%s;" x x (field st);
+      st.indent <- st.indent - 1;
+      line st "}"
+    end
+    else line st "%s = *%s;" (v ()) (v ())
+  end
+  else if r < st.cfg.load_bias +. 1.0 then begin
+    if chance st st.cfg.field_ratio then line st "%s->%s = %s;" (v ()) (field st) (v ())
+    else line st "*%s = %s;" (v ()) (v ())
+  end
+  else if r < st.cfg.load_bias +. 1.7 then begin
+    if chance st 0.25 then line st "%s = malloc();" (v ())
+    else line st "%s = %s;" (v ()) (v ())
+  end
+  else if r < st.cfg.load_bias +. 1.7 +. st.cfg.global_traffic then begin
+    match Random.State.int st.rng 4 with
+    | 0 -> line st "%s = %s;" (g ()) (v ())
+    | 1 -> line st "%s = %s;" (v ()) (g ())
+    | 2 when st.cfg.n_fp_globals > 0 && st.cfg.n_functions > 0 ->
+      line st "%s = &%s;" (gf ())
+        (fname (Random.State.int st.rng st.cfg.n_functions))
+    | _ -> line st "%s->%s = %s;" (g ()) (field st) (v ())
+  end
+  else if depth < st.cfg.max_depth then begin
+    (* control flow with a nested block *)
+    if chance st 0.5 then begin
+      line st "if (%s == %s) {" (v ()) (v ());
+      st.indent <- st.indent + 1;
+      block st ~vars ~self ~depth:(depth + 1)
+        ~n:(1 + Random.State.int st.rng 3);
+      st.indent <- st.indent - 1;
+      line st "} else {";
+      st.indent <- st.indent + 1;
+      block st ~vars ~self ~depth:(depth + 1)
+        ~n:(1 + Random.State.int st.rng 2);
+      st.indent <- st.indent - 1;
+      line st "}"
+    end
+    else begin
+      match Random.State.int st.rng 3 with
+      | 0 ->
+        line st "while (%s != %s) {" (v ()) (v ());
+        st.indent <- st.indent + 1;
+        block st ~vars ~self ~depth:(depth + 1)
+          ~n:(1 + Random.State.int st.rng 3);
+        st.indent <- st.indent - 1;
+        line st "}"
+      | 1 ->
+        let i = v () in
+        line st "for (%s = %s; %s != null; %s = %s->%s) {" i (v ()) i i i
+          (field st);
+        st.indent <- st.indent + 1;
+        block st ~vars ~self ~depth:(depth + 1)
+          ~n:(1 + Random.State.int st.rng 2);
+        st.indent <- st.indent - 1;
+        line st "}"
+      | _ ->
+        line st "do {";
+        st.indent <- st.indent + 1;
+        block st ~vars ~self ~depth:(depth + 1)
+          ~n:(1 + Random.State.int st.rng 2);
+        st.indent <- st.indent - 1;
+        line st "} while (%s == %s && %s != null);" (v ()) (v ()) (v ())
+    end
+  end
+  else line st "%s = *%s;" (v ()) (v ())
+
+and block st ~vars ~self ~depth ~n =
+  for _ = 1 to n do
+    stmt st ~vars ~self ~depth
+  done
+
+and call_stmt st ~vars ~self =
+  let v () = pick st vars in
+  if st.cfg.n_functions = 0 then ()
+  else if chance st st.cfg.indirect_ratio && st.cfg.n_fp_globals > 0 then
+    line st "%s = (*gf%d)(%s, %s);" (v ())
+      (Random.State.int st.rng st.cfg.n_fp_globals)
+      (v ()) (v ())
+  else begin
+    (* Mostly forward calls; occasional backward calls create recursion. *)
+    let target =
+      if self < 0 then Random.State.int st.rng st.cfg.n_functions
+      else if chance st st.cfg.recursion_ratio then
+        Random.State.int st.rng st.cfg.n_functions
+      else begin
+        let lo = min (self + 1) (st.cfg.n_functions - 1) in
+        lo + Random.State.int st.rng (max 1 (st.cfg.n_functions - lo))
+      end
+    in
+    line st "%s = %s(%s, %s);" (v ()) (fname target) (v ()) (v ())
+  end
+
+let emit_function st ~self ~name ~params =
+  line st "func %s(%s) {" name (String.concat ", " params);
+  st.indent <- 1;
+  let locals = List.init st.cfg.locals_per_fn (fun i -> Printf.sprintf "l%d" i) in
+  if locals <> [] then line st "var %s;" (String.concat ", " locals);
+  let vars = Array.of_list (params @ locals) in
+  (* Initialise every local so that points-to flow is dense. *)
+  List.iter
+    (fun l ->
+      if chance st st.cfg.heap_ratio then line st "%s = malloc();" l
+      else if chance st 0.4 && st.cfg.n_globals > 0 then
+        line st "%s = gd%d;" l (Random.State.int st.rng st.cfg.n_globals)
+      else if chance st 0.5 then line st "%s = &%s;" l (pick st vars)
+      else line st "%s = %s;" l (pick st vars))
+    locals;
+  (* Body: statements with calls sprinkled at the configured density. *)
+  let n_calls =
+    int_of_float (st.cfg.call_density +. Random.State.float st.rng 1.0)
+  in
+  let call_at =
+    Array.init (max n_calls 0) (fun _ ->
+        Random.State.int st.rng (max 1 st.cfg.stmts_per_fn))
+  in
+  for k = 0 to st.cfg.stmts_per_fn - 1 do
+    stmt st ~vars ~self ~depth:0;
+    Array.iter (fun at -> if at = k then call_stmt st ~vars ~self) call_at
+  done;
+  line st "return %s;" (pick st vars);
+  st.indent <- 0;
+  line st "}";
+  line st ""
+
+let source cfg =
+  let st =
+    { cfg; rng = Random.State.make [| cfg.seed |]; buf = Buffer.create 65536;
+      indent = 0 }
+  in
+  for i = 0 to cfg.n_globals - 1 do
+    line st "global gd%d;" i
+  done;
+  for i = 0 to cfg.n_fp_globals - 1 do
+    if cfg.n_functions > 0 then
+      line st "global gf%d = &%s;" i
+        (fname (Random.State.int st.rng cfg.n_functions))
+    else line st "global gf%d;" i
+  done;
+  line st "";
+  for i = 0 to cfg.n_functions - 1 do
+    emit_function st ~self:i ~name:(fname i) ~params:[ "a"; "b" ]
+  done;
+  (* main seeds the globals and fans out. *)
+  line st "func main() {";
+  st.indent <- 1;
+  line st "var m0, m1, m2;";
+  line st "m0 = malloc();";
+  line st "m1 = malloc();";
+  line st "m2 = &m0;";
+  for i = 0 to cfg.n_globals - 1 do
+    line st "gd%d = %s;" i (pick st [| "m0"; "m1"; "m2" |])
+  done;
+  let vars = [| "m0"; "m1"; "m2" |] in
+  let n_calls = max 1 (cfg.n_functions / 2) in
+  for _ = 1 to n_calls do
+    call_stmt st ~vars ~self:(-1)
+  done;
+  block st ~vars ~self:(-1) ~depth:0 ~n:(min 10 cfg.stmts_per_fn);
+  line st "return;";
+  st.indent <- 0;
+  line st "}";
+  Buffer.contents st.buf
+
+let loc src =
+  List.length
+    (List.filter
+       (fun l -> String.trim l <> "")
+       (String.split_on_char '\n' src))
+
+let small_random seed =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let f lo hi = lo +. Random.State.float rng (hi -. lo) in
+  let i lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  {
+    seed;
+    n_functions = i 2 8;
+    n_globals = i 1 5;
+    n_fp_globals = i 0 3;
+    locals_per_fn = i 2 6;
+    stmts_per_fn = i 4 20;
+    max_depth = i 1 3;
+    heap_ratio = f 0.2 0.8;
+    load_bias = f 0.5 3.0;
+    field_ratio = f 0.0 0.6;
+    indirect_ratio = f 0.0 0.5;
+    call_density = f 0.5 4.0;
+    recursion_ratio = f 0.0 0.3;
+    global_traffic = f 0.1 0.6;
+  }

@@ -1,0 +1,92 @@
+type built = {
+  prog : Pta_ir.Prog.t;
+  aux_result : Pta_andersen.Solver.result;
+  aux : Pta_memssa.Modref.aux;
+  loc : int;
+  src_bytes : int;
+  andersen_seconds : float;
+}
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. start)
+
+let build_source src =
+  let prog = Pta_cfront.Lower.compile src in
+  (match Pta_ir.Validate.check prog with
+  | [] -> ()
+  | errs -> failwith ("generated program invalid:\n" ^ String.concat "\n" errs));
+  let aux_result, andersen_seconds =
+    time (fun () -> Pta_andersen.Solver.solve prog)
+  in
+  let aux =
+    {
+      Pta_memssa.Modref.pt = Pta_andersen.Solver.pts aux_result;
+      cg = Pta_andersen.Solver.callgraph aux_result;
+    }
+  in
+  Pta_memssa.Singleton.refine prog ~cg:aux.Pta_memssa.Modref.cg;
+  {
+    prog;
+    aux_result;
+    aux;
+    loc = Gen.loc src;
+    src_bytes = String.length src;
+    andersen_seconds;
+  }
+
+let build cfg = build_source (Gen.source cfg)
+
+let fresh_svfg b =
+  let svfg = Pta_svfg.Svfg.build b.prog b.aux in
+  Pta_svfg.Svfg.connect_direct_calls svfg;
+  svfg
+
+type solver_run = {
+  seconds : float;
+  pre_seconds : float;
+  sets : int;
+  set_words : int;
+  props : int;
+  pops : int;
+}
+
+let run_sfs b =
+  let svfg = fresh_svfg b in
+  let r, seconds = time (fun () -> Pta_sfs.Sfs.solve svfg) in
+  ( r,
+    {
+      seconds;
+      pre_seconds = 0.;
+      sets = Pta_sfs.Sfs.n_sets r;
+      set_words = Pta_sfs.Sfs.words r;
+      props = Pta_sfs.Sfs.n_propagations r;
+      pops = Pta_sfs.Sfs.processed r;
+    } )
+
+let run_vsfs b =
+  let svfg = fresh_svfg b in
+  let ver = Vsfs_core.Versioning.compute svfg in
+  let r, seconds = time (fun () -> Vsfs_core.Vsfs.solve ~versioning:ver svfg) in
+  ( r,
+    {
+      seconds;
+      pre_seconds = Vsfs_core.Versioning.duration ver;
+      sets = Vsfs_core.Vsfs.n_sets r;
+      set_words = Vsfs_core.Vsfs.words r;
+      props = Vsfs_core.Vsfs.n_propagations r;
+      pops = Vsfs_core.Vsfs.processed r;
+    } )
+
+let run_dense b =
+  let r, seconds = time (fun () -> Pta_sfs.Dense.solve b.prog b.aux) in
+  ( r,
+    {
+      seconds;
+      pre_seconds = 0.;
+      sets = Pta_sfs.Dense.n_sets r;
+      set_words = Pta_sfs.Dense.words r;
+      props = 0;
+      pops = Pta_sfs.Dense.processed r;
+    } )

@@ -1,0 +1,43 @@
+(** End-to-end analysis pipeline driver shared by the CLI, the examples, the
+    tests and the benchmark harness:
+
+    mini-C source → lower (+ mem2reg) → validate → Andersen (auxiliary) →
+    singleton refinement → SVFG (+ static direct-call edges) → SFS / VSFS /
+    dense solvers.
+
+    Solvers mutate the SVFG they run on (on-the-fly call-graph edges,
+    version reliances), so each measured solver run gets a freshly rebuilt
+    SVFG — construction is deterministic, node ids coincide across rebuilds,
+    and the paper excludes SVFG construction from its timings anyway. *)
+
+type built = {
+  prog : Pta_ir.Prog.t;
+  aux_result : Pta_andersen.Solver.result;
+  aux : Pta_memssa.Modref.aux;
+  loc : int;
+  src_bytes : int;
+  andersen_seconds : float;
+}
+
+val build_source : string -> built
+(** @raise Failure on invalid programs (validation runs). *)
+
+val build : Gen.config -> built
+
+val fresh_svfg : built -> Pta_svfg.Svfg.t
+(** A new SVFG with direct-call interprocedural edges connected. *)
+
+type solver_run = {
+  seconds : float;  (** main phase only *)
+  pre_seconds : float;  (** versioning time (0 for SFS/dense) *)
+  sets : int;
+  set_words : int;
+  props : int;
+  pops : int;
+}
+
+val run_sfs : built -> Pta_sfs.Sfs.result * solver_run
+val run_vsfs : built -> Vsfs_core.Vsfs.result * solver_run
+val run_dense : built -> Pta_sfs.Dense.result * solver_run
+
+val time : (unit -> 'a) -> 'a * float

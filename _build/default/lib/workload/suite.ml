@@ -1,0 +1,83 @@
+type entry = { name : string; description : string; cfg : Gen.config; easy : bool }
+
+(* Flavour presets. The knobs that matter:
+   - [load_bias] and [global_traffic] drive single-object redundancy (many
+     readers of one store) — VSFS's target;
+   - [n_globals] × [call_density] drive the size of mod/ref in-flow sets and
+     thus SFS's per-call-boundary set duplication;
+   - [indirect_ratio] exercises δ nodes / on-the-fly call-graph edges. *)
+
+(* "easy": store-heavy, lots of indirect dispatch (δ nodes fragment
+   versions), small — SFS handles these fine and VSFS's versioning overhead
+   shows, as in the paper's dpkg/i3/mruby. *)
+let easy base =
+  { base with Gen.load_bias = 0.55; global_traffic = 0.12; call_density = 1.0;
+    n_globals = 3; n_fp_globals = 2; indirect_ratio = 0.3; heap_ratio = 0.35 }
+
+(* "redundant": load-dominated with deep direct call chains over shared
+   global pools and almost no indirect calls — many SVFG nodes consume the
+   same object state, which is exactly the single-object sparsity VSFS
+   exploits (the paper's bake/astyle/janet/ninja). *)
+let redundant base =
+  { base with Gen.load_bias = 6.0; global_traffic = 0.5; call_density = 4.5;
+    indirect_ratio = 0.02; field_ratio = 0.35; heap_ratio = 0.6;
+    recursion_ratio = 0.03 }
+
+(* "heapy": many heap allocations flowing into shared pools — large
+   points-to sets duplicated per program point in SFS (the paper's
+   bash/lynx/mutt memory blow-ups). *)
+let heapy base =
+  { base with Gen.heap_ratio = 0.9; load_bias = 4.0; global_traffic = 0.45;
+    call_density = 3.5; indirect_ratio = 0.05; field_ratio = 0.25 }
+
+let sized ?(scale = 1.0) ~funcs ~stmts ~globals ~fps base =
+  { base with
+    Gen.n_functions = max 2 (int_of_float (float funcs *. scale));
+    stmts_per_fn = stmts;
+    n_globals = globals;
+    n_fp_globals = fps }
+
+let benchmarks ?(scale = 1.0) () =
+  let b = Gen.default in
+  [
+    { name = "du"; description = "disk usage (GNU)"; easy = true;
+      cfg = sized ~scale ~funcs:14 ~stmts:16 ~globals:3 ~fps:1 (easy { b with seed = 101 }) };
+    { name = "ninja"; description = "build system"; easy = false;
+      cfg = sized ~scale ~funcs:22 ~stmts:18 ~globals:5 ~fps:2 (redundant { b with seed = 102 }) };
+    { name = "bake"; description = "build system"; easy = false;
+      cfg = sized ~scale ~funcs:26 ~stmts:20 ~globals:6 ~fps:2
+              (redundant { b with seed = 103; load_bias = 4.5; global_traffic = 0.5 }) };
+    { name = "dpkg"; description = "package manager"; easy = true;
+      cfg = sized ~scale ~funcs:20 ~stmts:16 ~globals:3 ~fps:1 (easy { b with seed = 104 }) };
+    { name = "nano"; description = "text editor"; easy = false;
+      cfg = sized ~scale ~funcs:30 ~stmts:20 ~globals:6 ~fps:2 (heapy { b with seed = 105 }) };
+    { name = "i3"; description = "window manager"; easy = true;
+      cfg = sized ~scale ~funcs:26 ~stmts:16 ~globals:4 ~fps:1 (easy { b with seed = 106 }) };
+    { name = "psql"; description = "PostgreSQL frontend"; easy = true;
+      cfg = sized ~scale ~funcs:28 ~stmts:18 ~globals:4 ~fps:1 (easy { b with seed = 107 }) };
+    { name = "janet"; description = "Janet compiler"; easy = false;
+      cfg = sized ~scale ~funcs:36 ~stmts:22 ~globals:7 ~fps:3 (redundant { b with seed = 108 }) };
+    { name = "astyle"; description = "code formatter"; easy = false;
+      cfg = sized ~scale ~funcs:42 ~stmts:24 ~globals:8 ~fps:3
+              (redundant { b with seed = 109; load_bias = 5.0 }) };
+    { name = "tmux"; description = "terminal multiplexer"; easy = false;
+      cfg = sized ~scale ~funcs:44 ~stmts:22 ~globals:8 ~fps:2 (heapy { b with seed = 110 }) };
+    { name = "mruby"; description = "Ruby interpreter"; easy = true;
+      cfg = sized ~scale ~funcs:40 ~stmts:18 ~globals:4 ~fps:2
+              (easy { b with seed = 111; recursion_ratio = 0.15 }) };
+    { name = "mutt"; description = "terminal email client"; easy = false;
+      cfg = sized ~scale ~funcs:52 ~stmts:22 ~globals:9 ~fps:3 (heapy { b with seed = 112 }) };
+    { name = "bash"; description = "UNIX shell"; easy = false;
+      cfg = sized ~scale ~funcs:60 ~stmts:24 ~globals:10 ~fps:3
+              (heapy { b with seed = 113; load_bias = 3.0; global_traffic = 0.45 }) };
+    { name = "lynx"; description = "terminal web browser"; easy = false;
+      cfg = sized ~scale ~funcs:70 ~stmts:24 ~globals:11 ~fps:3
+              (heapy { b with seed = 114; load_bias = 3.5; global_traffic = 0.5;
+                       call_density = 2.8 }) };
+    { name = "hyriseConsole"; description = "Hyrise DB frontend"; easy = false;
+      cfg = sized ~scale ~funcs:80 ~stmts:26 ~globals:10 ~fps:4
+              (redundant { b with seed = 115; call_density = 3.2 }) };
+  ]
+
+let find ?scale name =
+  List.find_opt (fun e -> e.name = name) (benchmarks ?scale ())

@@ -1,0 +1,28 @@
+(** The 15-benchmark suite mirroring the paper's Table II programs.
+
+    Each entry is a generator configuration named after the corresponding
+    open-source program, scaled and flavoured to reproduce the paper's
+    qualitative spread:
+    - "easy" programs (du, dpkg, i3, psql, mruby) analyse quickly under SFS
+      and show modest VSFS gains;
+    - redundancy-heavy programs (ninja, bake, astyle, janet, hyriseConsole)
+      are where single-object sparsity wins big;
+    - large heap/global-heavy programs (nano, tmux, mutt, bash, lynx) stress
+      memory, with lynx the largest (the benchmark SFS could not finish
+      within the paper's memory budget).
+
+    Sizes are scaled down from the paper's (LLVM-bitcode, hours of CPU) to
+    laptop-scale; the [scale] parameter multiplies function counts for
+    larger runs. *)
+
+type entry = {
+  name : string;
+  description : string;
+  cfg : Gen.config;
+  easy : bool;  (** part of the paper's "not really targets" set *)
+}
+
+val benchmarks : ?scale:float -> unit -> entry list
+(** In the paper's Table II order (du first, hyriseConsole last). *)
+
+val find : ?scale:float -> string -> entry option

@@ -1,0 +1,1 @@
+test/test_andersen.ml: Alcotest Builder Callgraph List Option Prog Pta_andersen Pta_cfront Pta_ds Pta_ir Pta_workload QCheck2 QCheck_alcotest String Validate

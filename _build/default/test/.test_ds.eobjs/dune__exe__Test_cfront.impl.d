@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Ast Cparser Inst Lexer List Lower Mem2reg Option Prog Pta_andersen Pta_cfront Pta_ds Pta_graph Pta_ir String Validate

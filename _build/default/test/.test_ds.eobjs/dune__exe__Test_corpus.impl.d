@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest List Option Prog Pta_andersen Pta_ds Pta_ir Pta_sfs Pta_workload String Vsfs_core

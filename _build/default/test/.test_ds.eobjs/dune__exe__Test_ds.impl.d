@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Array Bitset Hashcons Hashtbl Int List Option Pta_ds QCheck2 QCheck_alcotest Stats String Union_find Vec Worklist

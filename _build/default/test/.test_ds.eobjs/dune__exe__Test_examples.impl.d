@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Callgraph List Option Prog Pta_andersen Pta_ds Pta_ir Pta_sfs Pta_svfg Pta_workload Vsfs_core

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Digraph Dom Hashtbl Int List Order Pta_ds Pta_graph QCheck2 QCheck_alcotest Scc

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Buffer Callgraph Format Inst List Option Prog Pta_andersen Pta_ds Pta_ir Pta_memssa Pta_sfs Pta_svfg Pta_workload String Validate Vsfs_core

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Callgraph Entrypoint Icfg Inst List Option Parser Printer Prog Pta_ds Pta_graph Pta_ir String Validate

@@ -1,0 +1,1 @@
+test/test_memssa.ml: Alcotest Builder Callgraph Inst List Option Prog Pta_andersen Pta_cfront Pta_ds Pta_ir Pta_memssa String Validate

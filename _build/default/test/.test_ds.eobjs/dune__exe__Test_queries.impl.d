@@ -1,0 +1,1 @@
+test/test_queries.ml: Alcotest Bytes Char Inst List Option Parser Printer Prog Pta_cfront Pta_ds Pta_ir Pta_workload QCheck2 QCheck_alcotest Random String Vsfs_core

@@ -1,0 +1,1 @@
+test/test_sfs.ml: Alcotest Callgraph Inst Int List Option Prog Pta_andersen Pta_cfront Pta_ds Pta_ir Pta_memssa Pta_sfs Pta_svfg Pta_workload QCheck2 QCheck_alcotest String Validate

@@ -1,0 +1,1 @@
+test/test_svfg.ml: Alcotest Array Callgraph Filename Hashtbl Inst List Option Printf Prog Pta_andersen Pta_cfront Pta_ds Pta_ir Pta_memssa Pta_svfg Pta_workload String Sys Validate

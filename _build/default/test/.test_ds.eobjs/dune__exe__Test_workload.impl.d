@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Int List Option Parser Printer Prog Pta_cfront Pta_ds Pta_ir Pta_sfs Pta_workload QCheck2 QCheck_alcotest Validate Vsfs_core

@@ -1,0 +1,316 @@
+(* Tests for Andersen's analysis: handwritten cases with exact expected
+   points-to sets, structural properties (cycle collapsing, call graph), and
+   differential testing of the wave-propagation solver against the naive
+   reference on randomly generated mini-C programs. *)
+
+open Pta_ir
+
+let compile = Pta_cfront.Lower.compile
+
+let obj_by_name p name =
+  let r = ref (-1) in
+  Prog.iter_objects p (fun o -> if Prog.name p o = name then r := o);
+  if !r < 0 then Alcotest.failf "object %s not found" name;
+  !r
+
+let pts_names p r v =
+  List.sort String.compare
+    (List.map (Prog.name p) (Pta_ds.Bitset.elements (Pta_andersen.Solver.pts r v)))
+
+let check_pt p r vname expected =
+  let v = ref (-1) in
+  Prog.iter_vars p (fun x -> if Prog.name p x = vname then v := x);
+  if !v < 0 then Alcotest.failf "variable %s not found" vname;
+  Alcotest.(check (list string)) vname (List.sort String.compare expected)
+    (pts_names p r !v)
+
+(* ---------- handwritten cases ---------- *)
+
+let test_basic_flow () =
+  let p = compile {|
+    global g;
+    func main() {
+      var x, y;
+      x = malloc();
+      g = x;
+      y = g;
+      *y = y;
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "g.o" [ "main.heap1" ];
+  check_pt p r "main.heap1" [ "main.heap1" ]
+
+let test_copy_chain () =
+  let p = compile {|
+    func main() {
+      var a, b, c, d;
+      a = malloc();
+      b = a; c = b; d = c;
+      *d = a;
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "main.heap1" [ "main.heap1" ]
+
+let test_load_store () =
+  let p = compile {|
+    global g;
+    func main() {
+      var x, y, z;
+      x = malloc();
+      y = malloc();
+      *x = y;
+      z = *x;
+      g = z;
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "main.heap1" [ "main.heap2" ];
+  check_pt p r "g.o" [ "main.heap2" ]
+
+let test_fields () =
+  let p = compile {|
+    global g, h;
+    func main() {
+      var x, y;
+      x = malloc();
+      y = malloc();
+      x->a = y;
+      g = x->a;
+      h = x->b;
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "g.o" [ "main.heap2" ];
+  check_pt p r "h.o" []
+
+let test_flow_insensitive_merge () =
+  let p = compile {|
+    global g;
+    func main() {
+      var x, a, b;
+      x = malloc();
+      a = malloc();
+      b = malloc();
+      *x = a;
+      *x = b;
+      g = *x;
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "g.o" [ "main.heap2"; "main.heap3" ]
+
+let test_interproc_params_and_ret () =
+  let p = compile {|
+    global g;
+    func id(v) { return v; }
+    func main() {
+      var x, y;
+      x = malloc();
+      y = id(x);
+      g = y;
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "g.o" [ "main.heap1" ]
+
+let test_indirect_call () =
+  let p = compile {|
+    global g, fp;
+    func sink(v) { g = v; }
+    func main() {
+      var x;
+      fp = &sink;
+      x = malloc();
+      (*fp)(x);
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "g.o" [ "main.heap1" ];
+  let cg = Pta_andersen.Solver.callgraph r in
+  let sink = Option.get (Prog.func_by_name p "sink") in
+  Alcotest.(check bool) "sink is indirect target" true
+    (Callgraph.is_indirect_target cg sink.Prog.id)
+
+let test_cycle_collapsing () =
+  (* a and c in a copy cycle share a representative and points-to set *)
+  let p = Prog.create () in
+  let b = Builder.create p ~name:"main" ~param_names:[] in
+  let x, _ = Builder.alloc b ~kind:Prog.Heap "h" in
+  let a = Builder.phi b [ x ] in
+  let c = Builder.phi b [ a; x ] in
+  ignore c;
+  Builder.return b None;
+  Builder.finish b;
+  Prog.set_entry p (Builder.fn b).Prog.id;
+  let r = Pta_andersen.Solver.solve p in
+  Alcotest.(check bool) "a and c same set" true
+    (Pta_ds.Bitset.equal (Pta_andersen.Solver.pts r a) (Pta_andersen.Solver.pts r c))
+
+let test_recursion () =
+  let p = compile {|
+    global g;
+    func walk(n) {
+      var m;
+      m = *n;
+      if (m == null) { return n; }
+      g = walk(m);
+      return g;
+    }
+    func main() {
+      var x, y;
+      x = malloc();
+      y = malloc();
+      *x = y;
+      g = walk(x);
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  let g = obj_by_name p "g.o" in
+  let names = pts_names p r g in
+  Alcotest.(check bool) "g contains heap1" true (List.mem "main.heap1" names);
+  Alcotest.(check bool) "g contains heap2" true (List.mem "main.heap2" names)
+
+let test_no_fields_on_functions () =
+  (* [fp->f] where fp points to a function: no field object is created *)
+  let p = compile {|
+    global g;
+    func f0(x) { return x; }
+    func main() {
+      var fp, r;
+      fp = &f0;
+      r = fp->oops;
+      g = r;
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "g.o" [];
+  let has_func_field = ref false in
+  Prog.iter_objects p (fun o ->
+      match Prog.obj_kind p o with
+      | Prog.FieldOf { base; _ } when Prog.is_function_obj p base <> None ->
+        has_func_field := true
+      | _ -> ());
+  Alcotest.(check bool) "no field-of-function objects" false !has_func_field
+
+let test_deep_deref_chain () =
+  let p = compile {|
+    global g;
+    func main() {
+      var a, b, c, d, r;
+      a = malloc();
+      b = malloc();
+      c = malloc();
+      d = malloc();
+      *a = b;
+      *b = c;
+      *c = d;
+      r = ***a;
+      g = r;
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "g.o" [ "main.heap4" ]
+
+let test_field_through_call () =
+  let p = compile {|
+    global g;
+    func set_field(o, v) { o->data = v; }
+    func get_field(o) { return o->data; }
+    func main() {
+      var h, v, r;
+      h = malloc();
+      v = malloc();
+      set_field(h, v);
+      r = get_field(h);
+      g = r;
+    }
+  |} in
+  let r = Pta_andersen.Solver.solve p in
+  check_pt p r "g.o" [ "main.heap2" ]
+
+(* ---------- structural properties ---------- *)
+
+let test_waves_terminate () =
+  let cfg = Pta_workload.Gen.small_random 99 in
+  let p = compile (Pta_workload.Gen.source cfg) in
+  let r = Pta_andersen.Solver.solve p in
+  Alcotest.(check bool) "few waves" true (Pta_andersen.Solver.n_waves r < 64)
+
+(* ---------- differential: fast solver vs naive reference ---------- *)
+
+let agree_on_program src =
+  let p = compile src in
+  Validate.check_exn p;
+  let fast = Pta_andersen.Solver.solve p in
+  let slow = Pta_andersen.Naive.solve p in
+  let ok = ref true in
+  Prog.iter_vars p (fun v ->
+      if
+        not
+          (Pta_ds.Bitset.equal
+             (Pta_andersen.Solver.pts fast v)
+             (Pta_andersen.Naive.pts slow v))
+      then ok := false);
+  let edges cg =
+    let acc = ref [] in
+    Callgraph.iter_edges cg (fun cs g ->
+        acc := (cs.Callgraph.cs_func, cs.Callgraph.cs_inst, g) :: !acc);
+    List.sort compare !acc
+  in
+  !ok
+  && edges (Pta_andersen.Solver.callgraph fast)
+     = edges (Pta_andersen.Naive.callgraph slow)
+
+let prop_differential =
+  QCheck2.Test.make ~name:"wave solver = naive solver on random programs"
+    ~count:60
+    QCheck2.Gen.(0 -- 10_000)
+    (fun seed ->
+      let cfg = Pta_workload.Gen.small_random seed in
+      agree_on_program (Pta_workload.Gen.source cfg))
+
+let prop_generated_valid =
+  QCheck2.Test.make ~name:"generated programs are valid partial SSA" ~count:60
+    QCheck2.Gen.(10_001 -- 20_000)
+    (fun seed ->
+      let cfg = Pta_workload.Gen.small_random seed in
+      let p = compile (Pta_workload.Gen.source cfg) in
+      Validate.check p = [])
+
+let prop_deterministic =
+  QCheck2.Test.make ~name:"generator is deterministic" ~count:20
+    QCheck2.Gen.(0 -- 1_000)
+    (fun seed ->
+      let cfg = Pta_workload.Gen.small_random seed in
+      Pta_workload.Gen.source cfg = Pta_workload.Gen.source cfg)
+
+let () =
+  Alcotest.run "pta_andersen"
+    [
+      ( "handwritten",
+        [
+          Alcotest.test_case "basic flow" `Quick test_basic_flow;
+          Alcotest.test_case "copy chain" `Quick test_copy_chain;
+          Alcotest.test_case "load/store" `Quick test_load_store;
+          Alcotest.test_case "fields" `Quick test_fields;
+          Alcotest.test_case "flow-insensitive merge" `Quick
+            test_flow_insensitive_merge;
+          Alcotest.test_case "interprocedural" `Quick test_interproc_params_and_ret;
+          Alcotest.test_case "indirect call" `Quick test_indirect_call;
+          Alcotest.test_case "cycles" `Quick test_cycle_collapsing;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "no fields on functions" `Quick
+            test_no_fields_on_functions;
+          Alcotest.test_case "deep deref chain" `Quick test_deep_deref_chain;
+          Alcotest.test_case "field through call" `Quick test_field_through_call;
+        ] );
+      ("structure", [ Alcotest.test_case "waves bounded" `Quick test_waves_terminate ]);
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_generated_valid;
+          QCheck_alcotest.to_alcotest prop_deterministic;
+        ] );
+    ]

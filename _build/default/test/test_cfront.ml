@@ -1,0 +1,366 @@
+(* Tests for the mini-C frontend: lexer, parser, lowering, and mem2reg. *)
+
+open Pta_cfront
+open Pta_ir
+
+let compile = Lower.compile
+let compile_raw src = Lower.compile ~promote:false src
+
+(* ---------- lexer ---------- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokens "var x; x = a->next; // hi\n x == null;" in
+  let kinds = List.map fst toks in
+  Alcotest.(check bool) "var" true (List.mem Lexer.KW_VAR kinds);
+  Alcotest.(check bool) "arrow" true (List.mem Lexer.ARROW kinds);
+  Alcotest.(check bool) "eq" true (List.mem Lexer.EQ kinds);
+  Alcotest.(check bool) "null" true (List.mem Lexer.KW_NULL kinds);
+  Alcotest.(check bool) "eof" true (List.mem Lexer.EOF kinds)
+
+let test_lexer_comments () =
+  let toks = Lexer.tokens "/* multi\nline */ x" in
+  Alcotest.(check int) "two tokens" 2 (List.length toks);
+  match toks with
+  | [ (Lexer.IDENT "x", line); (Lexer.EOF, _) ] ->
+    Alcotest.(check int) "line tracks comments" 2 line
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "bad char" true
+    (match Lexer.tokens "x $ y" with
+    | exception Lexer.Lex_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unterminated comment" true
+    (match Lexer.tokens "/* oops" with
+    | exception Lexer.Lex_error _ -> true
+    | _ -> false)
+
+(* ---------- parser ---------- *)
+
+let test_parser_shapes () =
+  let prog =
+    Cparser.parse
+      {|
+      global g = &f;
+      func f(a) {
+        var x, y;
+        x = *a;
+        if (x == null) { y = malloc(); } else if (y != x) { y = a; }
+        while (x != null) { x = x->next; }
+        (*g)(x);
+        return y;
+      }
+      func main() { f(null); }
+      |}
+  in
+  Alcotest.(check int) "two funcs + global" 3 (List.length prog);
+  match prog with
+  | [ Ast.Global (_, "g", Some (Ast.AddrVar "f")); Ast.Func f; Ast.Func m ] ->
+    Alcotest.(check string) "f name" "f" f.name;
+    Alcotest.(check (list string)) "params" [ "a" ] f.params;
+    Alcotest.(check string) "main" "main" m.name
+  | _ -> Alcotest.fail "unexpected AST shape"
+
+let test_parser_errors () =
+  let bad s =
+    match Cparser.parse s with exception Cparser.Parse_error _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "missing semi" true (bad "func f() { x = y }");
+  Alcotest.(check bool) "bad addr" true (bad "func f() { x = &(*y); }");
+  Alcotest.(check bool) "stray brace" true (bad "func f() { } }")
+
+(* ---------- lowering ---------- *)
+
+let test_lower_shapes () =
+  let p =
+    compile_raw
+      {|
+      global g;
+      func main() {
+        var x;
+        x = malloc();
+        g = x;
+        *x = g;
+      }
+      |}
+  in
+  Validate.check_exn p;
+  let main = Option.get (Prog.func_by_name p "main") in
+  let count pred =
+    let n = ref 0 in
+    for i = 0 to Prog.n_insts main - 1 do
+      if pred (Prog.inst main i) then incr n
+    done;
+    !n
+  in
+  (* Unpromoted: x's slot alloca + one heap alloc. *)
+  Alcotest.(check int) "allocs" 2 (count (function Inst.Alloc _ -> true | _ -> false));
+  (* stores: x = malloc, g = x, *x = g *)
+  Alcotest.(check int) "stores" 3 (count Inst.is_store);
+  Alcotest.(check string) "entry is __init" "__init" (Prog.entry p).Prog.fname;
+  let init = Option.get (Prog.func_by_name p "__init") in
+  let galloc = ref false in
+  for i = 0 to Prog.n_insts init - 1 do
+    match Prog.inst init i with
+    | Inst.Alloc { obj; _ } when Prog.obj_kind p obj = Prog.Global -> galloc := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "global allocated in __init" true !galloc
+
+let test_lower_function_decay () =
+  let p = compile {|
+    func f(a) { return a; }
+    func main() { var fp; fp = f; fp(null); }
+  |} in
+  Validate.check_exn p;
+  let main = Option.get (Prog.func_by_name p "main") in
+  let has_funaddr = ref false in
+  for i = 0 to Prog.n_insts main - 1 do
+    match Prog.inst main i with
+    | Inst.Alloc { obj; _ } when Prog.is_function_obj p obj <> None ->
+      has_funaddr := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "funaddr emitted" true !has_funaddr
+
+let test_lower_errors () =
+  let fails s =
+    match compile s with exception Lower.Lower_error _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "unbound var" true (fails "func main() { x = y; }");
+  Alcotest.(check bool) "dup local" true (fails "func main() { var x; var x; }");
+  Alcotest.(check bool) "dup global" true
+    (fails "global g; global g; func main() { }");
+  Alcotest.(check bool) "bad assignment target" true
+    (fails "func main() { var x; malloc() = x; }")
+
+let test_lower_dead_code_dropped () =
+  let p = compile {|
+    func main() { var x; return; x = malloc(); }
+  |} in
+  Validate.check_exn p;
+  let main = Option.get (Prog.func_by_name p "main") in
+  let heap_allocs = ref 0 in
+  for i = 0 to Prog.n_insts main - 1 do
+    match Prog.inst main i with
+    | Inst.Alloc { obj; _ } when Prog.obj_kind p obj = Prog.Heap ->
+      incr heap_allocs
+    | _ -> ()
+  done;
+  Alcotest.(check int) "no dead malloc" 0 !heap_allocs
+
+let test_for_loop () =
+  let p = compile {|
+    func main() {
+      var i, x;
+      x = malloc();
+      for (i = x; i != null; i = i->next) { x = i; }
+    }
+  |} in
+  Validate.check_exn p;
+  let main = Option.get (Prog.func_by_name p "main") in
+  let scc = Pta_graph.Scc.compute main.Prog.cfg in
+  let cyclic = ref false in
+  for i = 0 to Prog.n_insts main - 1 do
+    if not (Pta_graph.Scc.is_trivial main.Prog.cfg scc i) then cyclic := true
+  done;
+  Alcotest.(check bool) "for creates a cycle" true !cyclic
+
+let test_do_while () =
+  let p = compile {|
+    func main() {
+      var x;
+      x = malloc();
+      do { x = x->next; } while (x != null);
+      x = *x;
+    }
+  |} in
+  Validate.check_exn p;
+  let main = Option.get (Prog.func_by_name p "main") in
+  let scc = Pta_graph.Scc.compute main.Prog.cfg in
+  let cyclic = ref false in
+  for i = 0 to Prog.n_insts main - 1 do
+    if not (Pta_graph.Scc.is_trivial main.Prog.cfg scc i) then cyclic := true
+  done;
+  Alcotest.(check bool) "do-while creates a cycle" true !cyclic
+
+let test_bool_operators () =
+  (* both operands of && / || are lowered for their effects *)
+  let p = compile {|
+    global g;
+    func effect() { g = malloc(); return g; }
+    func main() {
+      var a;
+      if (effect() == null && effect() != null || a == null) { a = null; }
+    }
+  |} in
+  Validate.check_exn p;
+  let r = Pta_andersen.Solver.solve p in
+  Alcotest.(check bool) "effects reached g" true
+    (not (Pta_ds.Bitset.is_empty (Pta_andersen.Solver.pts r (
+       let v = ref (-1) in
+       Prog.iter_objects p (fun o -> if Prog.name p o = "g.o" then v := o);
+       !v))))
+
+let test_empty_for_clauses () =
+  let p = compile {|
+    func main() {
+      var x;
+      x = malloc();
+      for (;;) { x = x->next; }
+    }
+  |} in
+  Validate.check_exn p;
+  Alcotest.(check bool) "parsed" true (Prog.n_funcs p = 2)
+
+(* ---------- mem2reg ---------- *)
+
+let count_in prog fname pred =
+  let fn = Option.get (Prog.func_by_name prog fname) in
+  let n = ref 0 in
+  for i = 0 to Prog.n_insts fn - 1 do
+    if pred (Prog.inst fn i) then incr n
+  done;
+  !n
+
+let test_mem2reg_promotes_scalars () =
+  let src = {|
+    func main() {
+      var x, y;
+      x = malloc();
+      y = x;
+      y = *y;
+    }
+  |} in
+  let raw = compile_raw src and promoted = compile src in
+  Validate.check_exn promoted;
+  let allocs p = count_in p "main" (function Inst.Alloc _ -> true | _ -> false) in
+  Alcotest.(check int) "raw allocs" 3 (allocs raw);
+  Alcotest.(check int) "promoted allocs" 1 (allocs promoted);
+  Alcotest.(check int) "no stores left" 0 (count_in promoted "main" Inst.is_store)
+
+let test_mem2reg_keeps_address_taken () =
+  let src = {|
+    func main() {
+      var x, p;
+      p = &x;
+      x = malloc();
+      *p = x;
+    }
+  |} in
+  let p = compile src in
+  Validate.check_exn p;
+  let stack_allocs =
+    count_in p "main" (function
+      | Inst.Alloc { obj; _ } -> Prog.obj_kind p obj = Prog.Stack
+      | _ -> false)
+  in
+  Alcotest.(check int) "only x's slot survives" 1 stack_allocs
+
+let test_mem2reg_inserts_phi () =
+  let src = {|
+    func main() {
+      var x;
+      x = malloc();
+      if (x == null) { x = malloc(); } else { x = null; }
+      x = *x;
+    }
+  |} in
+  let p = compile src in
+  Validate.check_exn p;
+  let phis =
+    count_in p "main" (function
+      | Inst.Phi { rhs; _ } -> List.length rhs >= 2
+      | _ -> false)
+  in
+  Alcotest.(check bool) "phi at join" true (phis >= 1)
+
+let test_mem2reg_loop_phi () =
+  let src = {|
+    func main() {
+      var x;
+      x = malloc();
+      while (x != null) { x = x->next; }
+      x = *x;
+    }
+  |} in
+  let p = compile src in
+  Validate.check_exn p;
+  let phis = count_in p "main" (function Inst.Phi _ -> true | _ -> false) in
+  Alcotest.(check bool) "loop header phi" true (phis >= 1)
+
+let global_contents p name =
+  let r = Pta_andersen.Solver.solve p in
+  let go = ref (-1) in
+  Prog.iter_objects p (fun o -> if Prog.name p o = name then go := o);
+  List.sort String.compare
+    (List.map (Prog.name p) (Pta_ds.Bitset.elements (Pta_andersen.Solver.pts r !go)))
+
+let test_mem2reg_semantic_equivalence () =
+  let src = {|
+    global g;
+    func main() {
+      var x, y;
+      x = malloc();
+      if (x == y) { y = x; } else { y = malloc(); }
+      g = y;
+    }
+  |} in
+  let raw = compile_raw src and promoted = compile src in
+  Alcotest.(check (list string)) "same global contents"
+    (global_contents raw "g.o") (global_contents promoted "g.o")
+
+let test_promoted_count () =
+  let src = {|
+    func main() { var a, b, c; a = malloc(); b = a; c = &a; *c = b; }
+  |} in
+  let p = compile src in
+  (* a is address-taken; b and c (and nothing else) promoted *)
+  Alcotest.(check int) "promoted" 2 (Mem2reg.promoted_count p)
+
+let test_mem2reg_undef_load () =
+  (* load of a never-stored promoted slot becomes an empty-phi def *)
+  let p = compile {|
+    func main() { var x, y; y = x; y = *y; }
+  |} in
+  Validate.check_exn p;
+  Alcotest.(check bool) "valid despite undef" true (Validate.check p = [])
+
+let () =
+  Alcotest.run "pta_cfront"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "shapes" `Quick test_parser_shapes;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "shapes" `Quick test_lower_shapes;
+          Alcotest.test_case "function decay" `Quick test_lower_function_decay;
+          Alcotest.test_case "errors" `Quick test_lower_errors;
+          Alcotest.test_case "dead code" `Quick test_lower_dead_code_dropped;
+          Alcotest.test_case "for loop" `Quick test_for_loop;
+          Alcotest.test_case "do-while" `Quick test_do_while;
+          Alcotest.test_case "boolean operators" `Quick test_bool_operators;
+          Alcotest.test_case "empty for clauses" `Quick test_empty_for_clauses;
+        ] );
+      ( "mem2reg",
+        [
+          Alcotest.test_case "promotes scalars" `Quick test_mem2reg_promotes_scalars;
+          Alcotest.test_case "keeps address-taken" `Quick
+            test_mem2reg_keeps_address_taken;
+          Alcotest.test_case "inserts phi" `Quick test_mem2reg_inserts_phi;
+          Alcotest.test_case "loop phi" `Quick test_mem2reg_loop_phi;
+          Alcotest.test_case "semantic equivalence" `Quick
+            test_mem2reg_semantic_equivalence;
+          Alcotest.test_case "promoted count" `Quick test_promoted_count;
+          Alcotest.test_case "undef load" `Quick test_mem2reg_undef_load;
+        ] );
+    ]

