@@ -1,0 +1,37 @@
+# Tier-1 gate: `make ci` is what a reviewer (or a pipeline) runs.
+#
+#   build  — everything, including examples and benches
+#   test   — the full alcotest/qcheck suite
+#   smoke  — end-to-end check of the persistent analysis store: analyze the
+#            same file twice through a fresh cache and require the second
+#            run to be a warm start with a results hit
+#   ci     — all of the above
+
+DUNE ?= dune
+SMOKE_DIR := $(shell mktemp -d /tmp/pta-ci-cache.XXXXXX)
+
+.PHONY: ci build test smoke clean
+
+ci: build test smoke
+
+build:
+	$(DUNE) build @all
+
+test:
+	$(DUNE) runtest
+
+smoke: build
+	@echo "== store smoke test (cache dir: $(SMOKE_DIR)) =="
+	$(DUNE) exec bin/vsfs_cli.exe -- gen --bench du --scale 0.2 -o $(SMOKE_DIR)/du.c
+	$(DUNE) exec bin/vsfs_cli.exe -- analyze $(SMOKE_DIR)/du.c --cache-dir $(SMOKE_DIR) --stats | grep -q "cache: build cold"
+	$(DUNE) exec bin/vsfs_cli.exe -- analyze $(SMOKE_DIR)/du.c --cache-dir $(SMOKE_DIR) --stats > $(SMOKE_DIR)/warm.out
+	grep -q "cache: build warm" $(SMOKE_DIR)/warm.out
+	grep -q "cache: vsfs results hit" $(SMOKE_DIR)/warm.out
+	grep -q "store.hits" $(SMOKE_DIR)/warm.out
+	$(DUNE) exec bin/vsfs_cli.exe -- cache ls --cache-dir $(SMOKE_DIR)
+	$(DUNE) exec bin/vsfs_cli.exe -- cache clear --cache-dir $(SMOKE_DIR)
+	rm -rf $(SMOKE_DIR)
+	@echo "== smoke OK =="
+
+clean:
+	$(DUNE) clean

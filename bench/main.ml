@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- tableII [scale]
      dune exec bench/main.exe -- tableIII [scale]
      dune exec bench/main.exe -- ablations [scale]
+     dune exec bench/main.exe -- warm [scale]
      dune exec bench/main.exe -- micro
      dune exec bench/main.exe -- all [scale]
 
@@ -238,6 +239,74 @@ let ablations ?(scale = 1.0) () =
   pf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Warm starts from the persistent analysis store (Pta_store).         *)
+(* ------------------------------------------------------------------ *)
+
+let warm ?(scale = 1.0) () =
+  pf "== Warm start: persistent analysis store (scale %.2f) ==@.@." scale;
+  pf "cold         = empty store: lower + validate + Andersen + SVFG +@.";
+  pf "               versioning + VSFS solve, saving every artifact@.";
+  pf "warm-resolve = program/Andersen/SVFG/versioning imported from the@.";
+  pf "               store (no constraint solving, no memory-SSA fixpoints),@.";
+  pf "               only the VSFS solve itself re-runs@.";
+  pf "warm-full    = final points-to results loaded directly@.@.";
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "pta-store-bench" in
+  let store = Pta_store.Store.open_ dir in
+  ignore (Pta_store.Store.clear store);
+  let resolve_speedups = ref [] and full_speedups = ref [] in
+  let rows =
+    List.map
+      (fun (e : Suite.entry) ->
+        let name = e.Suite.name in
+        let src = Gen.source e.Suite.cfg in
+        let (), t_cold =
+          Pipeline.time (fun () ->
+              let b, _ = Pipeline.build_cached ~store ~label:name src in
+              let r, _ = Pipeline.run_vsfs_cached ~store ~label:name b in
+              Pipeline.save_points_to ~store ~label:name b ~solver:"vsfs"
+                (Pipeline.points_to_of_vsfs b r))
+        in
+        let warm_ok, t_resolve =
+          Pipeline.time (fun () ->
+              let b, w1 = Pipeline.build_cached ~store ~label:name src in
+              let _, run = Pipeline.run_vsfs_cached ~store ~label:name b in
+              w1 && run.Pipeline.pre_seconds = 0.)
+        in
+        let full_ok, t_full =
+          Pipeline.time (fun () ->
+              let b, w1 = Pipeline.build_cached ~store ~label:name src in
+              w1 && Pipeline.load_points_to ~store b ~solver:"vsfs" <> None)
+        in
+        let s_resolve = t_cold /. max t_resolve 1e-9 in
+        let s_full = t_cold /. max t_full 1e-9 in
+        resolve_speedups := s_resolve :: !resolve_speedups;
+        full_speedups := s_full :: !full_speedups;
+        Printf.eprintf "  [done] %-14s cold=%.2fs resolve=%.2fs full=%.3fs%s\n%!"
+          name t_cold t_resolve t_full
+          (if warm_ok && full_ok then "" else "  STORE MISSED!");
+        [
+          name;
+          Printf.sprintf "%.2f" t_cold;
+          Printf.sprintf "%.2f" t_resolve;
+          Printf.sprintf "%.3f" t_full;
+          Printf.sprintf "%.2fx" s_resolve;
+          Printf.sprintf "%.2fx" s_full;
+          (if warm_ok && full_ok then "yes" else "NO!");
+        ])
+      (Suite.benchmarks ~scale ())
+  in
+  T.render Format.std_formatter
+    ~header:
+      [ "Bench."; "Cold"; "Warm-resolve"; "Warm-full"; "Speedup(res.)";
+        "Speedup(full)"; "Warm" ]
+    ~align:[ T.L; T.R; T.R; T.R; T.R; T.R; T.L ]
+    rows;
+  pf "@.geometric mean warm-resolve speedup: %.2fx@."
+    (T.geomean !resolve_speedups);
+  pf "geometric mean warm-full speedup:    %.2fx@." (T.geomean !full_speedups);
+  pf "(store: %s)@.@." dir
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -322,11 +391,13 @@ let () =
   in
   let has cmd = List.mem cmd argv in
   let default = not (List.exists (fun c -> has c)
-                       [ "tableI"; "tableII"; "tableIII"; "ablations"; "micro"; "all" ]) in
+                       [ "tableI"; "tableII"; "tableIII"; "ablations"; "warm";
+                         "micro"; "all" ]) in
   (* bare invocation = everything, so a tee'd run records the full
      reproduction *)
   if has "tableI" || has "all" || default then table1 ();
   if has "tableII" || has "all" || default then table2 ~scale ();
   if has "tableIII" || has "all" || default then table3 ~scale ();
   if has "ablations" || has "all" || default then ablations ~scale ();
+  if has "warm" || has "all" || default then warm ~scale ();
   if has "micro" || has "all" || default then micro ()

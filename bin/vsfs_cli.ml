@@ -2,31 +2,29 @@
 
      vsfs analyze FILE [--analysis vsfs|sfs|dense|andersen] [--query NAME]
                        [--dump-ir] [--dump-svfg] [--check] [--stats]
+                       [--cache-dir DIR]
      vsfs gen [--bench NAME | --seed N] [--scale S] [-o FILE]
+     vsfs cache (ls|gc|clear) --cache-dir DIR
      vsfs bench ...          (hint to use bench/main.exe)
 
    FILE is mini-C (.c/.mc) or textual IR (.ir, see Pta_ir.Parser). *)
 
 open Pta_ir
 module Svfg = Pta_svfg.Svfg
+module Pipeline = Pta_workload.Pipeline
+module Store = Pta_store.Store
 
-let load_program path =
-  if Filename.check_suffix path ".ir" then Parser.parse_file path
-  else Pta_cfront.Lower.compile_file path
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-let build_aux prog =
-  let r = Pta_andersen.Solver.solve prog in
-  let aux =
-    { Pta_memssa.Modref.pt = Pta_andersen.Solver.pts r;
-      cg = Pta_andersen.Solver.callgraph r }
-  in
-  Pta_memssa.Singleton.refine prog ~cg:aux.Pta_memssa.Modref.cg;
-  (r, aux)
-
-let fresh_svfg prog aux =
-  let svfg = Svfg.build prog aux in
-  Svfg.connect_direct_calls svfg;
-  svfg
+let open_store dir =
+  try Store.open_ dir
+  with Failure msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 1
 
 let print_set prog what set =
   Format.printf "%s = {%s}@." what
@@ -37,22 +35,41 @@ let resolve_query prog name =
   Prog.iter_vars prog (fun v -> if Prog.name prog v = name then r := v);
   if !r < 0 then None else Some !r
 
-let analyze file analysis queries dump_ir dump_svfg dot_file check stats =
-  let prog = load_program file in
-  (match Validate.check prog with
-  | [] -> ()
-  | errs ->
-    Format.eprintf "invalid program:@.%s@." (String.concat "\n" errs);
-    exit 1);
+let analyze file analysis queries dump_ir dump_svfg dot_file check stats
+    cache_dir =
+  let src = read_file file in
+  let compile s =
+    if Filename.check_suffix file ".ir" then Parser.parse s
+    else Pta_cfront.Lower.compile s
+  in
+  let store = Option.map open_store cache_dir in
+  let b =
+    try
+      match store with
+      | Some store ->
+        let b, warm = Pipeline.build_cached ~store ~compile ~label:file src in
+        Format.printf "cache: build %s@." (if warm then "warm" else "cold");
+        b
+      | None -> Pipeline.build_source ~compile src
+    with Failure msg ->
+      Format.eprintf "invalid program:@.%s@." msg;
+      exit 1
+  in
+  let prog = b.Pipeline.prog in
+  let aux = b.Pipeline.aux in
   if dump_ir then Format.printf "%s@." (Printer.prog_to_string prog);
-  let aux_r, aux = build_aux prog in
-  let svfg = fresh_svfg prog aux in
+  let fresh () =
+    match store with
+    | Some store -> fst (Pipeline.fresh_svfg_cached ~store ~label:file b)
+    | None -> Pipeline.fresh_svfg b
+  in
   (match dot_file with
   | Some path ->
-    Pta_svfg.Dot.to_file svfg path;
+    Pta_svfg.Dot.to_file (fresh ()) path;
     Format.printf "wrote SVFG dot to %s@." path
   | None -> ());
   if dump_svfg then begin
+    let svfg = fresh () in
     Format.printf "SVFG: %d nodes, %d indirect edges, %d direct edges@."
       (Svfg.n_nodes svfg) (Svfg.n_indirect_edges svfg)
       (Svfg.n_direct_edges svfg);
@@ -62,21 +79,60 @@ let analyze file analysis queries dump_ir dump_svfg dot_file check stats =
             (Prog.name prog o) (Svfg.pp_node svfg) m)
     done
   end;
+  (* Flow-sensitive analyses consult the final-results artifact first: a hit
+     skips the solve (and, transitively, everything the store already
+     covered). *)
+  let cached_or solver run pt_of =
+    match store with
+    | None ->
+      let r = run None in
+      pt_of r
+    | Some store -> (
+      match Pipeline.load_points_to ~store b ~solver with
+      | Some r ->
+        Format.printf "cache: %s results hit@." solver;
+        ((fun v -> r.Pta_store.Artifact.top.(v)),
+         fun v -> r.Pta_store.Artifact.obj.(v))
+      | None ->
+        let r = run (Some store) in
+        pt_of r)
+  in
   let top_pt, obj_pt, label =
     match analysis with
     | `Andersen ->
-      ( Pta_andersen.Solver.pts aux_r,
-        Pta_andersen.Solver.pts aux_r,
-        "andersen" )
-    | `Sfs ->
-      let r = Pta_sfs.Sfs.solve svfg in
-      (Pta_sfs.Sfs.pt r, Pta_sfs.Sfs.object_pt r, "sfs")
+      (aux.Pta_memssa.Modref.pt, aux.Pta_memssa.Modref.pt, "andersen")
     | `Dense ->
       let r = Pta_sfs.Dense.solve prog aux in
       (Pta_sfs.Dense.pt r, Pta_sfs.Dense.pt r, "dense")
+    | `Sfs ->
+      let run st =
+        match st with
+        | None -> Pta_sfs.Sfs.solve (fresh ())
+        | Some store ->
+          let r, _ = Pipeline.run_sfs_cached ~store ~label:file b in
+          Pipeline.save_points_to ~store ~label:file b ~solver:"sfs"
+            (Pipeline.points_to_of_sfs b r);
+          r
+      in
+      let top, obj =
+        cached_or "sfs" run (fun r -> (Pta_sfs.Sfs.pt r, Pta_sfs.Sfs.object_pt r))
+      in
+      (top, obj, "sfs")
     | `Vsfs ->
-      let r = Vsfs_core.Vsfs.solve svfg in
-      (Vsfs_core.Vsfs.pt r, Vsfs_core.Vsfs.object_pt r, "vsfs")
+      let run st =
+        match st with
+        | None -> Vsfs_core.Vsfs.solve (fresh ())
+        | Some store ->
+          let r, _ = Pipeline.run_vsfs_cached ~store ~label:file b in
+          Pipeline.save_points_to ~store ~label:file b ~solver:"vsfs"
+            (Pipeline.points_to_of_vsfs b r);
+          r
+      in
+      let top, obj =
+        cached_or "vsfs" run (fun r ->
+            (Vsfs_core.Vsfs.pt r, Vsfs_core.Vsfs.object_pt r))
+      in
+      (top, obj, "vsfs")
   in
   Format.printf "analysis: %s@." label;
   List.iter
@@ -99,8 +155,8 @@ let analyze file analysis queries dump_ir dump_svfg dot_file check stats =
           | _ -> ())
   end;
   if check then begin
-    let sfs = Pta_sfs.Sfs.solve (fresh_svfg prog aux) in
-    let svfg2 = fresh_svfg prog aux in
+    let sfs = Pta_sfs.Sfs.solve (fresh ()) in
+    let svfg2 = fresh () in
     let vsfs = Vsfs_core.Vsfs.solve svfg2 in
     let report = Vsfs_core.Equiv.compare sfs vsfs svfg2 in
     if Vsfs_core.Equiv.is_equal report then
@@ -183,11 +239,17 @@ let analyze_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Dump internal counters.")
   in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent analysis store: reuse cached pipeline artifacts \
+                 keyed on the source contents, and save any that are \
+                 missing. See also $(b,vsfs cache).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyse a mini-C (.c) or textual-IR (.ir) file")
     Term.(
       const analyze $ file $ analysis $ queries $ dump_ir $ dump_svfg
-      $ dot_file $ check $ stats)
+      $ dot_file $ check $ stats $ cache_dir)
 
 let gen_cmd =
   let bench =
@@ -212,12 +274,67 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a synthetic mini-C benchmark program")
     Term.(const gen $ bench $ corpus $ seed $ scale $ output)
 
+(* ---------------- cache maintenance ---------------- *)
+
+let cache_ls dir =
+  let store = open_store dir in
+  let entries = Store.ls store in
+  if entries = [] then Format.printf "cache %s: empty@." dir
+  else begin
+    Format.printf "%-12s %-12s %10s  %-19s %s@." "STAGE" "KEY" "BYTES"
+      "CREATED" "LABEL";
+    List.iter
+      (fun e ->
+        let tm = Unix.localtime e.Pta_store.Manifest.created in
+        Format.printf "%-12s %-12s %10d  %04d-%02d-%02d %02d:%02d:%02d %s@."
+          e.Pta_store.Manifest.stage
+          (String.sub e.Pta_store.Manifest.key 0
+             (min 12 (String.length e.Pta_store.Manifest.key)))
+          e.Pta_store.Manifest.bytes (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+          tm.Unix.tm_sec e.Pta_store.Manifest.label)
+      entries;
+    Format.printf "%d entries@." (List.length entries)
+  end;
+  0
+
+let cache_gc dir =
+  let store = open_store dir in
+  let kept = ref 0 and removed = ref 0 in
+  Store.gc store ~kept ~removed;
+  Format.printf "cache %s: kept %d, removed %d@." dir !kept !removed;
+  0
+
+let cache_clear dir =
+  let store = open_store dir in
+  Format.printf "cache %s: removed %d entries@." dir (Store.clear store);
+  0
+
+let cache_cmd =
+  let dir =
+    Arg.(required & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"The store directory to operate on.")
+  in
+  let sub name doc f =
+    Cmd.v (Cmd.info name ~doc) Term.(const f $ dir)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect and maintain a persistent analysis store")
+    [
+      sub "ls" "List cached entries (stage, key, size, age, label)." cache_ls;
+      sub "gc"
+        "Verify every entry's frame and checksum; delete corrupt or \
+         version-skewed files and reconcile the manifest."
+        cache_gc;
+      sub "clear" "Delete every entry and the manifest." cache_clear;
+    ]
+
 let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Reproduce the paper's tables")
     Term.(
       const (fun () ->
           Format.printf
-            "Use: dune exec bench/main.exe -- [tableI|tableII|tableIII|ablations|micro|all] [scale]@.";
+            "Use: dune exec bench/main.exe -- [tableI|tableII|tableIII|ablations|warm|micro|all] [scale]@.";
           0)
       $ const ())
 
@@ -227,6 +344,6 @@ let main_cmd =
        ~doc:
          "Object versioning for flow-sensitive pointer analysis (CGO 2021 \
           reproduction)")
-    [ analyze_cmd; gen_cmd; bench_cmd ]
+    [ analyze_cmd; gen_cmd; cache_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

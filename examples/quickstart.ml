@@ -37,9 +37,9 @@ let () =
     (Printer.prog_to_string prog);
 
   (* 2. The auxiliary analysis already ran; inspect a result. *)
-  let aux = built.Pta_workload.Pipeline.aux_result in
-  Format.printf "Andersen ran in %d waves.@.@."
-    (Pta_andersen.Solver.n_waves aux);
+  let aux = built.Pta_workload.Pipeline.aux in
+  Format.printf "Andersen resolved %d call edges.@.@."
+    (Pta_ir.Callgraph.n_edges aux.Pta_memssa.Modref.cg);
 
   (* 3. Flow-sensitive analyses on a fresh SVFG each. *)
   let svfg = Pta_workload.Pipeline.fresh_svfg built in

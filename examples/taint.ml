@@ -91,4 +91,4 @@ let () =
   in
   report "flow-sensitive (VSFS)" (Vsfs_core.Vsfs.object_pt vsfs);
   report "flow-insensitive (Andersen)"
-    (Pta_andersen.Solver.pts built.Pta_workload.Pipeline.aux_result)
+    built.Pta_workload.Pipeline.aux.Pta_memssa.Modref.pt

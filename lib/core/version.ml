@@ -80,6 +80,15 @@ let seal t =
   end
 let n_prelabels t = t.next_label
 
+let import_sealed ~n_prelabels ~n_versions =
+  if n_prelabels < 0 || n_versions < 1 then
+    invalid_arg "Version.import_sealed: counts out of range";
+  let t = create () in
+  t.next_label <- n_prelabels;
+  seal t;
+  t.n_sealed <- n_versions;
+  t
+
 let words t =
   let total = ref (3 * Hashtbl.length t.meld_memo) in
   HC.iter (fun _ s -> total := !total + Bitset.words s) t.hc;

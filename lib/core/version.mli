@@ -42,6 +42,13 @@ val seal : table -> unit
 val n_versions : table -> int
 (** Distinct versions created so far (including ε). *)
 
+val import_sealed : n_prelabels:int -> n_versions:int -> table
+(** A sealed table restored from recorded counts, for deserializing a
+    versioning result ({!Pta_store}): after meld labelling the solver only
+    compares version ids, so a sealed table is fully described by its counts.
+    [n_versions] includes ε (so it is ≥ 1). @raise Invalid_argument on
+    negative counts. *)
+
 val n_prelabels : table -> int
 
 val words : table -> int

@@ -117,6 +117,61 @@ let words t =
   Hashtbl.iter (fun _ s -> acc := !acc + Bitset.words s) t.subscribers;
   !acc + Bitset.words t.delta
 
+(* ---------- serialization (Pta_store) ---------- *)
+
+type raw = {
+  raw_consume : (int * Version.t) array;
+  raw_store_yield : (int * Version.t) array;
+  raw_delta : Bitset.t;
+  raw_reliance : (int * Bitset.t) array;
+  raw_n_reliances : int;
+  raw_n_prelabels : int;
+  raw_n_versions : int;
+}
+
+let sorted_bindings tbl =
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  Array.of_list (List.sort (fun (a, _) (b, _) -> Int.compare a b) l)
+
+let export t =
+  {
+    raw_consume = sorted_bindings t.consume;
+    raw_store_yield = sorted_bindings t.store_yield;
+    raw_delta = t.delta;
+    raw_reliance = sorted_bindings t.reliance;
+    raw_n_reliances = t.n_reliances;
+    raw_n_prelabels = Version.n_prelabels t.vt;
+    raw_n_versions = Version.n_versions t.vt;
+  }
+
+let import svfg raw =
+  let t =
+    {
+      svfg;
+      vt =
+        Version.import_sealed ~n_prelabels:raw.raw_n_prelabels
+          ~n_versions:raw.raw_n_versions;
+      consume = Hashtbl.create (max 16 (Array.length raw.raw_consume));
+      store_yield = Hashtbl.create (max 16 (Array.length raw.raw_store_yield));
+      delta = Bitset.copy raw.raw_delta;
+      reliance = Hashtbl.create (max 16 (Array.length raw.raw_reliance));
+      subscribers = Hashtbl.create 1024;
+      n_reliances = raw.raw_n_reliances;
+      duration = 0.;
+    }
+  in
+  Array.iter (fun (k, v) -> Hashtbl.replace t.consume k v) raw.raw_consume;
+  Array.iter
+    (fun (k, v) -> Hashtbl.replace t.store_yield k v)
+    raw.raw_store_yield;
+  (* The solver grows reliance sets on-the-fly (dynamic call edges), so each
+     import must own fresh copies. Subscribers are solver-side state and
+     always start empty (export happens before solving). *)
+  Array.iter
+    (fun (k, s) -> Hashtbl.replace t.reliance k (Bitset.copy s))
+    raw.raw_reliance;
+  t
+
 let compute ?(release_labels = true) ?(order = `Fifo) svfg =
   let start = Unix.gettimeofday () in
   let prog = Svfg.prog svfg in

@@ -68,3 +68,29 @@ val n_reliances : t -> int
 val sharing_factor : t -> float
 val words : t -> int
 (** Footprint of the versioning maps in machine words. *)
+
+(* Serialization (Pta_store) ---------------------------------------------- *)
+
+type raw = {
+  raw_consume : (int * Version.t) array;
+      (** packed [(node lsl 31 lor obj, C)] bindings, sorted by key *)
+  raw_store_yield : (int * Version.t) array;  (** store prelabels, sorted *)
+  raw_delta : Pta_ds.Bitset.t;  (** δ node ids *)
+  raw_reliance : (int * Pta_ds.Bitset.t) array;
+      (** packed [(obj lsl 31 lor κ, κ' set)] bindings, sorted *)
+  raw_n_reliances : int;
+  raw_n_prelabels : int;
+  raw_n_versions : int;
+}
+
+val export : t -> raw
+(** Deterministic snapshot of a computed (pre-solve) versioning: the
+    consume/yield maps, δ set and static version reliances. Statement
+    reliances (subscribers) are solver-side state and are not included —
+    export before running {!Vsfs.solve} on this value. *)
+
+val import : Pta_svfg.Svfg.t -> raw -> t
+(** Rebuild onto an SVFG with the same node numbering the snapshot was taken
+    from (imports of the {!Pta_svfg.Svfg.import} of the matching snapshot
+    qualify — construction is deterministic). The version table is restored
+    sealed; {!duration} reads 0. Each call owns fresh mutable state. *)

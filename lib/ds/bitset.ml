@@ -347,6 +347,22 @@ let choose s =
     Some (base + bitpos w 0)
   end
 
+let iter_words f s =
+  for i = 0 to s.len - 1 do
+    f s.idx.(i) s.bits.(i)
+  done
+
+let n_words s = s.len
+
+let append_word s w word =
+  if word = 0 then invalid_arg "Bitset.append_word: zero word";
+  if s.len > 0 && w <= s.idx.(s.len - 1) then
+    invalid_arg "Bitset.append_word: word index not increasing";
+  ensure_capacity s (s.len + 1);
+  s.idx.(s.len) <- w;
+  s.bits.(s.len) <- word;
+  s.len <- s.len + 1
+
 let words s = 3 + (2 * Array.length s.idx)
 
 let pp ppf s =

@@ -59,6 +59,22 @@ val elements : t -> int list
 val choose : t -> int option
 (** Smallest element, if any. *)
 
+val iter_words : (int -> int -> unit) -> t -> unit
+(** [iter_words f s] calls [f word_index bit_word] for every stored word in
+    increasing word-index order — the raw sparse representation, used by the
+    binary codec of {!Pta_store} (one callback per 63 elements instead of one
+    per element). *)
+
+val n_words : t -> int
+(** Number of stored (non-zero) words, i.e. how many times {!iter_words}
+    calls its callback. *)
+
+val append_word : t -> int -> int -> unit
+(** [append_word s w word] appends a raw (word index, bit word) pair. The
+    inverse of {!iter_words}, for decoding: words must be appended in strictly
+    increasing word-index order and must be non-zero.
+    @raise Invalid_argument otherwise. *)
+
 val words : t -> int
 (** Approximate heap footprint in machine words (used by the logical memory
     metric of the benchmarks). *)

@@ -11,7 +11,14 @@ let counter name =
 let incr name = Stdlib.incr (counter name)
 let add name n = counter name := !(counter name) + n
 let get name = !(counter name)
-let reset_all () = Hashtbl.iter (fun _ r -> r := 0) table
+(* Zero every registered counter *and* drop the registrations: counters only
+   reappear in [snapshot]/[pp] once they are touched again, so a dump after a
+   reset never reports stale names from earlier runs. The refs are zeroed
+   before being dropped so holders of a pre-reset [counter] ref observe the
+   reset rather than a stale count. *)
+let reset_all () =
+  Hashtbl.iter (fun _ r -> r := 0) table;
+  Hashtbl.reset table
 
 let snapshot () =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) table []

@@ -7,15 +7,24 @@
 
 val counter : string -> int ref
 (** [counter name] returns the (shared) counter registered under [name],
-    creating it at 0 on first use. *)
+    creating it at 0 on first use. The ref stays live until the next
+    {!reset_all}; after a reset it is detached — it is zeroed, but further
+    increments through it are no longer observed by {!get}/{!snapshot}, so
+    long-lived code should call {!incr}/{!add} by name rather than cache the
+    ref across resets (no code in this repository caches refs). *)
 
 val incr : string -> unit
 val add : string -> int -> unit
 val get : string -> int
 
 val reset_all : unit -> unit
+(** Zeroes and unregisters every counter. Counters touched after the reset
+    re-register from zero, and {!snapshot}/{!pp} afterwards report only
+    counters touched since the reset — not stale zero-valued names from
+    before it (consumers that snapshot around a measured region rely on
+    this). *)
 
 val snapshot : unit -> (string * int) list
-(** All counters, sorted by name. *)
+(** All counters touched since the last {!reset_all}, sorted by name. *)
 
 val pp : Format.formatter -> unit -> unit

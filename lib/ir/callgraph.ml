@@ -52,6 +52,7 @@ let n_edges t = t.n_edges
 
 let mark_indirect_target t f = ignore (Bitset.add t.indirect_targets f)
 let is_indirect_target t f = Bitset.mem t.indirect_targets f
+let iter_indirect_targets t f = Bitset.iter f t.indirect_targets
 
 let functions_reachable_from _prog t root =
   let seen = Bitset.create () in

@@ -27,6 +27,10 @@ val mark_indirect_target : t -> Inst.func_id -> unit
 
 val is_indirect_target : t -> Inst.func_id -> bool
 
+val iter_indirect_targets : t -> (Inst.func_id -> unit) -> unit
+(** All functions marked by {!mark_indirect_target}, in increasing id order
+    (exposed for serialization). *)
+
 val functions_reachable_from : Prog.t -> t -> Inst.func_id -> Pta_ds.Bitset.t
 (** Functions reachable by call edges from the given root (the root is
     included). *)

@@ -112,6 +112,13 @@ let field_obj t ~base ~offset =
       Hashtbl.add t.fields (base, offset) f;
       f
 
+let restore_var t ~name:vname ~kind ~singleton ~dead =
+  let v = Vec.push t.vars { vname; okind = kind; singleton; dead } in
+  (match kind with
+  | Some (FieldOf { base; offset }) -> Hashtbl.replace t.fields (base, offset) v
+  | _ -> ());
+  v
+
 let iter_vars t f =
   for v = 0 to n_vars t - 1 do
     f v
@@ -180,6 +187,8 @@ let set_entry t id = t.entry_func <- id
 let entry t =
   if t.entry_func < 0 then failwith "Prog.entry: no entry function set";
   func t t.entry_func
+
+let entry_opt t = if t.entry_func < 0 then None else Some (func t t.entry_func)
 
 let count_tops t =
   let n = ref 0 in

@@ -60,6 +60,17 @@ val is_top : t -> Inst.var -> bool
 val obj_kind : t -> Inst.var -> obj_kind
 val is_function_obj : t -> Inst.var -> Inst.func_id option
 
+val restore_var : t ->
+  name:string -> kind:obj_kind option -> singleton:bool -> dead:bool ->
+  Inst.var
+(** Re-create a variable with its exact recorded state, for deserialization
+    ({!Pta_store}): issues the next dense id, so replaying an exported var
+    table in id order reproduces the original id space (including field
+    objects created during Andersen's constraint expansion, which have no
+    [Alloc] site). [FieldOf] variables are re-registered in the field intern
+    table so later {!field_obj} calls find them instead of duplicating. Not
+    for program construction — use {!fresh_top}/{!fresh_obj}. *)
+
 val mark_dead : t -> Inst.var -> unit
 (** Used by mem2reg for promoted slots: the object id remains valid but is
     skipped by {!iter_objects} and the statistics. *)
@@ -105,6 +116,9 @@ val function_object : t -> func -> Inst.var
 val set_entry : t -> Inst.func_id -> unit
 val entry : t -> func
 (** The program entry function. @raise Failure if never set. *)
+
+val entry_opt : t -> func option
+(** The entry function, or [None] if never set. *)
 
 (* Statistics (Table II columns) ----------------------------------------- *)
 

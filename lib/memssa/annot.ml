@@ -41,6 +41,15 @@ let compute prog (aux : Modref.aux) mr =
   let exit_mus = Array.init nf (fun f -> Modref.mods mr f) in
   { mu; chi; entry_chis; exit_mus }
 
+let export t = (t.mu, t.chi, t.entry_chis, t.exit_mus)
+
+let import ~mu ~chi ~entry_chis ~exit_mus =
+  let nf = Array.length mu in
+  if Array.length chi <> nf || Array.length entry_chis <> nf
+     || Array.length exit_mus <> nf
+  then invalid_arg "Annot.import: length mismatch";
+  { mu; chi; entry_chis; exit_mus }
+
 let mu t f i = t.mu.(f).(i)
 let chi t f i = t.chi.(f).(i)
 let entry_chi t f = t.entry_chis.(f)

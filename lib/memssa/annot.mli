@@ -22,3 +22,22 @@ val chi : t -> Pta_ir.Inst.func_id -> int -> Pta_ds.Bitset.t
 
 val entry_chi : t -> Pta_ir.Inst.func_id -> Pta_ds.Bitset.t
 val exit_mu : t -> Pta_ir.Inst.func_id -> Pta_ds.Bitset.t
+
+val export :
+  t ->
+  Pta_ds.Bitset.t array array
+  * Pta_ds.Bitset.t array array
+  * Pta_ds.Bitset.t array
+  * Pta_ds.Bitset.t array
+(** [(mu, chi, entry_chis, exit_mus)], each outer array indexed by function
+    id and the inner ones by instruction id — the live internal state, for
+    serialization; treat as read-only. *)
+
+val import :
+  mu:Pta_ds.Bitset.t array array ->
+  chi:Pta_ds.Bitset.t array array ->
+  entry_chis:Pta_ds.Bitset.t array ->
+  exit_mus:Pta_ds.Bitset.t array ->
+  t
+(** Rebuild from exported state. @raise Invalid_argument on length
+    mismatch. *)

@@ -40,3 +40,11 @@ let compute prog aux =
 let mods t f = t.mods.(f)
 let refs t f = t.refs.(f)
 let inflow t f = t.inflows.(f)
+
+let export t = (t.mods, t.refs)
+
+let import ~mods ~refs =
+  if Array.length mods <> Array.length refs then
+    invalid_arg "Modref.import: length mismatch";
+  let inflows = Array.init (Array.length mods) (fun f -> Bitset.union refs.(f) mods.(f)) in
+  { mods; refs; inflows }

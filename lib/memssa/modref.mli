@@ -24,3 +24,11 @@ val refs : t -> Pta_ir.Inst.func_id -> Pta_ds.Bitset.t
 val inflow : t -> Pta_ir.Inst.func_id -> Pta_ds.Bitset.t
 (** [refs ∪ mods] — the objects whose incoming value the function needs
     (mods are included because weak updates read the previous value). *)
+
+val export : t -> Pta_ds.Bitset.t array * Pta_ds.Bitset.t array
+(** [(mods, refs)] indexed by function id, for serialization. The arrays are
+    the live internal state — treat as read-only. *)
+
+val import : mods:Pta_ds.Bitset.t array -> refs:Pta_ds.Bitset.t array -> t
+(** Rebuild from exported [(mods, refs)]; inflows are recomputed.
+    @raise Invalid_argument on length mismatch. *)

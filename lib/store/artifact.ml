@@ -1,0 +1,435 @@
+open Pta_ds
+module Prog = Pta_ir.Prog
+module Inst = Pta_ir.Inst
+module Callgraph = Pta_ir.Callgraph
+module Svfg = Pta_svfg.Svfg
+
+let with_decoder bytes f =
+  let d = Codec.of_string bytes in
+  match f d with
+  | x ->
+    Codec.expect_end d;
+    x
+  | exception Invalid_argument m -> raise (Codec.Corrupt ("replay: " ^ m))
+  | exception Failure m -> raise (Codec.Corrupt ("replay: " ^ m))
+
+(* ---------- program ---------- *)
+
+let add_okind b = function
+  | Prog.Stack -> Codec.add_uint b 0
+  | Prog.Global -> Codec.add_uint b 1
+  | Prog.Heap -> Codec.add_uint b 2
+  | Prog.Func f ->
+    Codec.add_uint b 3;
+    Codec.add_uint b f
+  | Prog.FieldOf { base; offset } ->
+    Codec.add_uint b 4;
+    Codec.add_uint b base;
+    Codec.add_uint b offset
+
+let okind d =
+  match Codec.uint d with
+  | 0 -> Prog.Stack
+  | 1 -> Prog.Global
+  | 2 -> Prog.Heap
+  | 3 -> Prog.Func (Codec.uint d)
+  | 4 ->
+    let base = Codec.uint d in
+    let offset = Codec.uint d in
+    Prog.FieldOf { base; offset }
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad object kind tag %d" t))
+
+let add_callee b = function
+  | Inst.Direct f ->
+    Codec.add_uint b 0;
+    Codec.add_uint b f
+  | Inst.Indirect v ->
+    Codec.add_uint b 1;
+    Codec.add_uint b v
+
+let callee d =
+  match Codec.uint d with
+  | 0 -> Inst.Direct (Codec.uint d)
+  | 1 -> Inst.Indirect (Codec.uint d)
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad callee tag %d" t))
+
+let add_inst b = function
+  | Inst.Entry -> Codec.add_uint b 0
+  | Inst.Exit -> Codec.add_uint b 1
+  | Inst.Alloc { lhs; obj } ->
+    Codec.add_uint b 2;
+    Codec.add_uint b lhs;
+    Codec.add_uint b obj
+  | Inst.Copy { lhs; rhs } ->
+    Codec.add_uint b 3;
+    Codec.add_uint b lhs;
+    Codec.add_uint b rhs
+  | Inst.Phi { lhs; rhs } ->
+    Codec.add_uint b 4;
+    Codec.add_uint b lhs;
+    Codec.add_list Codec.add_uint b rhs
+  | Inst.Field { lhs; base; offset } ->
+    Codec.add_uint b 5;
+    Codec.add_uint b lhs;
+    Codec.add_uint b base;
+    Codec.add_uint b offset
+  | Inst.Load { lhs; ptr } ->
+    Codec.add_uint b 6;
+    Codec.add_uint b lhs;
+    Codec.add_uint b ptr
+  | Inst.Store { ptr; rhs } ->
+    Codec.add_uint b 7;
+    Codec.add_uint b ptr;
+    Codec.add_uint b rhs
+  | Inst.Call { lhs; callee; args } ->
+    Codec.add_uint b 8;
+    Codec.add_option Codec.add_uint b lhs;
+    add_callee b callee;
+    Codec.add_list Codec.add_uint b args
+  | Inst.Branch -> Codec.add_uint b 9
+
+let inst d =
+  match Codec.uint d with
+  | 0 -> Inst.Entry
+  | 1 -> Inst.Exit
+  | 2 ->
+    let lhs = Codec.uint d in
+    let obj = Codec.uint d in
+    Inst.Alloc { lhs; obj }
+  | 3 ->
+    let lhs = Codec.uint d in
+    let rhs = Codec.uint d in
+    Inst.Copy { lhs; rhs }
+  | 4 ->
+    let lhs = Codec.uint d in
+    let rhs = Codec.list Codec.uint d in
+    Inst.Phi { lhs; rhs }
+  | 5 ->
+    let lhs = Codec.uint d in
+    let base = Codec.uint d in
+    let offset = Codec.uint d in
+    Inst.Field { lhs; base; offset }
+  | 6 ->
+    let lhs = Codec.uint d in
+    let ptr = Codec.uint d in
+    Inst.Load { lhs; ptr }
+  | 7 ->
+    let ptr = Codec.uint d in
+    let rhs = Codec.uint d in
+    Inst.Store { ptr; rhs }
+  | 8 ->
+    let lhs = Codec.option Codec.uint d in
+    let callee = callee d in
+    let args = Codec.list Codec.uint d in
+    Inst.Call { lhs; callee; args }
+  | 9 -> Inst.Branch
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad instruction tag %d" t))
+
+let encode_prog prog =
+  let b = Buffer.create 4096 in
+  Codec.add_uint b (Prog.n_vars prog);
+  Prog.iter_vars prog (fun v ->
+      Codec.add_string b (Prog.name prog v);
+      Codec.add_option add_okind b
+        (if Prog.is_top prog v then None else Some (Prog.obj_kind prog v));
+      Codec.add_bool b (Prog.is_singleton prog v);
+      Codec.add_bool b (Prog.is_dead prog v));
+  Codec.add_uint b (Prog.n_funcs prog);
+  Prog.iter_funcs prog (fun f ->
+      Codec.add_string b f.Prog.fname;
+      Codec.add_list Codec.add_uint b f.Prog.params;
+      Codec.add_option Codec.add_uint b f.Prog.ret;
+      Codec.add_uint b f.Prog.exit_inst;
+      Codec.add_bool b f.Prog.address_taken;
+      Codec.add_int b f.Prog.fobj;
+      let n = Prog.n_insts f in
+      Codec.add_uint b n;
+      for i = 0 to n - 1 do
+        add_inst b (Prog.inst f i)
+      done;
+      for i = 0 to n - 1 do
+        Codec.add_bitset b (Pta_graph.Digraph.succs f.Prog.cfg i)
+      done);
+  Codec.add_int b
+    (match Prog.entry_opt prog with Some f -> f.Prog.id | None -> -1);
+  Buffer.contents b
+
+let decode_prog bytes =
+  with_decoder bytes (fun d ->
+      let prog = Prog.create () in
+      let nv = Codec.uint d in
+      for _ = 1 to nv do
+        let name = Codec.string d in
+        let kind = Codec.option okind d in
+        let singleton = Codec.bool d in
+        let dead = Codec.bool d in
+        ignore (Prog.restore_var prog ~name ~kind ~singleton ~dead)
+      done;
+      let nf = Codec.uint d in
+      for _ = 1 to nf do
+        let fname = Codec.string d in
+        let params = Codec.list Codec.uint d in
+        let ret = Codec.option Codec.uint d in
+        let exit_inst = Codec.uint d in
+        let address_taken = Codec.bool d in
+        let fobj = Codec.int d in
+        let f = Prog.declare_func prog fname ~params in
+        f.Prog.ret <- ret;
+        f.Prog.exit_inst <- exit_inst;
+        f.Prog.address_taken <- address_taken;
+        f.Prog.fobj <- fobj;
+        let n = Codec.uint d in
+        if n < 2 then raise (Codec.Corrupt "function with fewer than 2 insts");
+        for i = 0 to n - 1 do
+          let ins = inst d in
+          (* declare_func already pushed Entry/Exit at ids 0 and 1 *)
+          if i < 2 then Prog.set_inst f i ins else ignore (Prog.add_inst f ins)
+        done;
+        for i = 0 to n - 1 do
+          Bitset.iter (fun j -> Prog.add_flow f i j) (Codec.bitset d)
+        done
+      done;
+      (match Codec.int d with
+      | -1 -> ()
+      | e ->
+        if e < 0 || e >= Prog.n_funcs prog then
+          raise (Codec.Corrupt "entry function out of range");
+        Prog.set_entry prog e);
+      prog)
+
+(* ---------- Andersen ---------- *)
+
+type aux = { pts : Bitset.t array; cg : Callgraph.t }
+
+let aux_of_solver prog result =
+  {
+    pts =
+      Array.init (Prog.n_vars prog) (fun v -> Pta_andersen.Solver.pts result v);
+    cg = Pta_andersen.Solver.callgraph result;
+  }
+
+let to_aux a = { Pta_memssa.Modref.pt = (fun v -> a.pts.(v)); cg = a.cg }
+
+let encode_aux a =
+  let b = Buffer.create 4096 in
+  Codec.add_array Codec.add_bitset b a.pts;
+  let edges = ref [] in
+  Callgraph.iter_edges a.cg (fun cs g ->
+      edges := (cs.Callgraph.cs_func, cs.Callgraph.cs_inst, g) :: !edges);
+  let edges = List.sort compare !edges in
+  Codec.add_list
+    (fun b (f, i, g) ->
+      Codec.add_uint b f;
+      Codec.add_uint b i;
+      Codec.add_uint b g)
+    b edges;
+  let ind = ref [] in
+  Callgraph.iter_indirect_targets a.cg (fun f -> ind := f :: !ind);
+  Codec.add_list Codec.add_uint b (List.rev !ind);
+  Buffer.contents b
+
+let decode_aux ~n_vars bytes =
+  with_decoder bytes (fun d ->
+      let pts = Codec.array Codec.bitset d in
+      if Array.length pts <> n_vars then
+        raise (Codec.Corrupt "points-to table length mismatch");
+      let cg = Callgraph.create () in
+      List.iter
+        (fun (f, i, g) ->
+          ignore (Callgraph.add cg { Callgraph.cs_func = f; cs_inst = i } g))
+        (Codec.list
+           (fun d ->
+             let f = Codec.uint d in
+             let i = Codec.uint d in
+             let g = Codec.uint d in
+             (f, i, g))
+           d);
+      List.iter
+        (fun f -> Callgraph.mark_indirect_target cg f)
+        (Codec.list Codec.uint d);
+      { pts; cg })
+
+(* ---------- SVFG ---------- *)
+
+let add_nkind b = function
+  | Svfg.NInst { f; i } ->
+    Codec.add_uint b 0;
+    Codec.add_uint b f;
+    Codec.add_uint b i
+  | Svfg.NMemPhi { f; at; obj } ->
+    Codec.add_uint b 1;
+    Codec.add_uint b f;
+    Codec.add_uint b at;
+    Codec.add_uint b obj
+  | Svfg.NFormalIn { f; obj } ->
+    Codec.add_uint b 2;
+    Codec.add_uint b f;
+    Codec.add_uint b obj
+  | Svfg.NFormalOut { f; obj } ->
+    Codec.add_uint b 3;
+    Codec.add_uint b f;
+    Codec.add_uint b obj
+  | Svfg.NActualIn { f; call; obj } ->
+    Codec.add_uint b 4;
+    Codec.add_uint b f;
+    Codec.add_uint b call;
+    Codec.add_uint b obj
+  | Svfg.NActualOut { f; call; obj } ->
+    Codec.add_uint b 5;
+    Codec.add_uint b f;
+    Codec.add_uint b call;
+    Codec.add_uint b obj
+
+let nkind d =
+  match Codec.uint d with
+  | 0 ->
+    let f = Codec.uint d in
+    let i = Codec.uint d in
+    Svfg.NInst { f; i }
+  | 1 ->
+    let f = Codec.uint d in
+    let at = Codec.uint d in
+    let obj = Codec.uint d in
+    Svfg.NMemPhi { f; at; obj }
+  | 2 ->
+    let f = Codec.uint d in
+    let obj = Codec.uint d in
+    Svfg.NFormalIn { f; obj }
+  | 3 ->
+    let f = Codec.uint d in
+    let obj = Codec.uint d in
+    Svfg.NFormalOut { f; obj }
+  | 4 ->
+    let f = Codec.uint d in
+    let call = Codec.uint d in
+    let obj = Codec.uint d in
+    Svfg.NActualIn { f; call; obj }
+  | 5 ->
+    let f = Codec.uint d in
+    let call = Codec.uint d in
+    let obj = Codec.uint d in
+    Svfg.NActualOut { f; call; obj }
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad SVFG node tag %d" t))
+
+let add_bitsets b a = Codec.add_array Codec.add_bitset b a
+let bitsets d = Codec.array Codec.bitset d
+
+let encode_svfg (r : Svfg.raw) =
+  let b = Buffer.create 8192 in
+  Codec.add_array add_nkind b r.Svfg.raw_kinds;
+  Codec.add_array
+    (fun b (src, obj, dsts) ->
+      Codec.add_uint b src;
+      Codec.add_uint b obj;
+      Codec.add_array Codec.add_uint b dsts)
+    b r.Svfg.raw_ind;
+  add_bitsets b r.Svfg.raw_mods;
+  add_bitsets b r.Svfg.raw_refs;
+  Codec.add_array add_bitsets b r.Svfg.raw_mu;
+  Codec.add_array add_bitsets b r.Svfg.raw_chi;
+  add_bitsets b r.Svfg.raw_entry_chis;
+  add_bitsets b r.Svfg.raw_exit_mus;
+  Buffer.contents b
+
+let decode_svfg bytes =
+  with_decoder bytes (fun d ->
+      let raw_kinds = Codec.array nkind d in
+      let raw_ind =
+        Codec.array
+          (fun d ->
+            let src = Codec.uint d in
+            let obj = Codec.uint d in
+            let dsts = Codec.array Codec.uint d in
+            (src, obj, dsts))
+          d
+      in
+      let raw_mods = bitsets d in
+      let raw_refs = bitsets d in
+      let raw_mu = Codec.array bitsets d in
+      let raw_chi = Codec.array bitsets d in
+      let raw_entry_chis = bitsets d in
+      let raw_exit_mus = bitsets d in
+      {
+        Svfg.raw_kinds;
+        raw_ind;
+        raw_mods;
+        raw_refs;
+        raw_mu;
+        raw_chi;
+        raw_entry_chis;
+        raw_exit_mus;
+      })
+
+(* ---------- versioning ---------- *)
+
+let add_pairs b a =
+  Codec.add_array
+    (fun b (k, v) ->
+      Codec.add_uint b k;
+      Codec.add_uint b v)
+    b a
+
+let pairs d =
+  Codec.array
+    (fun d ->
+      let k = Codec.uint d in
+      let v = Codec.uint d in
+      (k, v))
+    d
+
+let encode_versioning (r : Vsfs_core.Versioning.raw) =
+  let b = Buffer.create 4096 in
+  add_pairs b r.Vsfs_core.Versioning.raw_consume;
+  add_pairs b r.Vsfs_core.Versioning.raw_store_yield;
+  Codec.add_bitset b r.Vsfs_core.Versioning.raw_delta;
+  Codec.add_array
+    (fun b (k, s) ->
+      Codec.add_uint b k;
+      Codec.add_bitset b s)
+    b r.Vsfs_core.Versioning.raw_reliance;
+  Codec.add_uint b r.Vsfs_core.Versioning.raw_n_reliances;
+  Codec.add_uint b r.Vsfs_core.Versioning.raw_n_prelabels;
+  Codec.add_uint b r.Vsfs_core.Versioning.raw_n_versions;
+  Buffer.contents b
+
+let decode_versioning bytes =
+  with_decoder bytes (fun d ->
+      let raw_consume = pairs d in
+      let raw_store_yield = pairs d in
+      let raw_delta = Codec.bitset d in
+      let raw_reliance =
+        Codec.array
+          (fun d ->
+            let k = Codec.uint d in
+            let s = Codec.bitset d in
+            (k, s))
+          d
+      in
+      let raw_n_reliances = Codec.uint d in
+      let raw_n_prelabels = Codec.uint d in
+      let raw_n_versions = Codec.uint d in
+      {
+        Vsfs_core.Versioning.raw_consume;
+        raw_store_yield;
+        raw_delta;
+        raw_reliance;
+        raw_n_reliances;
+        raw_n_prelabels;
+        raw_n_versions;
+      })
+
+(* ---------- final points-to results ---------- *)
+
+type points_to = { top : Bitset.t array; obj : Bitset.t array }
+
+let encode_points_to r =
+  let b = Buffer.create 4096 in
+  add_bitsets b r.top;
+  add_bitsets b r.obj;
+  Buffer.contents b
+
+let decode_points_to bytes =
+  with_decoder bytes (fun d ->
+      let top = bitsets d in
+      let obj = bitsets d in
+      { top; obj })

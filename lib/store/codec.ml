@@ -1,0 +1,137 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ---------- encoding ---------- *)
+
+let add_uint b n =
+  if n < 0 then invalid_arg "Codec.add_uint: negative";
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char b (Char.chr (0x80 lor (!n land 0x7f)));
+    n := !n lsr 7
+  done;
+  Buffer.add_char b (Char.chr !n)
+
+let add_word b w =
+  add_uint b (w land 0x7FFFFFFF);
+  add_uint b (w lsr 31)
+
+(* zigzag through the full-range word encoder: the shifts wrap, but the
+   transform stays a bijection over all 63-bit values *)
+let add_int b n = add_word b ((n lsl 1) lxor (n asr 62))
+
+let add_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let add_string b s =
+  add_uint b (String.length s);
+  Buffer.add_string b s
+
+let add_option f b = function
+  | None -> add_bool b false
+  | Some x ->
+    add_bool b true;
+    f b x
+
+let add_list f b l =
+  add_uint b (List.length l);
+  List.iter (fun x -> f b x) l
+
+let add_array f b a =
+  add_uint b (Array.length a);
+  Array.iter (fun x -> f b x) a
+
+let add_bitset b s =
+  add_uint b (Pta_ds.Bitset.n_words s);
+  let prev = ref (-1) in
+  Pta_ds.Bitset.iter_words
+    (fun w word ->
+      add_uint b (w - !prev - 1);
+      prev := w;
+      add_word b word)
+    s
+
+(* ---------- decoding ---------- *)
+
+type decoder = { s : string; mutable pos : int; limit : int }
+
+let of_string ?(pos = 0) ?len s =
+  let limit = match len with Some l -> pos + l | None -> String.length s in
+  if pos < 0 || limit > String.length s || pos > limit then
+    invalid_arg "Codec.of_string: bad bounds";
+  { s; pos; limit }
+
+let byte d =
+  if d.pos >= d.limit then corrupt "unexpected end of input at %d" d.pos;
+  let c = Char.code d.s.[d.pos] in
+  d.pos <- d.pos + 1;
+  c
+
+let uint d =
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 62 then corrupt "varint too long at %d" d.pos;
+    let c = byte d in
+    n := !n lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if c < 0x80 then continue := false
+  done;
+  if !n < 0 then corrupt "varint overflow at %d" d.pos;
+  !n
+
+let word d =
+  let lo = uint d in
+  let hi = uint d in
+  lo lor (hi lsl 31)
+
+let int d =
+  let z = word d in
+  (z lsr 1) lxor (- (z land 1))
+
+let bool d =
+  match byte d with
+  | 0 -> false
+  | 1 -> true
+  | c -> corrupt "bad bool byte %d" c
+
+let string d =
+  let n = uint d in
+  if n > d.limit - d.pos then corrupt "string length %d exceeds input" n;
+  let s = String.sub d.s d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let option f d = if bool d then Some (f d) else None
+
+let remaining d = d.limit - d.pos
+
+let count d =
+  let n = uint d in
+  (* every element costs at least one byte, so a count beyond the remaining
+     bytes is corruption, not a large value — refuse before allocating *)
+  if n > remaining d then corrupt "element count %d exceeds input" n;
+  n
+
+let list f d =
+  let n = count d in
+  List.init n (fun _ -> f d)
+
+let array f d =
+  let n = count d in
+  Array.init n (fun _ -> f d)
+
+let bitset d =
+  let n = count d in
+  let s = Pta_ds.Bitset.create () in
+  let prev = ref (-1) in
+  (try
+     for _ = 1 to n do
+       let w = !prev + 1 + uint d in
+       prev := w;
+       Pta_ds.Bitset.append_word s w (word d)
+     done
+   with Invalid_argument m -> corrupt "bad bitset: %s" m);
+  s
+
+let expect_end d =
+  if d.pos <> d.limit then corrupt "%d trailing bytes" (d.limit - d.pos)

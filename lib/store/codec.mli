@@ -1,0 +1,60 @@
+(** Length-prefixed binary encoding primitives for the analysis store.
+
+    Encoders append to a [Buffer.t]; decoders read from an immutable string
+    with strict bounds checking. Every malformed read — truncation, a
+    varint running past the end, an out-of-range tag — raises {!Corrupt},
+    which the store layer turns into a cache miss (recompute) rather than a
+    crash. Decoders never trust lengths: element counts are validated
+    against {!remaining} before allocation so a corrupt header cannot
+    provoke a giant allocation.
+
+    Integers use LEB128 varints (unsigned), with a zigzag transform for
+    signed values; raw 63-bit machine words (bit-set words, which may have
+    the top bit set) use a lo/hi split. Encoding is deterministic: equal
+    values produce equal bytes, which the content-addressing relies on. *)
+
+exception Corrupt of string
+
+(* Encoding --------------------------------------------------------------- *)
+
+val add_uint : Buffer.t -> int -> unit
+(** Non-negative varint. @raise Invalid_argument if negative. *)
+
+val add_int : Buffer.t -> int -> unit
+(** Signed varint (zigzag over the word split): full 63-bit range, small
+    magnitudes (the [-1] id sentinels) stay short. *)
+
+val add_word : Buffer.t -> int -> unit
+(** A raw 63-bit word, any bit pattern (lo/hi split varints). *)
+
+val add_bool : Buffer.t -> bool -> unit
+val add_string : Buffer.t -> string -> unit
+val add_option : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+val add_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+val add_array : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a array -> unit
+
+val add_bitset : Buffer.t -> Pta_ds.Bitset.t -> unit
+(** Word-level encoding (delta-coded word indices + raw words): one entry
+    per 63 elements, not one per element. *)
+
+(* Decoding --------------------------------------------------------------- *)
+
+type decoder
+
+val of_string : ?pos:int -> ?len:int -> string -> decoder
+
+val uint : decoder -> int
+val int : decoder -> int
+val word : decoder -> int
+val bool : decoder -> bool
+val string : decoder -> string
+val option : (decoder -> 'a) -> decoder -> 'a option
+val list : (decoder -> 'a) -> decoder -> 'a list
+val array : (decoder -> 'a) -> decoder -> 'a array
+val bitset : decoder -> Pta_ds.Bitset.t
+
+val remaining : decoder -> int
+(** Bytes left to read. *)
+
+val expect_end : decoder -> unit
+(** @raise Corrupt if any input remains (trailing garbage). *)

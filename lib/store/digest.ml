@@ -1,0 +1,2 @@
+let hex s = Stdlib.Digest.to_hex (Stdlib.Digest.string s)
+let combine parts = hex (String.concat "\x00" parts)

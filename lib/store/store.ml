@@ -1,0 +1,154 @@
+let format_version = 1
+let magic = "PTAS"
+let manifest_name = "MANIFEST.tsv"
+
+type t = { dir : string }
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    failwith (Printf.sprintf "cache dir %s exists and is not a directory" dir);
+  { dir }
+
+let dir t = t.dir
+
+let key ~stage inputs =
+  Digest.combine (string_of_int format_version :: stage :: inputs)
+
+let manifest t = Filename.concat t.dir manifest_name
+let entry_file ~stage ~key = Printf.sprintf "%s-%s.bin" stage key
+let entry_path t ~stage ~key = Filename.concat t.dir (entry_file ~stage ~key)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse and fully verify a frame; Codec.Corrupt on any mismatch. *)
+let parse_frame bytes =
+  if
+    String.length bytes < String.length magic
+    || String.sub bytes 0 (String.length magic) <> magic
+  then raise (Codec.Corrupt "bad magic");
+  let d = Codec.of_string ~pos:(String.length magic) bytes in
+  let version = Codec.uint d in
+  if version <> format_version then
+    raise (Codec.Corrupt (Printf.sprintf "format version %d" version));
+  let stage = Codec.string d in
+  let key = Codec.string d in
+  let md5 = Codec.string d in
+  let payload = Codec.string d in
+  Codec.expect_end d;
+  if Stdlib.Digest.string payload <> md5 then
+    raise (Codec.Corrupt "payload checksum mismatch");
+  (stage, key, payload)
+
+let save t ~stage ~key ?(label = "") payload =
+  let b = Buffer.create (String.length payload + 128) in
+  Buffer.add_string b magic;
+  Codec.add_uint b format_version;
+  Codec.add_string b stage;
+  Codec.add_string b key;
+  Codec.add_string b (Stdlib.Digest.string payload);
+  Codec.add_string b payload;
+  let path = entry_path t ~stage ~key in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc b);
+  Sys.rename tmp path;
+  Pta_ds.Stats.incr "store.writes";
+  Manifest.add (manifest t)
+    {
+      Manifest.stage;
+      key;
+      file = entry_file ~stage ~key;
+      bytes = Buffer.length b;
+      created = Unix.gettimeofday ();
+      label;
+    }
+
+let miss ~stage =
+  Pta_ds.Stats.incr "store.misses";
+  Pta_ds.Stats.incr ("store.miss." ^ stage);
+  None
+
+let load t ~stage ~key =
+  let path = entry_path t ~stage ~key in
+  if not (Sys.file_exists path) then miss ~stage
+  else
+    match parse_frame (read_file path) with
+    | stage', key', payload when stage' = stage && key' = key ->
+      Pta_ds.Stats.incr "store.hits";
+      Pta_ds.Stats.incr ("store.hit." ^ stage);
+      Some payload
+    | _, _, _ | (exception Codec.Corrupt _) | (exception Sys_error _) ->
+      (* corrupt, truncated, version-skewed or mislabelled: reclaim and
+         recompute rather than trust it *)
+      Pta_ds.Stats.incr "store.corrupt";
+      (try Sys.remove path with Sys_error _ -> ());
+      Manifest.remove (manifest t) (fun e ->
+          e.Manifest.stage = stage && e.Manifest.key = key);
+      miss ~stage
+
+let ls t =
+  List.sort
+    (fun a b -> compare a.Manifest.created b.Manifest.created)
+    (Manifest.load (manifest t))
+
+let entry_files t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".bin")
+  |> List.sort compare
+
+let gc t ~kept ~removed =
+  let valid = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let path = Filename.concat t.dir f in
+      match parse_frame (read_file path) with
+      | stage, key, payload when entry_file ~stage ~key = f ->
+        Hashtbl.replace valid f (stage, key, String.length payload);
+        incr kept
+      | _ | (exception Codec.Corrupt _) | (exception Sys_error _) ->
+        (try Sys.remove path with Sys_error _ -> ());
+        incr removed)
+    (entry_files t);
+  (* reconcile the index with what survived on disk *)
+  let indexed = Manifest.load (manifest t) in
+  let kept_entries =
+    List.filter (fun e -> Hashtbl.mem valid e.Manifest.file) indexed
+  in
+  let known = List.map (fun e -> e.Manifest.file) kept_entries in
+  let recovered =
+    Hashtbl.fold
+      (fun f (stage, key, _) acc ->
+        if List.mem f known then acc
+        else
+          {
+            Manifest.stage;
+            key;
+            file = f;
+            bytes = (Unix.stat (Filename.concat t.dir f)).Unix.st_size;
+            created = (Unix.stat (Filename.concat t.dir f)).Unix.st_mtime;
+            label = "";
+          }
+          :: acc)
+      valid []
+  in
+  Manifest.save (manifest t) (kept_entries @ recovered)
+
+let clear t =
+  let files = entry_files t in
+  List.iter (fun f -> try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ()) files;
+  (try Sys.remove (manifest t) with Sys_error _ -> ());
+  List.length files

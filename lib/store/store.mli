@@ -1,0 +1,59 @@
+(** The on-disk analysis store: framed, checksummed, content-addressed blobs.
+
+    Layout: one directory holding [<stage>-<key>.bin] entry files plus a
+    [MANIFEST.tsv] index ({!Manifest}). Each entry file is framed as
+
+    {v magic "PTAS" | format version | stage | key | MD5(payload) | payload v}
+
+    (all but the magic in {!Codec} encoding). {!load} verifies the whole
+    frame; any mismatch — truncation, bit rot, a different format version,
+    a file renamed across keys — deletes the entry and reports a miss, so
+    corruption degrades to recomputation, never to wrong results. Writes go
+    through a temp file and [rename], so a crash mid-write leaves either the
+    old entry or none.
+
+    Keys come from {!key}: the hex digest of the stage name, the store
+    {!format_version} and every input that determines the artifact (source
+    bytes first among them). Stale entries are therefore never addressed;
+    {!gc} reclaims them.
+
+    All operations bump {!Pta_ds.Stats} counters ([store.hits],
+    [store.misses], [store.corrupt], [store.writes], and per-stage
+    [store.hit.<stage>] / [store.miss.<stage>]) so [--stats] output shows
+    cache behaviour. *)
+
+val format_version : int
+(** Bump on any change to {!Codec} or {!Artifact} encodings; old entries
+    then stop being addressed (their keys included the old version). *)
+
+type t
+
+val open_ : string -> t
+(** Opens (creating directories as needed) the store rooted at the path.
+    Raises [Failure] if the path exists and is not a directory. *)
+
+val dir : t -> string
+
+val key : stage:string -> string list -> string
+(** [key ~stage inputs] — the content address: digest of the format
+    version, the stage name and the inputs, in that order. *)
+
+val save : t -> stage:string -> key:string -> ?label:string -> string -> unit
+(** Atomically write the payload under [(stage, key)], replacing any
+    previous entry, and index it in the manifest. [label] is a human hint
+    shown by [cache ls]. *)
+
+val load : t -> stage:string -> key:string -> string option
+(** The verified payload, or [None] if absent, corrupt or version-skewed
+    (corrupt entries are deleted). *)
+
+val ls : t -> Manifest.entry list
+(** Indexed entries, oldest first. *)
+
+val gc : t -> kept:int ref -> removed:int ref -> unit
+(** Verify every [*.bin] file in the store: delete corrupt or
+    version-skewed entries, drop dangling manifest lines, and re-index
+    valid files the manifest lost track of. *)
+
+val clear : t -> int
+(** Delete every entry (and the manifest); returns how many files went. *)

@@ -342,6 +342,98 @@ let build_direct t =
   done;
   t.n_dir_edges <- !count
 
+(* ---------- serialization (Pta_store) ---------- *)
+
+type raw = {
+  raw_kinds : nkind array;
+  raw_ind : (int * int * int array) array;
+  raw_mods : Bitset.t array;
+  raw_refs : Bitset.t array;
+  raw_mu : Bitset.t array array;
+  raw_chi : Bitset.t array array;
+  raw_entry_chis : Bitset.t array;
+  raw_exit_mus : Bitset.t array;
+}
+
+let export t =
+  let raw_kinds = Array.init (n_nodes t) (fun n -> kind t n) in
+  let edges =
+    Hashtbl.fold
+      (fun (src, o) dsts acc ->
+        (src, o, Array.of_list (Bitset.elements dsts)) :: acc)
+      t.ind_out []
+  in
+  (* Hashtbl order is nondeterministic; sort so identical graphs encode to
+     identical bytes (stable content hashes). *)
+  let raw_ind =
+    Array.of_list
+      (List.sort
+         (fun (a, b, _) (c, d, _) -> compare (a, b) (c, d))
+         edges)
+  in
+  let raw_mods, raw_refs = Modref.export t.mr in
+  let raw_mu, raw_chi, raw_entry_chis, raw_exit_mus = Annot.export t.annot in
+  { raw_kinds; raw_ind; raw_mods; raw_refs; raw_mu; raw_chi; raw_entry_chis;
+    raw_exit_mus }
+
+let import prog (aux : Modref.aux) raw =
+  let mr = Modref.import ~mods:raw.raw_mods ~refs:raw.raw_refs in
+  let annot =
+    Annot.import ~mu:raw.raw_mu ~chi:raw.raw_chi
+      ~entry_chis:raw.raw_entry_chis ~exit_mus:raw.raw_exit_mus
+  in
+  let nf = Prog.n_funcs prog in
+  let t =
+    {
+      prog;
+      aux;
+      mr;
+      annot;
+      kinds = Vec.create ~dummy:(NInst { f = -1; i = -1 }) ();
+      inst_nodes = Array.make nf [||];
+      formal_ins = Hashtbl.create 64;
+      formal_outs = Hashtbl.create 64;
+      actual_ins = Hashtbl.create 64;
+      actual_outs = Hashtbl.create 64;
+      ind_out = Hashtbl.create (max 16 (Array.length raw.raw_ind));
+      n_ind_edges = 0;
+      def_nodes = Vec.create ~dummy:(-1) ();
+      user_lists = Vec.create ~dummy:[] ();
+      n_dir_edges = 0;
+      topo_cache = None;
+    }
+  in
+  Vec.grow_to t.def_nodes (Prog.n_vars prog);
+  Vec.grow_to t.user_lists (Prog.n_vars prog);
+  Prog.iter_funcs prog (fun fn ->
+      t.inst_nodes.(fn.Prog.id) <- Array.make (Prog.n_insts fn) (-1));
+  (* Node tables are derivable from the kind array alone. *)
+  Array.iteri
+    (fun n k ->
+      let n' = Vec.push t.kinds k in
+      if n' <> n then invalid_arg "Svfg.import: kind array corrupt";
+      match k with
+      | NInst { f; i } ->
+        if f < 0 || f >= nf || i < 0 || i >= Array.length t.inst_nodes.(f) then
+          invalid_arg "Svfg.import: instruction node out of range";
+        t.inst_nodes.(f).(i) <- n
+      | NMemPhi _ -> ()
+      | NFormalIn { f; obj } -> Hashtbl.replace t.formal_ins (f, obj) n
+      | NFormalOut { f; obj } -> Hashtbl.replace t.formal_outs (f, obj) n
+      | NActualIn { f; call; obj } ->
+        Hashtbl.replace t.actual_ins (f, call, obj) n
+      | NActualOut { f; call; obj } ->
+        Hashtbl.replace t.actual_outs (f, call, obj) n)
+    raw.raw_kinds;
+  (* Fresh edge sets per import: solvers mutate them (on-the-fly call-graph
+     edges), so two imports of the same raw value must not share state. *)
+  Array.iter
+    (fun (src, o, dsts) ->
+      Array.iter (fun dst -> ignore (add_indirect_edge t src o dst)) dsts)
+    raw.raw_ind;
+  build_direct t;
+  t
+
 let build prog (aux : Modref.aux) =
   let mr = Modref.compute prog aux in
   let annot = Annot.compute prog aux mr in

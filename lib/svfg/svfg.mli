@@ -105,3 +105,32 @@ val topo_rank : t -> int array
     heuristic, which is all the solvers need. *)
 
 val pp_node : t -> Format.formatter -> int -> unit
+
+(* Serialization (Pta_store) ---------------------------------------------- *)
+
+type raw = {
+  raw_kinds : nkind array;  (** node id -> kind *)
+  raw_ind : (int * int * int array) array;
+      (** indirect edges as [(src, obj, dsts)], sorted by [(src, obj)] *)
+  raw_mods : Pta_ds.Bitset.t array;
+  raw_refs : Pta_ds.Bitset.t array;
+  raw_mu : Pta_ds.Bitset.t array array;
+  raw_chi : Pta_ds.Bitset.t array array;
+  raw_entry_chis : Pta_ds.Bitset.t array;
+  raw_exit_mus : Pta_ds.Bitset.t array;
+}
+(** Everything {!import} needs that is not derivable in linear time from the
+    program: node kinds, indirect edges, and the mod/ref and χ/μ tables the
+    solvers' on-the-fly call-graph resolution reads. Instruction-node maps,
+    call-boundary lookup tables and direct def-use edges are rebuilt. *)
+
+val export : t -> raw
+(** Deterministic snapshot of the current graph (export after
+    {!connect_direct_calls} and before solving, so import needs neither). *)
+
+val import : Pta_ir.Prog.t -> Pta_memssa.Modref.aux -> raw -> t
+(** Rebuild a graph from a snapshot in time linear in nodes + edges —
+    skipping mod/ref and χ/μ fixpoints, dominance frontiers and SSA renaming.
+    Each call yields an independent mutable graph (solvers mutate the edge
+    sets), so one decoded [raw] can seed many solver runs.
+    @raise Invalid_argument on malformed snapshots. *)

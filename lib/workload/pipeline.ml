@@ -1,9 +1,12 @@
+module Store = Pta_store.Store
+module Artifact = Pta_store.Artifact
+
 type built = {
   prog : Pta_ir.Prog.t;
-  aux_result : Pta_andersen.Solver.result;
   aux : Pta_memssa.Modref.aux;
   loc : int;
   src_bytes : int;
+  src_digest : string;
   andersen_seconds : float;
 }
 
@@ -12,8 +15,8 @@ let time f =
   let x = f () in
   (x, Unix.gettimeofday () -. start)
 
-let build_source src =
-  let prog = Pta_cfront.Lower.compile src in
+let build_source ?(compile = fun src -> Pta_cfront.Lower.compile src) src =
+  let prog = compile src in
   (match Pta_ir.Validate.check prog with
   | [] -> ()
   | errs -> failwith ("generated program invalid:\n" ^ String.concat "\n" errs));
@@ -29,19 +32,77 @@ let build_source src =
   Pta_memssa.Singleton.refine prog ~cg:aux.Pta_memssa.Modref.cg;
   {
     prog;
-    aux_result;
     aux;
     loc = Gen.loc src;
     src_bytes = String.length src;
+    src_digest = Pta_store.Digest.hex src;
     andersen_seconds;
   }
 
 let build cfg = build_source (Gen.source cfg)
 
+(* Cached builds: the program is exported *after* singleton refinement and
+   Andersen's constraint expansion, so a warm import needs neither (the var
+   table already holds the field objects and the refined singleton flags). *)
+let build_cached ~store ?compile ?(label = "") src =
+  let src_digest = Pta_store.Digest.hex src in
+  let kp = Store.key ~stage:"prog" [ src_digest ] in
+  let ka = Store.key ~stage:"andersen" [ src_digest ] in
+  let warm =
+    match
+      ( Store.load store ~stage:"prog" ~key:kp,
+        Store.load store ~stage:"andersen" ~key:ka )
+    with
+    | Some pb, Some ab -> (
+      try
+        let prog = Artifact.decode_prog pb in
+        let a = Artifact.decode_aux ~n_vars:(Pta_ir.Prog.n_vars prog) ab in
+        Some
+          {
+            prog;
+            aux = Artifact.to_aux a;
+            loc = Gen.loc src;
+            src_bytes = String.length src;
+            src_digest;
+            andersen_seconds = 0.;
+          }
+      with Pta_store.Codec.Corrupt _ -> None)
+    | _ -> None
+  in
+  match warm with
+  | Some b -> (b, true)
+  | None ->
+    let b = build_source ?compile src in
+    let a =
+      {
+        Artifact.pts =
+          Array.init (Pta_ir.Prog.n_vars b.prog) b.aux.Pta_memssa.Modref.pt;
+        cg = b.aux.Pta_memssa.Modref.cg;
+      }
+    in
+    Store.save store ~stage:"prog" ~key:kp ~label
+      (Artifact.encode_prog b.prog);
+    Store.save store ~stage:"andersen" ~key:ka ~label (Artifact.encode_aux a);
+    (b, false)
+
 let fresh_svfg b =
   let svfg = Pta_svfg.Svfg.build b.prog b.aux in
   Pta_svfg.Svfg.connect_direct_calls svfg;
   svfg
+
+let fresh_svfg_cached ~store ?(label = "") b =
+  let k = Store.key ~stage:"svfg" [ b.src_digest ] in
+  let build_and_save () =
+    let svfg = fresh_svfg b in
+    Store.save store ~stage:"svfg" ~key:k ~label
+      (Artifact.encode_svfg (Pta_svfg.Svfg.export svfg));
+    (svfg, false)
+  in
+  match Store.load store ~stage:"svfg" ~key:k with
+  | None -> build_and_save ()
+  | Some bytes -> (
+    try (Pta_svfg.Svfg.import b.prog b.aux (Artifact.decode_svfg bytes), true)
+    with Pta_store.Codec.Corrupt _ | Invalid_argument _ -> build_and_save ())
 
 type solver_run = {
   seconds : float;
@@ -52,32 +113,36 @@ type solver_run = {
   pops : int;
 }
 
+let sfs_run r seconds =
+  {
+    seconds;
+    pre_seconds = 0.;
+    sets = Pta_sfs.Sfs.n_sets r;
+    set_words = Pta_sfs.Sfs.words r;
+    props = Pta_sfs.Sfs.n_propagations r;
+    pops = Pta_sfs.Sfs.processed r;
+  }
+
+let vsfs_run r ver seconds =
+  {
+    seconds;
+    pre_seconds = Vsfs_core.Versioning.duration ver;
+    sets = Vsfs_core.Vsfs.n_sets r;
+    set_words = Vsfs_core.Vsfs.words r;
+    props = Vsfs_core.Vsfs.n_propagations r;
+    pops = Vsfs_core.Vsfs.processed r;
+  }
+
 let run_sfs b =
   let svfg = fresh_svfg b in
   let r, seconds = time (fun () -> Pta_sfs.Sfs.solve svfg) in
-  ( r,
-    {
-      seconds;
-      pre_seconds = 0.;
-      sets = Pta_sfs.Sfs.n_sets r;
-      set_words = Pta_sfs.Sfs.words r;
-      props = Pta_sfs.Sfs.n_propagations r;
-      pops = Pta_sfs.Sfs.processed r;
-    } )
+  (r, sfs_run r seconds)
 
 let run_vsfs b =
   let svfg = fresh_svfg b in
   let ver = Vsfs_core.Versioning.compute svfg in
   let r, seconds = time (fun () -> Vsfs_core.Vsfs.solve ~versioning:ver svfg) in
-  ( r,
-    {
-      seconds;
-      pre_seconds = Vsfs_core.Versioning.duration ver;
-      sets = Vsfs_core.Vsfs.n_sets r;
-      set_words = Vsfs_core.Vsfs.words r;
-      props = Vsfs_core.Vsfs.n_propagations r;
-      pops = Vsfs_core.Vsfs.processed r;
-    } )
+  (r, vsfs_run r ver seconds)
 
 let run_dense b =
   let r, seconds = time (fun () -> Pta_sfs.Dense.solve b.prog b.aux) in
@@ -90,3 +155,65 @@ let run_dense b =
       props = 0;
       pops = Pta_sfs.Dense.processed r;
     } )
+
+let run_sfs_cached ~store ?label b =
+  let svfg, _ = fresh_svfg_cached ~store ?label b in
+  let r, seconds = time (fun () -> Pta_sfs.Sfs.solve svfg) in
+  (r, sfs_run r seconds)
+
+let run_vsfs_cached ~store ?(label = "") b =
+  let svfg, _ = fresh_svfg_cached ~store ~label b in
+  let k = Store.key ~stage:"versioning" [ b.src_digest ] in
+  let compute_and_save () =
+    let ver = Vsfs_core.Versioning.compute svfg in
+    Store.save store ~stage:"versioning" ~key:k ~label
+      (Artifact.encode_versioning (Vsfs_core.Versioning.export ver));
+    ver
+  in
+  let ver =
+    match Store.load store ~stage:"versioning" ~key:k with
+    | None -> compute_and_save ()
+    | Some bytes -> (
+      try Vsfs_core.Versioning.import svfg (Artifact.decode_versioning bytes)
+      with Pta_store.Codec.Corrupt _ | Invalid_argument _ ->
+        compute_and_save ())
+  in
+  let r, seconds = time (fun () -> Vsfs_core.Vsfs.solve ~versioning:ver svfg) in
+  (r, vsfs_run r ver seconds)
+
+(* Final-result artifacts ------------------------------------------------- *)
+
+let points_to_of ~prog ~pt ~object_pt =
+  let n = Pta_ir.Prog.n_vars prog in
+  {
+    Artifact.top = Array.init n pt;
+    obj =
+      Array.init n (fun v ->
+          if Pta_ir.Prog.is_object prog v && not (Pta_ir.Prog.is_dead prog v)
+          then object_pt v
+          else Pta_ds.Bitset.create ());
+  }
+
+let points_to_of_sfs b r =
+  points_to_of ~prog:b.prog ~pt:(Pta_sfs.Sfs.pt r)
+    ~object_pt:(Pta_sfs.Sfs.object_pt r)
+
+let points_to_of_vsfs b r =
+  points_to_of ~prog:b.prog ~pt:(Vsfs_core.Vsfs.pt r)
+    ~object_pt:(Vsfs_core.Vsfs.object_pt r)
+
+let results_stage solver = "results-" ^ solver
+
+let save_points_to ~store ?(label = "") b ~solver r =
+  let stage = results_stage solver in
+  let key = Store.key ~stage [ b.src_digest ] in
+  Store.save store ~stage ~key ~label (Artifact.encode_points_to r)
+
+let load_points_to ~store b ~solver =
+  let stage = results_stage solver in
+  let key = Store.key ~stage [ b.src_digest ] in
+  match Store.load store ~stage ~key with
+  | None -> None
+  | Some bytes -> (
+    try Some (Artifact.decode_points_to bytes)
+    with Pta_store.Codec.Corrupt _ -> None)

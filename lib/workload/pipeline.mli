@@ -8,28 +8,52 @@
     Solvers mutate the SVFG they run on (on-the-fly call-graph edges,
     version reliances), so each measured solver run gets a freshly rebuilt
     SVFG — construction is deterministic, node ids coincide across rebuilds,
-    and the paper excludes SVFG construction from its timings anyway. *)
+    and the paper excludes SVFG construction from its timings anyway.
+
+    The [*_cached] variants thread a {!Pta_store.Store.t} through the same
+    pipeline: every stage is keyed on the source digest, so a warm store
+    skips lowering, validation, Andersen's analysis, memory-SSA/SVFG
+    construction and meld labelling, importing their artifacts instead.
+    Corrupt or stale entries silently fall back to the cold path (and are
+    re-saved). *)
 
 type built = {
   prog : Pta_ir.Prog.t;
-  aux_result : Pta_andersen.Solver.result;
-  aux : Pta_memssa.Modref.aux;
+  aux : Pta_memssa.Modref.aux;  (** auxiliary points-to + call graph *)
   loc : int;
   src_bytes : int;
-  andersen_seconds : float;
+  src_digest : string;  (** content hash of the source, the cache key root *)
+  andersen_seconds : float;  (** 0. when Andersen was loaded from the store *)
 }
 
-val build_source : string -> built
-(** @raise Failure on invalid programs (validation runs). *)
+val build_source : ?compile:(string -> Pta_ir.Prog.t) -> string -> built
+(** [compile] turns the source text into a program (default:
+    {!Pta_cfront.Lower.compile}; the CLI passes the IR parser for [.ir]
+    files). @raise Failure on invalid programs (validation runs). *)
 
 val build : Gen.config -> built
+
+val build_cached :
+  store:Pta_store.Store.t -> ?compile:(string -> Pta_ir.Prog.t) ->
+  ?label:string -> string -> built * bool
+(** Like {!build_source} but consulting the store first. The [bool] is
+    [true] on a warm start (program + Andersen artifacts imported — no
+    lowering, no constraint solving); on a cold start both artifacts are
+    saved for next time. [label] annotates the entries for [cache ls]. *)
 
 val fresh_svfg : built -> Pta_svfg.Svfg.t
 (** A new SVFG with direct-call interprocedural edges connected. *)
 
+val fresh_svfg_cached :
+  store:Pta_store.Store.t -> ?label:string -> built -> Pta_svfg.Svfg.t * bool
+(** Cached {!fresh_svfg}: a warm hit imports the graph (linear time,
+    skipping the mod/ref and χ/μ fixpoints, dominators and SSA renaming).
+    Each call returns an independent graph either way. *)
+
 type solver_run = {
   seconds : float;  (** main phase only *)
-  pre_seconds : float;  (** versioning time (0 for SFS/dense) *)
+  pre_seconds : float;  (** versioning time (0 for SFS/dense and for
+                            versioning imported from the store) *)
   sets : int;
   set_words : int;
   props : int;
@@ -39,5 +63,33 @@ type solver_run = {
 val run_sfs : built -> Pta_sfs.Sfs.result * solver_run
 val run_vsfs : built -> Vsfs_core.Vsfs.result * solver_run
 val run_dense : built -> Pta_sfs.Dense.result * solver_run
+
+val run_sfs_cached :
+  store:Pta_store.Store.t -> ?label:string -> built ->
+  Pta_sfs.Sfs.result * solver_run
+
+val run_vsfs_cached :
+  store:Pta_store.Store.t -> ?label:string -> built ->
+  Vsfs_core.Vsfs.result * solver_run
+(** Warm starts import the SVFG and the versioning, so only the solve phase
+    itself runs (and [pre_seconds] reads 0). *)
+
+(* Final-result artifacts ------------------------------------------------- *)
+
+val points_to_of_sfs :
+  built -> Pta_sfs.Sfs.result -> Pta_store.Artifact.points_to
+
+val points_to_of_vsfs :
+  built -> Vsfs_core.Vsfs.result -> Pta_store.Artifact.points_to
+
+val save_points_to :
+  store:Pta_store.Store.t -> ?label:string -> built -> solver:string ->
+  Pta_store.Artifact.points_to -> unit
+
+val load_points_to :
+  store:Pta_store.Store.t -> built -> solver:string ->
+  Pta_store.Artifact.points_to option
+(** The final points-to summary under stage ["results-<solver>"]; a hit
+    lets a client skip the solve (and everything before it) entirely. *)
 
 val time : (unit -> 'a) -> 'a * float

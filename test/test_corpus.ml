@@ -23,7 +23,7 @@ let run_corpus name =
         if
           not
             (Pta_ds.Bitset.subset a
-               (Pta_andersen.Solver.pts b.Pta_workload.Pipeline.aux_result v))
+               (b.Pta_workload.Pipeline.aux.Pta_memssa.Modref.pt v))
         then Alcotest.failf "FS exceeds Andersen on %s" (Prog.name p v)
       end);
   (p, vsfs)

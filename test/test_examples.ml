@@ -136,8 +136,7 @@ let test_callbacks_deltas () =
     (Callgraph.is_indirect_target cg (fid "cb_b"));
   Alcotest.(check bool) "andersen would see both" true
     (Callgraph.is_indirect_target
-       (Pta_andersen.Solver.callgraph b.Pta_workload.Pipeline.aux_result)
-       (fid "cb_a"))
+       b.Pta_workload.Pipeline.aux.Pta_memssa.Modref.cg (fid "cb_a"))
 
 let () =
   Alcotest.run "examples"

@@ -1,0 +1,299 @@
+(* Tests for the persistent analysis store (Pta_store): codec round-trips,
+   program/artifact round-trips, warm-start equality against a cold solve,
+   content-hash invalidation on source edits, and corrupt-entry recovery. *)
+
+open Pta_ir
+module Codec = Pta_store.Codec
+module Store = Pta_store.Store
+module Artifact = Pta_store.Artifact
+module Pipeline = Pta_workload.Pipeline
+
+let counter = ref 0
+
+let fresh_dir () =
+  incr counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pta-store-test-%d-%d" (Unix.getpid ()) !counter)
+
+let bench_src name =
+  let e = Option.get (Pta_workload.Suite.find ~scale:0.2 name) in
+  Pta_workload.Gen.source e.Pta_workload.Suite.cfg
+
+(* ---------- codec ---------- *)
+
+let test_codec_ints () =
+  let b = Buffer.create 64 in
+  let uints = [ 0; 1; 127; 128; 300; 1 lsl 20; max_int ] in
+  let ints = [ 0; -1; 1; -64; 64; min_int; max_int ] in
+  List.iter (Codec.add_uint b) uints;
+  List.iter (Codec.add_int b) ints;
+  let d = Codec.of_string (Buffer.contents b) in
+  List.iter
+    (fun n -> Alcotest.(check int) "uint" n (Codec.uint d))
+    uints;
+  List.iter (fun n -> Alcotest.(check int) "int" n (Codec.int d)) ints;
+  Codec.expect_end d;
+  Alcotest.check_raises "negative uint rejected"
+    (Invalid_argument "Codec.add_uint: negative") (fun () ->
+      Codec.add_uint (Buffer.create 4) (-1))
+
+let test_codec_words_and_bitsets () =
+  (* bit 62 set makes the stored word negative: the lo/hi split must
+     round-trip it *)
+  let s = Pta_ds.Bitset.of_list [ 0; 62; 63; 1000; 4096; 500_000 ] in
+  let b = Buffer.create 64 in
+  Codec.add_bitset b s;
+  Codec.add_string b "tail";
+  let d = Codec.of_string (Buffer.contents b) in
+  let s' = Codec.bitset d in
+  Alcotest.(check bool) "bitset roundtrip" true (Pta_ds.Bitset.equal s s');
+  Alcotest.(check string) "tail intact" "tail" (Codec.string d);
+  Codec.expect_end d
+
+let test_codec_corrupt () =
+  let b = Buffer.create 64 in
+  Codec.add_string b "hello";
+  let bytes = Buffer.contents b in
+  (* truncation inside the string body *)
+  let d = Codec.of_string (String.sub bytes 0 3) in
+  Alcotest.(check bool) "truncated string detected" true
+    (match Codec.string d with
+    | exception Codec.Corrupt _ -> true
+    | _ -> false);
+  (* element count beyond the remaining bytes must not allocate *)
+  let b2 = Buffer.create 8 in
+  Codec.add_uint b2 1_000_000;
+  Alcotest.(check bool) "oversized count detected" true
+    (match Codec.array Codec.uint (Codec.of_string (Buffer.contents b2)) with
+    | exception Codec.Corrupt _ -> true
+    | _ -> false)
+
+(* ---------- program round-trip ---------- *)
+
+let check_same_prog p p' =
+  Alcotest.(check int) "n_vars" (Prog.n_vars p) (Prog.n_vars p');
+  Prog.iter_vars p (fun v ->
+      Alcotest.(check string) "var name" (Prog.name p v) (Prog.name p' v);
+      Alcotest.(check bool) "is_object" (Prog.is_object p v)
+        (Prog.is_object p' v);
+      if Prog.is_object p v then
+        Alcotest.(check bool) "obj kind" true
+          (Prog.obj_kind p v = Prog.obj_kind p' v);
+      Alcotest.(check bool) "singleton" (Prog.is_singleton p v)
+        (Prog.is_singleton p' v);
+      Alcotest.(check bool) "dead" (Prog.is_dead p v) (Prog.is_dead p' v));
+  Alcotest.(check int) "n_funcs" (Prog.n_funcs p) (Prog.n_funcs p');
+  Prog.iter_funcs p (fun f ->
+      let f' = Prog.func p' f.Prog.id in
+      Alcotest.(check string) "fname" f.Prog.fname f'.Prog.fname;
+      Alcotest.(check (list int)) "params" f.Prog.params f'.Prog.params;
+      Alcotest.(check bool) "ret" true (f.Prog.ret = f'.Prog.ret);
+      Alcotest.(check int) "exit" f.Prog.exit_inst f'.Prog.exit_inst;
+      Alcotest.(check bool) "addr taken" f.Prog.address_taken
+        f'.Prog.address_taken;
+      Alcotest.(check int) "fobj" f.Prog.fobj f'.Prog.fobj;
+      Alcotest.(check int) "n_insts" (Prog.n_insts f) (Prog.n_insts f');
+      for i = 0 to Prog.n_insts f - 1 do
+        Alcotest.(check bool) "inst" true (Prog.inst f i = Prog.inst f' i);
+        Alcotest.(check bool) "cfg succs" true
+          (Pta_ds.Bitset.equal
+             (Pta_graph.Digraph.succs f.Prog.cfg i)
+             (Pta_graph.Digraph.succs f'.Prog.cfg i))
+      done);
+  Alcotest.(check bool) "entry" true
+    ((Option.map (fun f -> f.Prog.id) (Prog.entry_opt p))
+    = Option.map (fun f -> f.Prog.id) (Prog.entry_opt p'))
+
+let test_prog_roundtrip () =
+  List.iter
+    (fun name ->
+      (* built after Andersen, so the var table includes the field objects
+         created during constraint expansion *)
+      let b = Pipeline.build_source (bench_src name) in
+      let p = b.Pipeline.prog in
+      let p' = Artifact.decode_prog (Artifact.encode_prog p) in
+      check_same_prog p p';
+      (* the restored field intern table must dedup, not duplicate *)
+      let before = Prog.n_vars p' in
+      Prog.iter_objects p (fun o ->
+          match Prog.obj_kind p o with
+          | Prog.FieldOf { base; offset } ->
+            Alcotest.(check int) "field interned" o
+              (Prog.field_obj p' ~base ~offset)
+          | _ -> ());
+      Alcotest.(check int) "no new vars" before (Prog.n_vars p'))
+    [ "du"; "ninja" ]
+
+(* ---------- store framing ---------- *)
+
+let test_store_frame () =
+  let store = Store.open_ (fresh_dir ()) in
+  let key = Store.key ~stage:"blob" [ "abc" ] in
+  Alcotest.(check bool) "key differs by stage" true
+    (key <> Store.key ~stage:"other" [ "abc" ]);
+  Alcotest.(check bool) "key differs by input" true
+    (key <> Store.key ~stage:"blob" [ "abd" ]);
+  Alcotest.(check (option string)) "miss on empty" None
+    (Store.load store ~stage:"blob" ~key);
+  Store.save store ~stage:"blob" ~key ~label:"t" "payload bytes";
+  Alcotest.(check (option string)) "hit" (Some "payload bytes")
+    (Store.load store ~stage:"blob" ~key);
+  Alcotest.(check int) "ls sees it" 1 (List.length (Store.ls store));
+  Alcotest.(check int) "clear" 1 (Store.clear store);
+  Alcotest.(check (option string)) "miss after clear" None
+    (Store.load store ~stage:"blob" ~key)
+
+let corrupt_file path =
+  let ic = open_in_bin path in
+  let bytes = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let mid = Bytes.length bytes / 2 in
+  Bytes.set bytes mid (Char.chr (Char.code (Bytes.get bytes mid) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let test_store_corrupt_detected () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  let key = Store.key ~stage:"blob" [ "x" ] in
+  Store.save store ~stage:"blob" ~key "some payload that is long enough";
+  (* bit flip in the middle: checksum must catch it, entry is reclaimed *)
+  corrupt_file (Filename.concat dir ("blob-" ^ key ^ ".bin"));
+  Alcotest.(check (option string)) "corrupt is a miss" None
+    (Store.load store ~stage:"blob" ~key);
+  Alcotest.(check bool) "corrupt file deleted" false
+    (Sys.file_exists (Filename.concat dir ("blob-" ^ key ^ ".bin")));
+  (* truncation likewise, via gc *)
+  Store.save store ~stage:"blob" ~key "some payload that is long enough";
+  let path = Filename.concat dir ("blob-" ^ key ^ ".bin") in
+  let oc = open_out_gen [ Open_trunc; Open_binary; Open_wronly ] 0o644 path in
+  output_string oc "PTAS";
+  close_out oc;
+  let kept = ref 0 and removed = ref 0 in
+  Store.gc store ~kept ~removed;
+  Alcotest.(check int) "gc removed truncated" 1 !removed;
+  Alcotest.(check int) "nothing kept" 0 !kept
+
+(* ---------- acceptance (a): results round-trip through the store ------- *)
+
+let test_results_roundtrip () =
+  List.iter
+    (fun name ->
+      let src = bench_src name in
+      let dir = fresh_dir () in
+      (* cold run populates every stage *)
+      let store = Store.open_ dir in
+      let b, warm = Pipeline.build_cached ~store ~label:name src in
+      Alcotest.(check bool) "first build is cold" false warm;
+      let r, _ = Pipeline.run_vsfs_cached ~store b in
+      let cold = Pipeline.points_to_of_vsfs b r in
+      Pipeline.save_points_to ~store b ~solver:"vsfs" cold;
+      (* reopen: program, Andersen, SVFG and versioning all import *)
+      let store2 = Store.open_ dir in
+      let b2, warm2 = Pipeline.build_cached ~store:store2 ~label:name src in
+      Alcotest.(check bool) "second build is warm" true warm2;
+      Alcotest.(check bool) "no Andersen on warm start" true
+        (b2.Pipeline.andersen_seconds = 0.);
+      check_same_prog b.Pipeline.prog b2.Pipeline.prog;
+      let r2, run2 = Pipeline.run_vsfs_cached ~store:store2 b2 in
+      Alcotest.(check bool) "no meld labelling on warm start" true
+        (run2.Pipeline.pre_seconds = 0.);
+      let warm_res = Pipeline.points_to_of_vsfs b2 r2 in
+      let saved =
+        Option.get (Pipeline.load_points_to ~store:store2 b2 ~solver:"vsfs")
+      in
+      let n = Prog.n_vars b.Pipeline.prog in
+      Alcotest.(check int) "top table size" n (Array.length saved.Artifact.top);
+      for v = 0 to n - 1 do
+        Alcotest.(check bool) "warm pt = cold pt" true
+          (Pta_ds.Bitset.equal cold.Artifact.top.(v) warm_res.Artifact.top.(v));
+        Alcotest.(check bool) "saved pt = cold pt" true
+          (Pta_ds.Bitset.equal cold.Artifact.top.(v) saved.Artifact.top.(v));
+        Alcotest.(check bool) "obj pt equal" true
+          (Pta_ds.Bitset.equal cold.Artifact.obj.(v) warm_res.Artifact.obj.(v))
+      done)
+    [ "du"; "bake"; "dpkg" ]
+
+(* ---------- acceptance (b): source edits force recomputation ----------- *)
+
+let test_source_edit_invalidates () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  let src = bench_src "ninja" in
+  let _, warm = Pipeline.build_cached ~store src in
+  Alcotest.(check bool) "cold" false warm;
+  let _, warm = Pipeline.build_cached ~store src in
+  Alcotest.(check bool) "warm on identical source" true warm;
+  let edited = src ^ "\nfunc __edited() { var p; p = malloc(); }\n" in
+  let b_old, _ = Pipeline.build_cached ~store src in
+  let b_new, warm = Pipeline.build_cached ~store edited in
+  Alcotest.(check bool) "edit forces recompute" false warm;
+  Alcotest.(check bool) "digest changed" true
+    (b_old.Pipeline.src_digest <> b_new.Pipeline.src_digest);
+  Alcotest.(check bool) "edited program differs" true
+    (Prog.n_funcs b_new.Pipeline.prog > Prog.n_funcs b_old.Pipeline.prog);
+  (* both generations coexist under their own keys *)
+  let _, w1 = Pipeline.build_cached ~store src in
+  let _, w2 = Pipeline.build_cached ~store edited in
+  Alcotest.(check bool) "both cached now" true (w1 && w2)
+
+(* ---------- acceptance (c): corrupt pipeline entries recompute --------- *)
+
+let test_corrupt_entry_recomputed () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  let src = bench_src "du" in
+  let b, _ = Pipeline.build_cached ~store src in
+  let r, _ = Pipeline.run_vsfs_cached ~store b in
+  let cold = Pipeline.points_to_of_vsfs b r in
+  (* flip a byte in every entry: all loads must detect and recompute *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".bin" then
+        corrupt_file (Filename.concat dir f))
+    (Sys.readdir dir);
+  let before = Pta_ds.Stats.get "store.corrupt" in
+  let b2, warm = Pipeline.build_cached ~store src in
+  Alcotest.(check bool) "corrupt build recomputes" false warm;
+  Alcotest.(check bool) "corruption counted" true
+    (Pta_ds.Stats.get "store.corrupt" > before);
+  let r2, _ = Pipeline.run_vsfs_cached ~store b2 in
+  let again = Pipeline.points_to_of_vsfs b2 r2 in
+  for v = 0 to Prog.n_vars b.Pipeline.prog - 1 do
+    Alcotest.(check bool) "recomputed results equal" true
+      (Pta_ds.Bitset.equal cold.Artifact.top.(v) again.Artifact.top.(v))
+  done;
+  (* the recompute re-saved fresh entries *)
+  let _, warm = Pipeline.build_cached ~store src in
+  Alcotest.(check bool) "healthy again" true warm
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "ints" `Quick test_codec_ints;
+          Alcotest.test_case "words and bitsets" `Quick
+            test_codec_words_and_bitsets;
+          Alcotest.test_case "corruption" `Quick test_codec_corrupt;
+        ] );
+      ( "artifacts",
+        [ Alcotest.test_case "program roundtrip" `Quick test_prog_roundtrip ] );
+      ( "store",
+        [
+          Alcotest.test_case "framing" `Quick test_store_frame;
+          Alcotest.test_case "corrupt detection" `Quick
+            test_store_corrupt_detected;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "results roundtrip (3 benchmarks)" `Quick
+            test_results_roundtrip;
+          Alcotest.test_case "source edit invalidates" `Quick
+            test_source_edit_invalidates;
+          Alcotest.test_case "corrupt entries recomputed" `Quick
+            test_corrupt_entry_recomputed;
+        ] );
+    ]

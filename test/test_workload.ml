@@ -58,6 +58,76 @@ let prop_generated_analysable =
       let svfg = Pta_workload.Pipeline.fresh_svfg b in
       Vsfs_core.Equiv.is_equal (Vsfs_core.Equiv.compare sfs_r vsfs_r svfg))
 
+let prop_roundtrip_semantic =
+  (* parse (print prog) is not just textually stable but *semantically*
+     equivalent: Andersen reports the same points-to facts, matched by
+     (function name, instruction id) and object names — ids are allowed to
+     differ between the two programs *)
+  let andersen_report p =
+    let r = Pta_andersen.Solver.solve p in
+    let obj_names set =
+      List.sort String.compare
+        (List.map (Prog.name p) (Pta_ds.Bitset.elements set))
+    in
+    let report = ref [] in
+    Prog.iter_funcs p (fun f ->
+        for i = 0 to Prog.n_insts f - 1 do
+          match Inst.def (Prog.inst f i) with
+          | Some v ->
+            report :=
+              (f.Prog.fname, i, obj_names (Pta_andersen.Solver.pts r v))
+              :: !report
+          | None -> ()
+        done);
+    List.sort compare !report
+  in
+  QCheck2.Test.make ~name:"printer/parser roundtrip preserves semantics"
+    ~count:12
+    QCheck2.Gen.(32_001 -- 33_000)
+    (fun seed ->
+      let cfg = Pta_workload.Gen.small_random seed in
+      let p = Pta_cfront.Lower.compile (Pta_workload.Gen.source cfg) in
+      let p2 = Parser.parse (Printer.prog_to_string p) in
+      andersen_report p = andersen_report p2)
+
+let test_roundtrip_semantic_suite () =
+  (* the same equivalence on several real suite benchmarks *)
+  List.iter
+    (fun name ->
+      let e = Option.get (Pta_workload.Suite.find ~scale:0.15 name) in
+      let p =
+        Pta_cfront.Lower.compile
+          (Pta_workload.Gen.source e.Pta_workload.Suite.cfg)
+      in
+      let p2 = Parser.parse (Printer.prog_to_string p) in
+      Alcotest.(check int)
+        (name ^ ": same function count")
+        (Prog.n_funcs p) (Prog.n_funcs p2);
+      let facts q =
+        let r = Pta_andersen.Solver.solve q in
+        let acc = ref [] in
+        Prog.iter_funcs q (fun f ->
+            for i = 0 to Prog.n_insts f - 1 do
+              match Inst.def (Prog.inst f i) with
+              | Some v ->
+                acc :=
+                  ( f.Prog.fname,
+                    i,
+                    List.sort String.compare
+                      (List.map (Prog.name q)
+                         (Pta_ds.Bitset.elements (Pta_andersen.Solver.pts r v)))
+                  )
+                  :: !acc
+              | None -> ()
+            done);
+        List.sort compare !acc
+      in
+      Alcotest.(check bool)
+        (name ^ ": same Andersen facts")
+        true
+        (facts p = facts p2))
+    [ "du"; "bake"; "mutt" ]
+
 let test_pipeline_metrics () =
   let e = Option.get (Pta_workload.Suite.find ~scale:0.15 "du") in
   let b = Pta_workload.Pipeline.build e.Pta_workload.Suite.cfg in
@@ -99,6 +169,9 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_generated_roundtrip;
           QCheck_alcotest.to_alcotest prop_generated_analysable;
+          QCheck_alcotest.to_alcotest prop_roundtrip_semantic;
+          Alcotest.test_case "roundtrip semantics on suite" `Quick
+            test_roundtrip_semantic_suite;
         ] );
       ( "pipeline",
         [
