@@ -5,14 +5,17 @@
 #   smoke  — end-to-end check of the persistent analysis store: analyze the
 #            same file twice through a fresh cache and require the second
 #            run to be a warm start with a results hit
+#   bench-smoke — scale-0.1 Table III run with --json; checks the
+#            machine-readable output carries the interning metrics
 #   ci     — all of the above
 
 DUNE ?= dune
 SMOKE_DIR := $(shell mktemp -d /tmp/pta-ci-cache.XXXXXX)
+BENCH_JSON := $(shell mktemp /tmp/pta-ci-bench.XXXXXX.json)
 
-.PHONY: ci build test smoke clean
+.PHONY: ci build test smoke bench-smoke clean
 
-ci: build test smoke
+ci: build test smoke bench-smoke
 
 build:
 	$(DUNE) build @all
@@ -32,6 +35,17 @@ smoke: build
 	$(DUNE) exec bin/vsfs_cli.exe -- cache clear --cache-dir $(SMOKE_DIR)
 	rm -rf $(SMOKE_DIR)
 	@echo "== smoke OK =="
+
+bench-smoke: build
+	@echo "== bench smoke (json: $(BENCH_JSON)) =="
+	$(DUNE) exec bench/main.exe -- tableIII 0.1 --json $(BENCH_JSON) > /dev/null
+	grep -q '"unique_sets"' $(BENCH_JSON)
+	grep -q '"hit_rate"' $(BENCH_JSON)
+	grep -q '"dedup_sfs"' $(BENCH_JSON)
+	grep -q '"equal": true' $(BENCH_JSON)
+	! grep -q '"equal": false' $(BENCH_JSON)
+	rm -f $(BENCH_JSON)
+	@echo "== bench smoke OK =="
 
 clean:
 	$(DUNE) clean

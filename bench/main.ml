@@ -6,7 +6,7 @@
                                                 ablations, micro-benches)
      dune exec bench/main.exe -- tableI
      dune exec bench/main.exe -- tableII [scale]
-     dune exec bench/main.exe -- tableIII [scale]
+     dune exec bench/main.exe -- tableIII [scale] [--json out.json]
      dune exec bench/main.exe -- ablations [scale]
      dune exec bench/main.exe -- warm [scale]
      dune exec bench/main.exe -- micro
@@ -108,14 +108,60 @@ let table2 ?(scale = 1.0) () =
 (* Table III: Andersen / SFS / VSFS time and memory + ratios.          *)
 (* ------------------------------------------------------------------ *)
 
-let table3 ?(scale = 1.0) ?(check = true) () =
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let hit_rate hits misses =
+  let h = float_of_int hits and m = float_of_int misses in
+  if h +. m <= 0. then 0. else h /. (h +. m)
+
+let json_of_run (r : Pipeline.solver_run) =
+  Printf.sprintf
+    "{\"seconds\": %.6f, \"pre_seconds\": %.6f, \"words\": %d, \
+     \"unshared_words\": %d, \"unique_sets\": %d, \"sets\": %d, \
+     \"props\": %d, \"pops\": %d}"
+    r.Pipeline.seconds r.Pipeline.pre_seconds r.Pipeline.set_words
+    r.Pipeline.unshared_words r.Pipeline.unique_sets r.Pipeline.sets
+    r.Pipeline.props r.Pipeline.pops
+
+let ptset_stats_json () =
+  let g = Pta_ds.Stats.get in
+  Printf.sprintf
+    "{\"unique_sets\": %d, \"pool_words\": %d, \"add_hit_rate\": %.4f, \
+     \"union_hit_rate\": %.4f, \"delta_hit_rate\": %.4f, \"hit_rate\": %.4f}"
+    (Pta_ds.Ptset.n_unique ())
+    (Pta_ds.Ptset.pool_words ())
+    (hit_rate (g "ptset.add_hits") (g "ptset.add_misses"))
+    (hit_rate (g "ptset.union_hits") (g "ptset.union_misses"))
+    (hit_rate (g "ptset.delta_hits") (g "ptset.delta_misses"))
+    (hit_rate
+       (g "ptset.add_hits" + g "ptset.union_hits" + g "ptset.delta_hits")
+       (g "ptset.add_misses" + g "ptset.union_misses" + g "ptset.delta_misses"))
+
+let table3 ?(scale = 1.0) ?(check = true) ?json () =
   pf "== Table III: analysis time and memory (scale %.2f) ==@.@." scale;
   pf "Time in seconds (main phase; VSFS versioning listed separately, as in@.";
-  pf "the paper). Memory is the logical footprint of the points-to sets and@.";
-  pf "versioning structures in MB (8-byte words); both analyses share the@.";
-  pf "same front end, auxiliary analysis and SVFG, which are excluded.@.@.";
+  pf "the paper). The MB columns are the structure-shared footprint (interned@.";
+  pf "sets counted once, 8-byte words) incl. versioning structures; 'Mem diff.'@.";
+  pf "compares per-slot materialised words — the paper's metric, independent@.";
+  pf "of interning. Front end, auxiliary analysis and SVFG are excluded.@.@.";
   let time_ratios = ref [] and mem_ratios = ref [] in
+  let shared_mem_ratios = ref [] in
   let easy_excluded_time = ref [] in
+  let sfs_dedups = ref [] and vsfs_dedups = ref [] in
+  let json_rows = ref [] in
   let rows =
     List.map
       (fun (e : Suite.entry) ->
@@ -130,12 +176,37 @@ let table3 ?(scale = 1.0) ?(check = true) () =
           else true
         in
         let tdiff = sfs.Pipeline.seconds /. max vsfs.Pipeline.seconds 1e-9 in
+        (* The paper's memory metric counts each (slot, object) set where it
+           is materialised — with interning that is [unshared_words]; the
+           structure-shared footprint is reported separately below. *)
         let mdiff =
+          float sfs.Pipeline.unshared_words
+          /. float (max vsfs.Pipeline.unshared_words 1)
+        in
+        let mdiff_shared =
           float sfs.Pipeline.set_words /. float (max vsfs.Pipeline.set_words 1)
         in
         time_ratios := tdiff :: !time_ratios;
         mem_ratios := mdiff :: !mem_ratios;
+        shared_mem_ratios := mdiff_shared :: !shared_mem_ratios;
         if not e.Suite.easy then easy_excluded_time := tdiff :: !easy_excluded_time;
+        sfs_dedups :=
+          (float sfs.Pipeline.unshared_words
+          /. float (max sfs.Pipeline.set_words 1))
+          :: !sfs_dedups;
+        vsfs_dedups :=
+          (float vsfs.Pipeline.unshared_words
+          /. float (max vsfs.Pipeline.set_words 1))
+          :: !vsfs_dedups;
+        json_rows :=
+          Printf.sprintf
+            "    {\"name\": \"%s\", \"andersen_s\": %.6f, \"sfs\": %s, \
+             \"vsfs\": %s, \"time_ratio\": %.4f, \"mem_ratio\": %.4f, \
+             \"mem_ratio_shared\": %.4f, \"equal\": %b}"
+            (json_escape e.Suite.name)
+            b.Pipeline.andersen_seconds (json_of_run sfs) (json_of_run vsfs)
+            tdiff mdiff mdiff_shared equal
+          :: !json_rows;
         Printf.eprintf "  [done] %-14s sfs=%.2fs vsfs=%.2fs (%s)\n%!" e.Suite.name
           sfs.Pipeline.seconds vsfs.Pipeline.seconds
           (if equal then "precision equal" else "PRECISION MISMATCH!");
@@ -162,8 +233,42 @@ let table3 ?(scale = 1.0) ?(check = true) () =
   pf "@.geometric mean speedup:            %.2fx@." (T.geomean !time_ratios);
   pf "geometric mean speedup (hard set): %.2fx@."
     (T.geomean !easy_excluded_time);
-  pf "geometric mean memory reduction:   %.2fx@." (T.geomean !mem_ratios);
-  pf "(paper: 5.31x mean speedup, up to 26.22x; 2.11x mean memory, up to 5.46x)@.@."
+  pf "geometric mean memory reduction:   %.2fx (per-slot sets, paper's metric)@."
+    (T.geomean !mem_ratios);
+  pf "(paper: 5.31x mean speedup, up to 26.22x; 2.11x mean memory, up to 5.46x)@.@.";
+  let g = Pta_ds.Stats.get in
+  pf "interned points-to sets (process-wide):@.";
+  pf "  geomean SFS/VSFS shared-words ratio: %.2fx (interning favours SFS — it@."
+    (T.geomean !shared_mem_ratios);
+  pf "    duplicated the most sets, so sharing collapses much of its overhead)@.";
+  pf "  unique sets in pool:               %d (%d words)@."
+    (Pta_ds.Ptset.n_unique ())
+    (Pta_ds.Ptset.pool_words ());
+  pf "  geomean words dedup (SFS):         %.2fx (unshared / shared)@."
+    (T.geomean !sfs_dedups);
+  pf "  geomean words dedup (VSFS):        %.2fx@." (T.geomean !vsfs_dedups);
+  pf "  add memo hit rate:                 %.1f%%@."
+    (100. *. hit_rate (g "ptset.add_hits") (g "ptset.add_misses"));
+  pf "  union memo hit rate:               %.1f%%@."
+    (100. *. hit_rate (g "ptset.union_hits") (g "ptset.union_misses"));
+  pf "  union_delta memo hit rate:         %.1f%%@.@."
+    (100. *. hit_rate (g "ptset.delta_hits") (g "ptset.delta_misses"));
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"scale\": %.4f,\n  \"benchmarks\": [\n%s\n  ],\n  \"geomean\": \
+       {\"time_ratio\": %.4f, \"mem_ratio\": %.4f, \"mem_ratio_shared\": \
+       %.4f, \"dedup_sfs\": %.4f, \"dedup_vsfs\": %.4f},\n  \"ptset\": %s\n}\n"
+      scale
+      (String.concat ",\n" (List.rev !json_rows))
+      (T.geomean !time_ratios) (T.geomean !mem_ratios)
+      (T.geomean !shared_mem_ratios)
+      (T.geomean !sfs_dedups) (T.geomean !vsfs_dedups)
+      (ptset_stats_json ());
+    close_out oc;
+    pf "machine-readable results written to %s@.@." path
 
 (* ------------------------------------------------------------------ *)
 (* Ablations.                                                          *)
@@ -384,6 +489,15 @@ let micro () =
 
 let () =
   let argv = Array.to_list Sys.argv in
+  (* [--json <path>]: drop the pair from the positional arguments *)
+  let rec extract_json = function
+    | "--json" :: path :: rest -> (Some path, rest)
+    | a :: rest ->
+      let j, rest = extract_json rest in
+      (j, a :: rest)
+    | [] -> (None, [])
+  in
+  let json, argv = extract_json argv in
   let scale =
     List.fold_left
       (fun acc a -> match float_of_string_opt a with Some f -> f | None -> acc)
@@ -397,7 +511,7 @@ let () =
      reproduction *)
   if has "tableI" || has "all" || default then table1 ();
   if has "tableII" || has "all" || default then table2 ~scale ();
-  if has "tableIII" || has "all" || default then table3 ~scale ();
+  if has "tableIII" || has "all" || default then table3 ~scale ?json ();
   if has "ablations" || has "all" || default then ablations ~scale ();
   if has "warm" || has "all" || default then warm ~scale ();
   if has "micro" || has "all" || default then micro ()

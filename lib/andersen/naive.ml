@@ -1,37 +1,51 @@
 open Pta_ds
 open Pta_ir
 
-type result = { sets : (Inst.var, Bitset.t) Hashtbl.t; cg : Callgraph.t }
+type result = { sets : (Inst.var, Ptset.t) Hashtbl.t; cg : Callgraph.t }
 
-let pts r v =
+let pts_id r v =
   match Hashtbl.find_opt r.sets v with
   | Some s -> s
   | None ->
-    let s = Bitset.create () in
-    Hashtbl.add r.sets v s;
-    s
+    Hashtbl.add r.sets v Ptset.empty;
+    Ptset.empty
 
+let pts r v = Ptset.view (pts_id r v)
 let callgraph r = r.cg
 
 let solve prog =
   let r = { sets = Hashtbl.create 256; cg = Callgraph.create () } in
   let changed = ref true in
-  let union_into dst src = if Bitset.union_into ~into:dst src then changed := true in
-  let add dst o = if Bitset.add dst o then changed := true in
+  let union_into dst src =
+    let s = pts_id r dst in
+    let s' = Ptset.union s src in
+    if not (Ptset.equal s' s) then begin
+      Hashtbl.replace r.sets dst s';
+      changed := true
+    end
+  in
+  let add dst o =
+    let s = pts_id r dst in
+    let s' = Ptset.add s o in
+    if not (Ptset.equal s' s) then begin
+      Hashtbl.replace r.sets dst s';
+      changed := true
+    end
+  in
   let apply_call fn i lhs callee args =
     let cs = { Callgraph.cs_func = fn.Prog.id; cs_inst = i } in
     let targets =
       match callee with
       | Inst.Direct fid -> [ fid ]
       | Inst.Indirect fp ->
-        Bitset.fold
+        Ptset.fold
           (fun o acc ->
             match Prog.is_function_obj prog o with
             | Some fid ->
               Callgraph.mark_indirect_target r.cg fid;
               fid :: acc
             | None -> acc)
-          (pts r fp) []
+          (pts_id r fp) []
     in
     List.iter
       (fun fid ->
@@ -40,13 +54,13 @@ let solve prog =
         let rec zip args params =
           match (args, params) with
           | a :: args, p :: params ->
-            union_into (pts r p) (pts r a);
+            union_into p (pts_id r a);
             zip args params
           | _ -> ()
         in
         zip args callee.Prog.params;
         match (lhs, callee.Prog.ret) with
-        | Some l, Some ret -> union_into (pts r l) (pts r ret)
+        | Some l, Some ret -> union_into l (pts_id r ret)
         | _ -> ())
       targets
   in
@@ -55,25 +69,24 @@ let solve prog =
     Prog.iter_funcs prog (fun fn ->
         for i = 0 to Prog.n_insts fn - 1 do
           match Prog.inst fn i with
-          | Inst.Alloc { lhs; obj } -> add (pts r lhs) obj
-          | Inst.Copy { lhs; rhs } -> union_into (pts r lhs) (pts r rhs)
+          | Inst.Alloc { lhs; obj } -> add lhs obj
+          | Inst.Copy { lhs; rhs } -> union_into lhs (pts_id r rhs)
           | Inst.Phi { lhs; rhs } ->
-            List.iter (fun x -> union_into (pts r lhs) (pts r x)) rhs
+            List.iter (fun x -> union_into lhs (pts_id r x)) rhs
           | Inst.Field { lhs; base; offset } ->
-            Bitset.iter
+            (* interned sets are immutable, so iterating while extending
+               [lhs] needs none of the defensive copies the mutable version
+               took *)
+            Ptset.iter
               (fun o ->
                 match Prog.obj_kind prog o with
                 | Prog.Func _ -> ()
-                | _ -> add (pts r lhs) (Prog.field_obj prog ~base:o ~offset))
-              (Bitset.copy (pts r base))
+                | _ -> add lhs (Prog.field_obj prog ~base:o ~offset))
+              (pts_id r base)
           | Inst.Load { lhs; ptr } ->
-            Bitset.iter
-              (fun o -> union_into (pts r lhs) (pts r o))
-              (Bitset.copy (pts r ptr))
+            Ptset.iter (fun o -> union_into lhs (pts_id r o)) (pts_id r ptr)
           | Inst.Store { ptr; rhs } ->
-            Bitset.iter
-              (fun o -> union_into (pts r o) (pts r rhs))
-              (Bitset.copy (pts r ptr))
+            Ptset.iter (fun o -> union_into o (pts_id r rhs)) (pts_id r ptr)
           | Inst.Call { lhs; callee; args } -> apply_call fn i lhs callee args
           | Inst.Entry | Inst.Exit | Inst.Branch -> ()
         done)

@@ -11,14 +11,14 @@ type complex = {
   (* indirect call sites whose function pointer is [p] *)
   mutable calls : (Callgraph.callsite * Inst.var option * Inst.var list) list;
   (* objects already expanded for this constraint-carrying variable *)
-  cdone : Bitset.t;
+  mutable cdone : Ptset.t;
 }
 
 type state = {
   prog : Prog.t;
   uf : Union_find.t;
-  pts : Bitset.t Vec.t;  (* authoritative at representatives *)
-  prev : Bitset.t Vec.t;  (* what has been pushed to copy successors *)
+  pts : Ptset.t Vec.t;  (* authoritative at representatives *)
+  prev : Ptset.t Vec.t;  (* what has been pushed to copy successors *)
   copy : Pta_graph.Digraph.t;  (* copy edges over original variable ids *)
   complex : (Inst.var, complex) Hashtbl.t;
   cg : Callgraph.t;
@@ -28,35 +28,14 @@ type state = {
 
 type result = state
 
-(* The Vec dummy is a shared empty bitset; never mutated. [pts_of] and
-   [prev_of] install a private set on demand. *)
-let dummy = Bitset.create ()
-
 let ensure st v =
   Union_find.grow st.uf (v + 1);
   Vec.grow_to st.pts (v + 1);
   Vec.grow_to st.prev (v + 1);
   Pta_graph.Digraph.ensure st.copy (v + 1)
 
-let pts_of st v =
-  let v = Union_find.find st.uf v in
-  let s = Vec.get st.pts v in
-  if s == dummy then begin
-    let s = Bitset.create () in
-    Vec.set st.pts v s;
-    s
-  end
-  else s
-
-let prev_of st v =
-  let v = Union_find.find st.uf v in
-  let s = Vec.get st.prev v in
-  if s == dummy then begin
-    let s = Bitset.create () in
-    Vec.set st.prev v s;
-    s
-  end
-  else s
+let pts_id st v = Vec.get st.pts (Union_find.find st.uf v)
+let prev_id st v = Vec.get st.prev (Union_find.find st.uf v)
 
 let complex_of st v =
   match Hashtbl.find_opt st.complex v with
@@ -64,7 +43,7 @@ let complex_of st v =
   | None ->
     let c =
       { load_lhss = []; store_rhss = []; geps = []; calls = [];
-        cdone = Bitset.create () }
+        cdone = Ptset.empty }
     in
     Hashtbl.add st.complex v c;
     c
@@ -73,7 +52,23 @@ let add_copy st u w =
   if u <> w then
     if Pta_graph.Digraph.add_edge st.copy u w then st.changed <- true
 
-let add_pt st v o = if Bitset.add (pts_of st v) o then st.changed <- true
+let add_pt st v o =
+  let r = Union_find.find st.uf v in
+  let s = Vec.get st.pts r in
+  let s' = Ptset.add s o in
+  if not (Ptset.equal s' s) then begin
+    Vec.set st.pts r s';
+    st.changed <- true
+  end
+
+let union_pts st v src =
+  let r = Union_find.find st.uf v in
+  let s = Vec.get st.pts r in
+  let s' = Ptset.union s src in
+  if not (Ptset.equal s' s) then begin
+    Vec.set st.pts r s';
+    st.changed <- true
+  end
 
 (* ---------- constraint extraction ---------- *)
 
@@ -150,15 +145,13 @@ let collapse_sccs st =
         else begin
           let l = leader.(c) in
           (* Keep [l] as representative; fold [v]'s data into it. *)
-          let pv = pts_of st v and qv = prev_of st v in
+          let pv = Vec.get st.pts v and qv = Vec.get st.prev v in
           Union_find.union_into st.uf ~winner:l v;
           Stats.incr "andersen.scc_merges";
-          ignore (Bitset.union_into ~into:(pts_of st l) pv);
+          Vec.set st.pts l (Ptset.union (Vec.get st.pts l) pv);
           (* [prev] must under-approximate what reached every successor of
              the merged node, so intersect. *)
-          let merged_prev = Bitset.inter (prev_of st l) qv in
-          Bitset.clear (prev_of st l);
-          ignore (Bitset.union_into ~into:(prev_of st l) merged_prev)
+          Vec.set st.prev l (Ptset.inter (Vec.get st.prev l) qv)
         end
     end
   done;
@@ -174,16 +167,14 @@ let propagate st (canon, scc) =
   Array.iter
     (fun v ->
       if Union_find.find st.uf v = v then begin
-        let p = pts_of st v and q = prev_of st v in
-        let diff = Bitset.diff p q in
-        if not (Bitset.is_empty diff) then begin
-          ignore (Bitset.union_into ~into:q diff);
-          Stats.add "andersen.propagated" (Bitset.cardinal diff);
+        let p = Vec.get st.pts v and q = Vec.get st.prev v in
+        let diff = Ptset.diff p q in
+        if not (Ptset.is_empty diff) then begin
+          Vec.set st.prev v (Ptset.union q p);
+          Stats.add "andersen.propagated" (Ptset.cardinal diff);
           Pta_graph.Digraph.iter_succs st.copy v (fun w0 ->
               let w = Union_find.find st.uf w0 in
-              if w <> v then
-                if Bitset.union_into ~into:(pts_of st w) diff then
-                  st.changed <- true)
+              if w <> v then union_pts st w diff)
         end
       end)
     order;
@@ -191,19 +182,17 @@ let propagate st (canon, scc) =
      canonicalise by also walking edges whose source is merged away. *)
   Pta_graph.Digraph.iter_edges st.copy (fun u w ->
       let cu = Union_find.find st.uf u and cw = Union_find.find st.uf w in
-      if cu <> cw then
-        if Bitset.union_into ~into:(pts_of st cw) (prev_of st cu) then
-          st.changed <- true)
+      if cu <> cw then union_pts st cw (prev_id st cu))
 
 let expand_complex st =
   let geps_todo = ref [] in
   Hashtbl.iter
     (fun v c ->
-      let p = pts_of st v in
-      let delta = Bitset.diff p c.cdone in
-      if not (Bitset.is_empty delta) then begin
-        ignore (Bitset.union_into ~into:c.cdone delta);
-        Bitset.iter
+      let p = pts_id st v in
+      let delta = Ptset.diff p c.cdone in
+      if not (Ptset.is_empty delta) then begin
+        c.cdone <- Ptset.union c.cdone delta;
+        Ptset.iter
           (fun o ->
             (* [lhs = *p]: value flows from the object to lhs. *)
             List.iter (fun lhs -> add_copy st o lhs) c.load_lhss;
@@ -246,8 +235,8 @@ let solve prog =
     {
       prog;
       uf = Union_find.create (max n 1);
-      pts = Vec.create ~dummy ();
-      prev = Vec.create ~dummy ();
+      pts = Vec.create ~dummy:Ptset.empty ();
+      prev = Vec.create ~dummy:Ptset.empty ();
       copy = Pta_graph.Digraph.create ~n ();
       complex = Hashtbl.create 256;
       cg = Callgraph.create ();
@@ -269,8 +258,8 @@ let solve prog =
   done;
   st
 
-let pts st v = pts_of st v
-let points_to st v o = Bitset.mem (pts_of st v) o
+let pts st v = Ptset.view (pts_id st v)
+let points_to st v o = Ptset.mem (pts_id st v) o
 let callgraph st = st.cg
 let rep st v = Union_find.find st.uf v
 let n_waves st = st.waves

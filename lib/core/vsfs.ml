@@ -6,21 +6,30 @@ module Solver_common = Pta_sfs.Solver_common
 type result = {
   c : Solver_common.t;
   ver : Versioning.t;
-  ptk : (int, Bitset.t) Hashtbl.t;  (* key (obj lsl 31 lor κ) -> pt_κ(o) *)
+  ptk : (int, Ptset.t) Hashtbl.t;  (* key (obj lsl 31 lor κ) -> pt_κ(o) *)
   mutable props : int;
   mutable pops : int;
 }
 
-let key o v = (o lsl 31) lor v
+(* Checked packing: an object or version id at or above 2^31 would silently
+   collide with another key, corrupting results — fail loudly instead. *)
+let key o v =
+  if o < 0 || v < 0 || o >= 1 lsl 31 || v >= 1 lsl 31 then
+    invalid_arg "Vsfs.key: object or version id exceeds the 31-bit packed range";
+  (o lsl 31) lor v
 
-let ptk_of t o v =
+let key_obj k = k lsr 31
+
+(* Entry presence matters (cf. [pt_version]/[consumed_pt] returning
+   [option]): reads materialise an explicit empty entry, as the mutable
+   version materialised a fresh bitset. *)
+let ptk_id t o v =
   let k = key o v in
   match Hashtbl.find_opt t.ptk k with
-  | Some s -> s
+  | Some id -> id
   | None ->
-    let s = Bitset.create () in
-    Hashtbl.add t.ptk k s;
-    s
+    Hashtbl.add t.ptk k Ptset.empty;
+    Ptset.empty
 
 let ptk_opt t o v = Hashtbl.find_opt t.ptk (key o v)
 
@@ -33,20 +42,29 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
   let wl = Solver_common.make_worklist strategy svfg in
   let push = Solver_common.wl_push wl in
   let push_users v = List.iter push (Svfg.users svfg v) in
-  (* pt_κ(o) just changed: push the statements consuming it and flow along
-     the version-reliance relation transitively. *)
-  let propagate_version o v0 =
-    let q = Queue.create () in
-    Queue.push v0 q;
-    while not (Queue.is_empty q) do
-      let v = Queue.pop q in
-      Versioning.iter_subscribers ver o v push;
-      let src = ptk_of t o v in
-      Versioning.iter_relied ver o v (fun v' ->
-          t.props <- t.props + 1;
-          Stats.incr "vsfs.propagations";
-          if Bitset.union_into ~into:(ptk_of t o v') src then Queue.push v' q)
-    done
+  (* pt_κ(o) just grew by [d0]: push the statements consuming it and flow the
+     delta along the version-reliance relation transitively. Only the newly
+     added elements travel — every earlier element already flowed when it was
+     itself a delta, and late (dynamic) reliance edges get a full sync in
+     [on_call_edge]. *)
+  let propagate_version o v0 d0 =
+    if not (Ptset.is_empty d0) then begin
+      let q = Queue.create () in
+      Queue.push (v0, d0) q;
+      while not (Queue.is_empty q) do
+        let v, d = Queue.pop q in
+        Versioning.iter_subscribers ver o v push;
+        Versioning.iter_relied ver o v (fun v' ->
+            t.props <- t.props + 1;
+            Stats.incr "vsfs.propagations";
+            let cur = ptk_id t o v' in
+            let cur', d' = Ptset.union_delta cur d in
+            if not (Ptset.equal cur' cur) then begin
+              Hashtbl.replace t.ptk (key o v') cur';
+              Queue.push (v', d') q
+            end)
+      done
+    end
   in
   let on_call_edge cs g =
     List.iter
@@ -54,8 +72,12 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
         match Versioning.add_dynamic_edge ver src o dst with
         | Some (y, c') ->
           t.props <- t.props + 1;
-          if Bitset.union_into ~into:(ptk_of t o c') (ptk_of t o y) then
-            propagate_version o c'
+          let cur = ptk_id t o c' in
+          let cur', d = Ptset.union_delta cur (ptk_id t o y) in
+          if not (Ptset.equal cur' cur) then begin
+            Hashtbl.replace t.ptk (key o c') cur';
+            propagate_version o c' d
+          end
         | None -> ())
       (Svfg.add_call_edges svfg cs g)
   in
@@ -73,7 +95,7 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
               let cv = Versioning.consume ver n o in
               Versioning.subscribe ver o cv n;
               if not (Version.is_epsilon cv) then
-                if Solver_common.union_pt c lhs (ptk_of t o cv) then
+                if Solver_common.union_pt c lhs (ptk_id t o cv) then
                   changed := true
             end)
           (Solver_common.pt_of c ptr);
@@ -81,6 +103,7 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
       | Inst.Store { ptr; rhs } ->
         let chi = Pta_memssa.Annot.chi annot f i in
         let ptr_pts = Solver_common.pt_of c ptr in
+        let rhs_id = Solver_common.pt_id c rhs in
         (* Iterate the χ objects: those the store may define flow-sensitively
            get GEN (+ weak/strong); the spuriously-annotated rest pass their
            consumed version through to the yielded one (identity), because
@@ -88,25 +111,29 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
         Bitset.iter
           (fun o ->
             let y = Versioning.yield ver n o in
-            let out = ptk_of t o y in
+            let out0 = ptk_id t o y in
             let cv = Versioning.consume ver n o in
             Versioning.subscribe ver o cv n;
-            let changed = ref false in
+            let su = Solver_common.strong_update_ok c ~ptr o in
             if Bitset.mem ptr_pts o then begin
-              if Bitset.union_into ~into:out (Solver_common.pt_of c rhs) then
-                changed := true;
-              if not (Solver_common.strong_update_ok c ~ptr o) then
-                if not (Version.is_epsilon cv) then
-                  if Bitset.union_into ~into:out (ptk_of t o cv) then
-                    changed := true
+              let out1, d1 = Ptset.union_delta out0 rhs_id in
+              let out2, d2 =
+                if (not su) && not (Version.is_epsilon cv) then
+                  Ptset.union_delta out1 (ptk_id t o cv)
+                else (out1, Ptset.empty)
+              in
+              if not (Ptset.equal out2 out0) then begin
+                Hashtbl.replace t.ptk (key o y) out2;
+                propagate_version o y (Ptset.union d1 d2)
+              end
             end
-            else if
-              (not (Version.is_epsilon cv))
-              && not (Solver_common.strong_update_ok c ~ptr o)
-            then begin
-              if Bitset.union_into ~into:out (ptk_of t o cv) then changed := true
-            end;
-            if !changed then propagate_version o y)
+            else if (not (Version.is_epsilon cv)) && not su then begin
+              let out1, d = Ptset.union_delta out0 (ptk_id t o cv) in
+              if not (Ptset.equal out1 out0) then begin
+                Hashtbl.replace t.ptk (key o y) out1;
+                propagate_version o y d
+              end
+            end)
           chi
       | ins -> Solver_common.process_top_level c ~push_users ~on_call_edge ~node:n ins)
     | Svfg.NMemPhi _ | Svfg.NFormalIn _ | Svfg.NFormalOut _ | Svfg.NActualIn _
@@ -131,18 +158,19 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
   t
 
 let pt t v = Solver_common.pt_of t.c v
-let pt_version t o v = ptk_opt t o v
+let pt_version t o v = Option.map Ptset.view (ptk_opt t o v)
 
 let consumed_pt t n o =
   let cv = Versioning.consume t.ver n o in
-  ptk_opt t o cv
+  Option.map Ptset.view (ptk_opt t o cv)
 
 (* Flow-insensitive collapse of an object's contents: the union of all its
    versions' points-to sets ("may contain anywhere"). *)
 let object_pt t o =
   let acc = Bitset.create () in
   Hashtbl.iter
-    (fun k s -> if k lsr 31 = o then ignore (Bitset.union_into ~into:acc s))
+    (fun k id ->
+      if key_obj k = o then ignore (Bitset.union_into ~into:acc (Ptset.view id)))
     t.ptk;
   acc
 
@@ -150,35 +178,39 @@ let object_pt t o =
    give us more versions than necessary whereby two versions may be
    collapsible into a single version (both versions have equivalent
    points-to sets per the flow-sensitive analysis)". This counts that excess
-   after solving: versions of the same object whose final sets are equal. *)
+   after solving: versions of the same object whose final sets are equal.
+   With interned sets, equal sets share an id, so a per-object id set is the
+   whole computation. *)
 let collapsible_versions t =
-  let groups = Hashtbl.create 256 in
-  Hashtbl.iter
-    (fun k s ->
-      let o = k lsr 31 in
-      let key = (o, Bitset.hash s) in
-      let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
-      Hashtbl.replace groups key (s :: prev))
-    t.ptk;
+  let per_obj = Hashtbl.create 256 in
   let collapsible = ref 0 in
   Hashtbl.iter
-    (fun _ sets ->
-      match sets with
-      | [] | [ _ ] -> ()
-      | first :: rest ->
-        (* hash collisions are possible; verify equality *)
-        List.iter (fun s -> if Bitset.equal first s then incr collapsible) rest)
-    groups;
+    (fun k id ->
+      let o = key_obj k in
+      let seen =
+        match Hashtbl.find_opt per_obj o with
+        | Some s -> s
+        | None ->
+          let s = Bitset.create () in
+          Hashtbl.add per_obj o s;
+          s
+      in
+      if not (Bitset.add seen (Ptset.hash id)) then incr collapsible)
+    t.ptk;
   (!collapsible, Hashtbl.length t.ptk)
 
 let callgraph t = t.c.Solver_common.cg_fs
 let versioning t = t.ver
 let n_sets t = Hashtbl.length t.ptk
 
-let words t =
-  let total = ref (Versioning.words t.ver) in
-  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.ptk;
-  !total
+let tally t =
+  let tl = Ptset.Tally.create () in
+  Hashtbl.iter (fun _ id -> Ptset.Tally.visit tl id) t.ptk;
+  tl
+
+let words t = Versioning.words t.ver + Ptset.Tally.shared_words (tally t)
+let unshared_words t = Versioning.words t.ver + Ptset.Tally.unshared_words (tally t)
+let n_unique_sets t = Ptset.Tally.unique (tally t)
 
 let n_propagations t = t.props
 let processed t = t.pops

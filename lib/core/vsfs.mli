@@ -44,7 +44,16 @@ val n_sets : result -> int
 (** Number of (object, version) points-to sets materialised. *)
 
 val words : result -> int
-(** Logical memory of the versioned sets plus the versioning maps. *)
+(** Logical memory of the versioned sets (interned: each distinct set once,
+    plus one word per (object, version) reference) plus the versioning
+    maps. *)
+
+val unshared_words : result -> int
+(** What the same sets would cost without interning: words summed over every
+    (object, version) reference, plus the versioning maps. *)
+
+val n_unique_sets : result -> int
+(** Number of distinct points-to sets among all (object, version) entries. *)
 
 val n_propagations : result -> int
 val processed : result -> int

@@ -1,37 +1,23 @@
 module Make (H : Hashtbl.HashedType) = struct
   module Tbl = Hashtbl.Make (H)
 
-  type t = { ids : int Tbl.t; values : H.t Vec.t option ref }
-  (* [values] is wrapped in an option ref because [Vec] needs a dummy and we
-     have none until the first interned value. *)
+  type t = { ids : int Tbl.t; values : H.t Vec.t }
 
-  let create n = { ids = Tbl.create n; values = ref None }
-
-  let values t v =
-    match !(t.values) with
-    | Some vec -> vec
-    | None ->
-      let vec = Vec.create ~dummy:v () in
-      t.values := Some vec;
-      vec
+  let create n = { ids = Tbl.create n; values = Vec.create_empty () }
 
   let intern t v =
     match Tbl.find_opt t.ids v with
     | Some id -> id
     | None ->
-      let id = Vec.push (values t v) v in
+      let id = Vec.push t.values v in
       Tbl.add t.ids v id;
       id
 
   let find_opt t v = Tbl.find_opt t.ids v
 
   let get t id =
-    match !(t.values) with
-    | Some vec -> Vec.get vec id
-    | None -> invalid_arg "Hashcons.get"
+    try Vec.get t.values id with Invalid_argument _ -> invalid_arg "Hashcons.get"
 
-  let count t = match !(t.values) with Some vec -> Vec.length vec | None -> 0
-
-  let iter f t =
-    match !(t.values) with Some vec -> Vec.iteri f vec | None -> ()
+  let count t = Vec.length t.values
+  let iter f t = Vec.iteri f t.values
 end

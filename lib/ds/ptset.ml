@@ -1,0 +1,203 @@
+(* Hash-consed points-to sets.
+
+   A set is an [int] id into a process-wide intern pool of canonical
+   [Bitset]s: structurally equal sets always share one id (and one heap
+   representation), so set equality is integer equality and every solver
+   that materialises "the same set at a thousand program points" stores it
+   once. On top of the pool sit memo caches for the hot operations —
+   [add], [union] and [union_delta] — keyed by operand ids: once a union
+   of two interned sets has been computed, every later occurrence anywhere
+   in the process is a single hash-table probe. [union_delta] additionally
+   returns the interned set of elements actually added, which is what makes
+   difference propagation in the flow-sensitive solvers fall out for free.
+
+   All ids and elements must stay below 2^31 so that an (id, id) or
+   (id, element) pair packs into one OCaml int; the packing is checked, not
+   assumed (cf. the silent collision the unchecked VSFS key had). *)
+
+module HC = Hashcons.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.hash
+end)
+
+type t = int
+
+type state = {
+  pool : HC.t;
+  add_memo : (int, int) Hashtbl.t;
+  union_memo : (int, int) Hashtbl.t;
+  delta_memo : (int, int * int) Hashtbl.t;
+  diff_memo : (int, int) Hashtbl.t;
+}
+
+let fresh_state () =
+  let pool = HC.create 4096 in
+  let eps = HC.intern pool (Bitset.create ()) in
+  assert (eps = 0);
+  {
+    pool;
+    add_memo = Hashtbl.create 4096;
+    union_memo = Hashtbl.create 4096;
+    delta_memo = Hashtbl.create 4096;
+    diff_memo = Hashtbl.create 1024;
+  }
+
+let state = ref (fresh_state ())
+let reset () = state := fresh_state ()
+
+let empty = 0
+let is_empty id = id = 0
+let equal : t -> t -> bool = Int.equal
+let hash (id : t) = id
+let compare_id : t -> t -> int = Int.compare
+
+let limit = 1 lsl 31
+
+let pack a b =
+  if a < 0 || b < 0 || a >= limit || b >= limit then
+    invalid_arg "Ptset: id or element exceeds the 31-bit packed-key range";
+  (a lsl 31) lor b
+
+let view id = HC.get !state.pool id
+
+(* Intern a bitset the caller owns (and will never mutate again). *)
+let intern_owned s =
+  let st = !state in
+  match HC.find_opt st.pool s with
+  | Some id -> id
+  | None ->
+    Stats.incr "ptset.interned";
+    HC.intern st.pool s
+
+let of_bitset s =
+  match HC.find_opt !state.pool s with
+  | Some id -> id
+  | None -> intern_owned (Bitset.copy s)
+
+let of_list l = intern_owned (Bitset.of_list l)
+
+let mem id x = Bitset.mem (view id) x
+
+let add id x =
+  if mem id x then id
+  else begin
+    let st = !state in
+    let key = pack id x in
+    match Hashtbl.find_opt st.add_memo key with
+    | Some r ->
+      Stats.incr "ptset.add_hits";
+      r
+    | None ->
+      Stats.incr "ptset.add_misses";
+      let s = Bitset.copy (view id) in
+      ignore (Bitset.add s x);
+      let r = intern_owned s in
+      Hashtbl.add st.add_memo key r;
+      r
+  end
+
+let singleton x = add empty x
+
+let union a b =
+  if a = b || b = empty then a
+  else if a = empty then b
+  else begin
+    let st = !state in
+    let key = pack (min a b) (max a b) in
+    match Hashtbl.find_opt st.union_memo key with
+    | Some r ->
+      Stats.incr "ptset.union_hits";
+      r
+    | None ->
+      Stats.incr "ptset.union_misses";
+      let sa = view a and sb = view b in
+      (* Subset fast paths return an existing id without allocating. *)
+      let r =
+        if Bitset.subset sb sa then a
+        else if Bitset.subset sa sb then b
+        else intern_owned (Bitset.union sa sb)
+      in
+      Hashtbl.add st.union_memo key r;
+      r
+  end
+
+let union_delta a b =
+  if a = b || b = empty then (a, empty)
+  else if a = empty then (b, b)
+  else begin
+    let st = !state in
+    let key = pack a b in
+    match Hashtbl.find_opt st.delta_memo key with
+    | Some r ->
+      Stats.incr "ptset.delta_hits";
+      r
+    | None ->
+      Stats.incr "ptset.delta_misses";
+      let d = Bitset.diff (view b) (view a) in
+      let r =
+        if Bitset.is_empty d then (a, empty)
+        else (union a b, intern_owned d)
+      in
+      Hashtbl.add st.delta_memo key r;
+      r
+  end
+
+let diff a b =
+  if a = b || b = empty then if b = empty then a else empty
+  else if a = empty then empty
+  else begin
+    let st = !state in
+    let key = pack a b in
+    match Hashtbl.find_opt st.diff_memo key with
+    | Some r ->
+      Stats.incr "ptset.diff_hits";
+      r
+    | None ->
+      Stats.incr "ptset.diff_misses";
+      let r = intern_owned (Bitset.diff (view a) (view b)) in
+      Hashtbl.add st.diff_memo key r;
+      r
+  end
+
+let inter a b =
+  if a = b then a
+  else if a = empty || b = empty then empty
+  else intern_owned (Bitset.inter (view a) (view b))
+
+let subset a b = a = b || Bitset.subset (view a) (view b)
+let cardinal id = Bitset.cardinal (view id)
+let iter f id = Bitset.iter f (view id)
+let fold f id acc = Bitset.fold f (view id) acc
+let elements id = Bitset.elements (view id)
+let choose id = Bitset.choose (view id)
+let words id = Bitset.words (view id)
+let n_unique () = HC.count !state.pool
+
+let pool_words () =
+  let total = ref 0 in
+  HC.iter (fun _ s -> total := !total + Bitset.words s) !state.pool;
+  !total
+
+let pp ppf id = Bitset.pp ppf (view id)
+
+(* ---------- shared-footprint accounting ---------- *)
+
+module Tally = struct
+  type nonrec t = { seen : Bitset.t; mutable refs : int; mutable unshared : int }
+
+  let create () = { seen = Bitset.create (); refs = 0; unshared = 0 }
+
+  let visit tl id =
+    tl.refs <- tl.refs + 1;
+    tl.unshared <- tl.unshared + words id;
+    ignore (Bitset.add tl.seen id)
+
+  let unique tl = Bitset.cardinal tl.seen
+  let refs tl = tl.refs
+  let unshared_words tl = tl.unshared
+
+  let shared_words tl =
+    Bitset.fold (fun id acc -> acc + words id) tl.seen tl.refs
+end

@@ -1,8 +1,10 @@
-type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a option }
 
 let create ?(capacity = 16) ~dummy () =
   let capacity = max capacity 1 in
-  { data = Array.make capacity dummy; len = 0; dummy }
+  { data = Array.make capacity dummy; len = 0; dummy = Some dummy }
+
+let create_empty () = { data = [||]; len = 0; dummy = None }
 
 let length v = v.len
 
@@ -14,28 +16,42 @@ let set v i x =
   if i < 0 || i >= v.len then invalid_arg "Vec.set";
   v.data.(i) <- x
 
+(* [fill] is the element used to pad fresh capacity: the dummy when one was
+   given, otherwise any element already stored (a dummy-free vector only
+   grows through [push], so one exists whenever reallocation happens). *)
+let fill_of v =
+  match v.dummy with
+  | Some d -> d
+  | None ->
+    if v.len = 0 then invalid_arg "Vec: dummy-free vector cannot reserve"
+    else v.data.(0)
+
 let ensure_capacity v n =
   if n > Array.length v.data then begin
-    let cap = ref (Array.length v.data) in
+    let cap = ref (max 1 (Array.length v.data)) in
     while !cap < n do
       cap := !cap * 2
     done;
-    let data = Array.make !cap v.dummy in
+    let data = Array.make !cap (fill_of v) in
     Array.blit v.data 0 data 0 v.len;
     v.data <- data
   end
 
 let push v x =
-  ensure_capacity v (v.len + 1);
+  if Array.length v.data = 0 then v.data <- Array.make 16 x
+  else ensure_capacity v (v.len + 1);
   v.data.(v.len) <- x;
   v.len <- v.len + 1;
   v.len - 1
 
 let grow_to v n =
   if n > v.len then begin
-    ensure_capacity v n;
-    Array.fill v.data v.len (n - v.len) v.dummy;
-    v.len <- n
+    match v.dummy with
+    | None -> invalid_arg "Vec.grow_to: dummy-free vector"
+    | Some d ->
+      ensure_capacity v n;
+      Array.fill v.data v.len (n - v.len) d;
+      v.len <- n
   end
 
 let iter f v =

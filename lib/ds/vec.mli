@@ -9,6 +9,13 @@ type 'a t
 val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 (** [create ~dummy ()] is an empty vector. [dummy] fills unused slots. *)
 
+val create_empty : unit -> 'a t
+(** A vector with no dummy element: it can only grow through {!push}
+    (fresh capacity is padded with an element already stored, which is never
+    observable through the [< length] interface). {!grow_to} on such a
+    vector raises [Invalid_argument]. This is the natural shape for interning
+    tables, which have no sensible dummy before the first interned value. *)
+
 val length : 'a t -> int
 
 val get : 'a t -> int -> 'a

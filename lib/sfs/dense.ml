@@ -8,9 +8,9 @@ type result = {
   su_obj : (int, int) Hashtbl.t;
       (* store node -> the object it strongly updates (statically decided
          from the auxiliary analysis, like the sparse solvers) *)
-  pt : Bitset.t Vec.t;
-  ins : (int * int, Bitset.t) Hashtbl.t;  (* (icfg node, obj) -> set *)
-  outs : (int * int, Bitset.t) Hashtbl.t;  (* store nodes only *)
+  pt : Ptset.t Vec.t;
+  ins : (int * int, Ptset.t) Hashtbl.t;  (* (icfg node, obj) -> set *)
+  outs : (int * int, Ptset.t) Hashtbl.t;  (* store nodes only *)
   objs : Bitset.t Vec.t;  (* objects materialised at each node *)
   cg_fs : Callgraph.t;
   (* per callee: discovered (call node, return sites, lhs) *)
@@ -18,40 +18,65 @@ type result = {
   mutable pops : int;
 }
 
-let dummy = Bitset.create ()
+let obj_dummy = Bitset.create ()
 
-let pt_of t v =
+let pt_id t v =
   if v >= Vec.length t.pt then Vec.grow_to t.pt (v + 1);
-  let s = Vec.get t.pt v in
-  if s == dummy then begin
-    let s = Bitset.create () in
-    Vec.set t.pt v s;
-    s
-  end
-  else s
+  Vec.get t.pt v
 
-let find_or_create tbl key =
+let pt_of t v = Ptset.view (pt_id t v)
+
+let add_pt t v o =
+  let s = pt_id t v in
+  let s' = Ptset.add s o in
+  if Ptset.equal s' s then false
+  else begin
+    Vec.set t.pt v s';
+    true
+  end
+
+let union_pt t v src =
+  let s = pt_id t v in
+  let s' = Ptset.union s src in
+  if Ptset.equal s' s then false
+  else begin
+    Vec.set t.pt v s';
+    true
+  end
+
+(* Entry *presence* matters, not just contents: a store passes through
+   exactly the objects without an OUT entry, so reads materialise [empty]
+   entries exactly like the mutable version materialised fresh bitsets. *)
+let find_or_empty tbl key =
   match Hashtbl.find_opt tbl key with
-  | Some s -> s
+  | Some id -> id
   | None ->
-    let s = Bitset.create () in
-    Hashtbl.add tbl key s;
-    s
+    Hashtbl.add tbl key Ptset.empty;
+    Ptset.empty
 
 let objs_of t n =
   let s = Vec.get t.objs n in
-  if s == dummy then begin
+  if s == obj_dummy then begin
     let s = Bitset.create () in
     Vec.set t.objs n s;
     s
   end
   else s
 
-let in_of t n o =
+let in_id t n o =
   ignore (Bitset.add (objs_of t n) o);
-  find_or_create t.ins (n, o)
+  find_or_empty t.ins (n, o)
 
-let out_of t n o = find_or_create t.outs (n, o)
+let out_id t n o = find_or_empty t.outs (n, o)
+
+let union_in t n o src =
+  let s = in_id t n o in
+  let s' = Ptset.union s src in
+  if Ptset.equal s' s then false
+  else begin
+    Hashtbl.replace t.ins (n, o) s';
+    true
+  end
 
 let is_store t n = match Icfg.inst t.prog t.icfg n with Inst.Store _ -> true | _ -> false
 
@@ -60,12 +85,12 @@ let is_store t n = match Icfg.inst t.prog t.icfg n with Inst.Store _ -> true | _
    statically strongly-updated object, which never passes through. *)
 let out_for t n o =
   if is_store t n then
-    if Hashtbl.find_opt t.su_obj n = Some o then out_of t n o
+    if Hashtbl.find_opt t.su_obj n = Some o then out_id t n o
     else
       match Hashtbl.find_opt t.outs (n, o) with
       | Some s -> s
-      | None -> in_of t n o
-  else in_of t n o
+      | None -> in_id t n o
+  else in_id t n o
 
 let resolve_targets t = function
   | Inst.Direct f -> [ f ]
@@ -88,11 +113,11 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
       prog;
       icfg;
       mr;
-      pt = Vec.create ~dummy ();
+      pt = Vec.create ~dummy:Ptset.empty ();
       ins = Hashtbl.create 1024;
       outs = Hashtbl.create 128;
       su_obj = Hashtbl.create 32;
-      objs = Vec.create ~dummy ();
+      objs = Vec.create ~dummy:obj_dummy ();
       cg_fs = Callgraph.create ();
       callers = Hashtbl.create 16;
       pops = 0;
@@ -130,7 +155,7 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
       done);
   let push_users v = List.iter push (Vec.get users v) in
   let prop_obj src dst o =
-    if Bitset.union_into ~into:(in_of t dst o) (out_for t src o) then push dst
+    if union_in t dst o (out_for t src o) then push dst
   in
   let prop_all src dst =
     Bitset.iter (fun o -> prop_obj src dst o) (objs_of t src)
@@ -149,14 +174,12 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
     let ins = Prog.inst fn node.Icfg.inst in
     (* 1. Local transfer (top-level and memory). *)
     (match ins with
-    | Inst.Alloc { lhs; obj } -> if Bitset.add (pt_of t lhs) obj then push_users lhs
-    | Inst.Copy { lhs; rhs } ->
-      if Bitset.union_into ~into:(pt_of t lhs) (pt_of t rhs) then push_users lhs
+    | Inst.Alloc { lhs; obj } -> if add_pt t lhs obj then push_users lhs
+    | Inst.Copy { lhs; rhs } -> if union_pt t lhs (pt_id t rhs) then push_users lhs
     | Inst.Phi { lhs; rhs } ->
       let changed = ref false in
       List.iter
-        (fun r ->
-          if Bitset.union_into ~into:(pt_of t lhs) (pt_of t r) then changed := true)
+        (fun r -> if union_pt t lhs (pt_id t r) then changed := true)
         rhs;
       if !changed then push_users lhs
     | Inst.Field { lhs; base; offset } ->
@@ -167,27 +190,27 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
           | Prog.Func _ -> ()
           | _ ->
             let fo = Prog.field_obj prog ~base:o ~offset in
-            if Bitset.add (pt_of t lhs) fo then changed := true)
+            if add_pt t lhs fo then changed := true)
         (pt_of t base);
       if !changed then push_users lhs
     | Inst.Load { lhs; ptr } ->
       let changed = ref false in
       Bitset.iter
         (fun o ->
-          if Bitset.union_into ~into:(pt_of t lhs) (in_of t nid o) then
-            changed := true)
+          if union_pt t lhs (in_id t nid o) then changed := true)
         (pt_of t ptr);
       if !changed then push_users lhs
     | Inst.Store { ptr; rhs } ->
+      let rhs_id = pt_id t rhs in
       Bitset.iter
         (fun o ->
           ignore (Bitset.add (objs_of t nid) o);
-          let out = out_of t nid o in
+          let out0 = out_id t nid o in
           let su = Hashtbl.find_opt t.su_obj nid = Some o in
-          let changed = ref (Bitset.union_into ~into:out (pt_of t rhs)) in
-          if not su then
-            if Bitset.union_into ~into:out (in_of t nid o) then changed := true;
-          ignore !changed)
+          let out1 = Ptset.union out0 rhs_id in
+          let out2 = if su then out1 else Ptset.union out1 (in_id t nid o) in
+          if not (Ptset.equal out2 out0) then
+            Hashtbl.replace t.outs (nid, o) out2)
         (pt_of t ptr)
     | Inst.Call { lhs; callee; args } ->
       let cs = { Callgraph.cs_func = node.Icfg.func; cs_inst = node.Icfg.inst } in
@@ -212,15 +235,13 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
           let rec zip args params =
             match (args, params) with
             | a :: args, p :: params ->
-              if Bitset.union_into ~into:(pt_of t p) (pt_of t a) then
-                push_users p;
+              if union_pt t p (pt_id t a) then push_users p;
               zip args params
             | _ -> ()
           in
           zip args callee_fn.Prog.params;
           (match (lhs, callee_fn.Prog.ret) with
-          | Some l, Some r ->
-            if Bitset.union_into ~into:(pt_of t l) (pt_of t r) then push_users l
+          | Some l, Some r -> if union_pt t l (pt_id t r) then push_users l
           | _ -> ());
           (* memory in-flow into the callee entry *)
           let entry = entry_of g in
@@ -228,8 +249,7 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
           Bitset.iter
             (fun o ->
               if Bitset.mem (objs_of t nid) o then
-                if Bitset.union_into ~into:(in_of t entry o) (in_of t nid o)
-                then changed := true)
+                if union_in t entry o (in_id t nid o) then changed := true)
             (Pta_memssa.Modref.inflow mr g);
           if !changed then push entry)
         (resolve_targets t callee)
@@ -248,8 +268,7 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
             (fun (_, _, lhs) ->
               match lhs with
               | Some lhs ->
-                if Bitset.union_into ~into:(pt_of t lhs) (pt_of t r) then
-                  push_users lhs
+                if union_pt t lhs (pt_id t r) then push_users lhs
               | None -> ())
             !l
         | None -> ())
@@ -262,10 +281,7 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
               (fun o ->
                 if Bitset.mem (objs_of t nid) o then
                   List.iter
-                    (fun rs ->
-                      if
-                        Bitset.union_into ~into:(in_of t rs o) (in_of t nid o)
-                      then push rs)
+                    (fun rs -> if union_in t rs o (in_id t nid o) then push rs)
                     ret_sites)
               (Pta_memssa.Modref.mods mr f))
           !l
@@ -294,9 +310,9 @@ let callgraph t = t.cg_fs
 let n_sets t = Hashtbl.length t.ins + Hashtbl.length t.outs
 
 let words t =
-  let total = ref 0 in
-  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.ins;
-  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.outs;
-  !total
+  let tl = Ptset.Tally.create () in
+  Hashtbl.iter (fun _ id -> Ptset.Tally.visit tl id) t.ins;
+  Hashtbl.iter (fun _ id -> Ptset.Tally.visit tl id) t.outs;
+  Ptset.Tally.shared_words tl
 
 let processed t = t.pops

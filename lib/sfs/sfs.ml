@@ -5,9 +5,9 @@ module Svfg = Pta_svfg.Svfg
 type result = {
   c : Solver_common.t;
   (* keys are [node lsl 31 lor obj] — avoids tuple allocation on the hot
-     path; both ids stay far below 2^31 *)
-  ins : (int, Bitset.t) Hashtbl.t;
-  outs : (int, Bitset.t) Hashtbl.t;
+     path; the packing is checked at creation (cf. [key]) *)
+  ins : (int, Ptset.t) Hashtbl.t;
+  outs : (int, Ptset.t) Hashtbl.t;
   node_objs : (int, Bitset.t) Hashtbl.t;
       (* per node: objects with a materialised IN set — a store must pass
          these through to OUT when it does not actually define them *)
@@ -15,30 +15,46 @@ type result = {
   mutable pops : int;
 }
 
-let key n o = (n lsl 31) lor o
+let key n o =
+  if n < 0 || o < 0 || n >= 1 lsl 31 || o >= 1 lsl 31 then
+    invalid_arg "Sfs.key: node or object id exceeds the 31-bit packed range";
+  (n lsl 31) lor o
 
-let find_or_create tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some s -> s
+(* IN/OUT tables hold interned ids; an absent entry and an explicit [empty]
+   entry differ — stores pass through exactly the *materialised* INs, so
+   reading a set must record its existence, as before. *)
+let find_or_empty tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some id -> id
   | None ->
-    let s = Bitset.create () in
-    Hashtbl.add tbl key s;
-    s
+    Hashtbl.add tbl k Ptset.empty;
+    Ptset.empty
 
-let in_of t n o =
+let in_id t n o =
   (match Hashtbl.find_opt t.node_objs n with
   | Some s -> ignore (Bitset.add s o)
   | None -> Hashtbl.add t.node_objs n (Bitset.singleton o));
-  find_or_create t.ins (key n o)
-let out_of t n o = find_or_create t.outs (key n o)
+  find_or_empty t.ins (key n o)
+
+let out_id t n o = find_or_empty t.outs (key n o)
+
+(* Union [src] into the IN set of [(n, o)]; true iff it grew. *)
+let union_in t n o src =
+  let s = in_id t n o in
+  let s' = Ptset.union s src in
+  if Ptset.equal s' s then false
+  else begin
+    Hashtbl.replace t.ins (key n o) s';
+    true
+  end
 
 (* The set a node exposes to its successors for [o]: stores expose OUT,
    everything else passes its IN through. *)
-let out_for t n o =
+let out_for_id t n o =
   match Svfg.kind t.c.Solver_common.svfg n with
   | Svfg.NInst _ when Inst.is_store (Svfg.inst_of t.c.Solver_common.svfg n) ->
-    out_of t n o
-  | _ -> in_of t n o
+    out_id t n o
+  | _ -> in_id t n o
 
 let solve ?(strategy = `Fifo) ?strong_updates svfg =
   let c = Solver_common.create ?strong_updates svfg in
@@ -49,19 +65,24 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
   let wl = Solver_common.make_worklist strategy svfg in
   let push = Solver_common.wl_push wl in
   let push_users v = List.iter push (Svfg.users svfg v) in
-  (* Propagate [set] along every outgoing [o]-edge of [n]. *)
+  (* Propagate [set] along every outgoing [o]-edge of [n]. Callers pass
+     either a full exposed set (phi-like pass-through nodes, where the
+     memoized union makes re-propagation cheap) or just the delta a store
+     added, which is what makes this difference propagation. *)
   let propagate n o set =
-    Svfg.iter_ind_succs svfg n o (fun m ->
-        t.props <- t.props + 1;
-        Stats.incr "sfs.propagations";
-        if Bitset.union_into ~into:(in_of t m o) set then push m)
+    if not (Ptset.is_empty set) then
+      Svfg.iter_ind_succs svfg n o (fun m ->
+          t.props <- t.props + 1;
+          Stats.incr "sfs.propagations";
+          if union_in t m o set then push m)
   in
   let on_call_edge cs g =
     List.iter
       (fun (src, o, dst) ->
         t.props <- t.props + 1;
-        if Bitset.union_into ~into:(in_of t dst o) (out_for t src o) then
-          push dst)
+        (* A late edge needs a full sync: the destination missed every delta
+           propagated before the edge existed. *)
+        if union_in t dst o (out_for_id t src o) then push dst)
       (Svfg.add_call_edges svfg cs g)
   in
   let process n =
@@ -78,7 +99,7 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
         Bitset.iter
           (fun o ->
             if Bitset.mem mu o then
-              if Solver_common.union_pt c lhs (in_of t n o) then changed := true)
+              if Solver_common.union_pt c lhs (in_id t n o) then changed := true)
           (Solver_common.pt_of c ptr);
         if !changed then push_users lhs
       | Inst.Store { ptr; rhs } ->
@@ -88,14 +109,20 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
           | _ -> assert false
         in
         let ptr_pts = Solver_common.pt_of c ptr in
+        let rhs_id = Solver_common.pt_id c rhs in
         Bitset.iter
           (fun o ->
             if Bitset.mem chi o then begin
-              let out = out_of t n o in
-              let changed = ref (Bitset.union_into ~into:out (Solver_common.pt_of c rhs)) in
-              if not (Solver_common.strong_update_ok c ~ptr o) then
-                if Bitset.union_into ~into:out (in_of t n o) then changed := true;
-              if !changed then propagate n o out
+              let out0 = out_id t n o in
+              let out1, d1 = Ptset.union_delta out0 rhs_id in
+              let out2, d2 =
+                if Solver_common.strong_update_ok c ~ptr o then (out1, Ptset.empty)
+                else Ptset.union_delta out1 (in_id t n o)
+              in
+              if not (Ptset.equal out2 out0) then begin
+                Hashtbl.replace t.outs (key n o) out2;
+                propagate n o (Ptset.union d1 d2)
+              end
             end)
           ptr_pts;
         (* Spurious χ objects (the auxiliary analysis thought this store may
@@ -111,9 +138,12 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
                 (not (Bitset.mem ptr_pts o))
                 && not (Solver_common.strong_update_ok c ~ptr o)
               then begin
-                let out = out_of t n o in
-                if Bitset.union_into ~into:out (in_of t n o) then
-                  propagate n o out
+                let out0 = out_id t n o in
+                let out1, d = Ptset.union_delta out0 (in_id t n o) in
+                if not (Ptset.equal out1 out0) then begin
+                  Hashtbl.replace t.outs (key n o) out1;
+                  propagate n o d
+                end
               end)
             objs
         | None -> ())
@@ -123,7 +153,7 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
     | Svfg.NFormalOut { obj; _ }
     | Svfg.NActualIn { obj; _ }
     | Svfg.NActualOut { obj; _ } ->
-      propagate n obj (in_of t n obj)
+      propagate n obj (in_id t n obj)
   in
   for n = 0 to Svfg.n_nodes svfg - 1 do
     push n
@@ -140,8 +170,9 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
   t
 
 let pt t v = Solver_common.pt_of t.c v
-let in_set t n o = Hashtbl.find_opt t.ins (key n o)
-let out_set t n o = Hashtbl.find_opt t.outs (key n o)
+let in_set t n o = Option.map Ptset.view (Hashtbl.find_opt t.ins (key n o))
+let out_set t n o = Option.map Ptset.view (Hashtbl.find_opt t.outs (key n o))
+
 (* Flow-insensitive collapse of an object's contents over all program
    points. *)
 let object_pt t o =
@@ -149,7 +180,9 @@ let object_pt t o =
   let acc = Bitset.create () in
   let scan tbl =
     Hashtbl.iter
-      (fun k s -> if k land mask = o then ignore (Bitset.union_into ~into:acc s))
+      (fun k id ->
+        if k land mask = o then
+          ignore (Bitset.union_into ~into:acc (Ptset.view id)))
       tbl
   in
   scan t.ins;
@@ -160,11 +193,15 @@ let callgraph t = t.c.Solver_common.cg_fs
 
 let n_sets t = Hashtbl.length t.ins + Hashtbl.length t.outs
 
-let words t =
-  let total = ref 0 in
-  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.ins;
-  Hashtbl.iter (fun _ s -> total := !total + Bitset.words s) t.outs;
-  !total
+let tally t =
+  let tl = Ptset.Tally.create () in
+  Hashtbl.iter (fun _ id -> Ptset.Tally.visit tl id) t.ins;
+  Hashtbl.iter (fun _ id -> Ptset.Tally.visit tl id) t.outs;
+  tl
+
+let words t = Ptset.Tally.shared_words (tally t)
+let unshared_words t = Ptset.Tally.unshared_words (tally t)
+let n_unique_sets t = Ptset.Tally.unique (tally t)
 
 let n_propagations t = t.props
 let processed t = t.pops

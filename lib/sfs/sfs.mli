@@ -42,7 +42,16 @@ val n_sets : result -> int
     column of the paper's Fig. 2(b). *)
 
 val words : result -> int
-(** Logical memory: total machine words in all materialised sets. *)
+(** Logical memory: machine words of the materialised sets with interning —
+    each distinct set counted once, plus one word per (node, object)
+    reference. *)
+
+val unshared_words : result -> int
+(** What the same sets would cost without interning: words summed over every
+    (node, object) reference. *)
+
+val n_unique_sets : result -> int
+(** Number of distinct points-to sets among all IN/OUT entries. *)
 
 val n_propagations : result -> int
 (** Number of edge propagations executed ([A-PROP] firings). *)

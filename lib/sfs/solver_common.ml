@@ -3,17 +3,15 @@ open Pta_ir
 
 type t = {
   svfg : Pta_svfg.Svfg.t;
-  pt : Bitset.t Vec.t;
+  pt : Ptset.t Vec.t;
   cg_fs : Callgraph.t;
   callers : (Inst.func_id, (Callgraph.callsite * Inst.var option) list ref) Hashtbl.t;
   su_enabled : bool;
 }
 
-let dummy = Bitset.create ()
-
 let create ?(strong_updates = true) svfg =
   let prog = Pta_svfg.Svfg.prog svfg in
-  let pt = Vec.create ~dummy () in
+  let pt = Vec.create ~dummy:Ptset.empty () in
   Vec.grow_to pt (Prog.n_vars prog);
   { svfg; pt; cg_fs = Callgraph.create (); callers = Hashtbl.create 32;
     su_enabled = strong_updates }
@@ -38,24 +36,32 @@ let wl_push wl n =
 let wl_pop wl =
   match wl with Fifo w -> Worklist.Fifo.pop w | Prio w -> Worklist.Prio.pop w
 
-let pt_of t v =
+let pt_id t v =
   (* Field objects may be interned after [create]; grow on demand. *)
   if v >= Vec.length t.pt then Vec.grow_to t.pt (v + 1);
-  let s = Vec.get t.pt v in
-  if s == dummy then begin
-    let s = Bitset.create () in
-    Vec.set t.pt v s;
-    s
-  end
-  else s
+  Vec.get t.pt v
+
+let pt_of t v = Ptset.view (pt_id t v)
 
 let add_pt t v o =
   Stats.incr "fs.top_adds";
-  Bitset.add (pt_of t v) o
+  let s = pt_id t v in
+  let s' = Ptset.add s o in
+  if Ptset.equal s' s then false
+  else begin
+    Vec.set t.pt v s';
+    true
+  end
 
-let union_pt t v s =
+let union_pt t v src =
   Stats.incr "fs.top_unions";
-  Bitset.union_into ~into:(pt_of t v) s
+  let s = pt_id t v in
+  let s' = Ptset.union s src in
+  if Ptset.equal s' s then false
+  else begin
+    Vec.set t.pt v s';
+    true
+  end
 
 (* Strong updates are decided from the *auxiliary* points-to set of the
    pointer: [pt_aux(p) = {o}] with [o] a singleton. Using the flow-sensitive
@@ -87,10 +93,10 @@ let process_top_level t ~push_users ~on_call_edge ~node ins =
   let prog = Pta_svfg.Svfg.prog t.svfg in
   match ins with
   | Inst.Alloc { lhs; obj } -> if add_pt t lhs obj then push_users lhs
-  | Inst.Copy { lhs; rhs } -> if union_pt t lhs (pt_of t rhs) then push_users lhs
+  | Inst.Copy { lhs; rhs } -> if union_pt t lhs (pt_id t rhs) then push_users lhs
   | Inst.Phi { lhs; rhs } ->
     let changed = ref false in
-    List.iter (fun r -> if union_pt t lhs (pt_of t r) then changed := true) rhs;
+    List.iter (fun r -> if union_pt t lhs (pt_id t r) then changed := true) rhs;
     if !changed then push_users lhs
   | Inst.Field { lhs; base; offset } ->
     let changed = ref false in
@@ -128,14 +134,14 @@ let process_top_level t ~push_users ~on_call_edge ~node ins =
         let rec zip args params =
           match (args, params) with
           | a :: args, p :: params ->
-            if union_pt t p (pt_of t a) then push_users p;
+            if union_pt t p (pt_id t a) then push_users p;
             zip args params
           | _ -> ()
         in
         zip args callee_fn.Prog.params;
         (* return value *)
         match (lhs, callee_fn.Prog.ret) with
-        | Some l, Some r -> if union_pt t l (pt_of t r) then push_users l
+        | Some l, Some r -> if union_pt t l (pt_id t r) then push_users l
         | _ -> ())
       (resolve_targets t callee)
   | Inst.Exit -> (
@@ -152,7 +158,7 @@ let process_top_level t ~push_users ~on_call_edge ~node ins =
           List.iter
             (fun (_cs, lhs) ->
               match lhs with
-              | Some lhs -> if union_pt t lhs (pt_of t r) then push_users lhs
+              | Some lhs -> if union_pt t lhs (pt_id t r) then push_users lhs
               | None -> ())
             !l))
     | _ -> ())

@@ -9,7 +9,7 @@ open Pta_ir
 
 type t = {
   svfg : Pta_svfg.Svfg.t;
-  pt : Pta_ds.Bitset.t Pta_ds.Vec.t;
+  pt : Pta_ds.Ptset.t Pta_ds.Vec.t;  (** interned top-level sets, one id per var *)
   cg_fs : Callgraph.t;  (** call edges discovered flow-sensitively *)
   callers : (Inst.func_id, (Callgraph.callsite * Inst.var option) list ref) Hashtbl.t;
   su_enabled : bool;  (** strong updates enabled (ablation switch) *)
@@ -30,9 +30,16 @@ val make_worklist : strategy -> Pta_svfg.Svfg.t -> wl
 val wl_push : wl -> int -> unit
 val wl_pop : wl -> int option
 
+val pt_id : t -> Inst.var -> Pta_ds.Ptset.t
+(** Interned id of [pt v] (grows the table on demand for late field
+    objects). *)
+
 val pt_of : t -> Inst.var -> Pta_ds.Bitset.t
+(** Read-only canonical view of [pt v] — shared with the intern pool, never
+    mutate it. *)
+
 val add_pt : t -> Inst.var -> Inst.var -> bool
-val union_pt : t -> Inst.var -> Pta_ds.Bitset.t -> bool
+val union_pt : t -> Inst.var -> Pta_ds.Ptset.t -> bool
 
 val strong_update_ok : t -> ptr:Inst.var -> Inst.var -> bool
 (** [strong_update_ok t ~ptr o]: the store [*ptr = _] may strongly update

@@ -13,6 +13,65 @@ let with_decoder bytes f =
   | exception Invalid_argument m -> raise (Codec.Corrupt ("replay: " ^ m))
   | exception Failure m -> raise (Codec.Corrupt ("replay: " ^ m))
 
+(* ---------- structure-shared bitset frames ----------
+
+   Solver artifacts are dominated by bitsets, and after interning most of
+   them are duplicates (the same points-to set referenced from many slots).
+   A frame serialises each distinct bitset once, in first-appearance order,
+   followed by the body in which every bitset is a pool index. Decoding
+   returns shared instances — all consumers treat decoded bitsets as
+   read-only, like interned views. *)
+
+module BsTbl = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.hash
+end)
+
+type pool_enc = {
+  tbl : int BsTbl.t;
+  mutable sets : Bitset.t list;  (* reversed first-appearance order *)
+  mutable n : int;
+  body : Buffer.t;
+}
+
+let pool_enc () =
+  { tbl = BsTbl.create 256; sets = []; n = 0; body = Buffer.create 8192 }
+
+let add_sb p b s =
+  let idx =
+    match BsTbl.find_opt p.tbl s with
+    | Some i -> i
+    | None ->
+      let i = p.n in
+      p.n <- i + 1;
+      BsTbl.add p.tbl s i;
+      p.sets <- s :: p.sets;
+      i
+  in
+  Codec.add_uint b idx
+
+let add_sbs p b a = Codec.add_array (add_sb p) b a
+
+(* pool first, then the index-referencing body *)
+let pool_finish p =
+  let out = Buffer.create (Buffer.length p.body + 1024) in
+  Codec.add_uint out p.n;
+  List.iter (Codec.add_bitset out) (List.rev p.sets);
+  Buffer.add_buffer out p.body;
+  Buffer.contents out
+
+let shared_pool d = Codec.array Codec.bitset d
+
+let sb pool d =
+  let i = Codec.uint d in
+  if i >= Array.length pool then
+    raise (Codec.Corrupt (Printf.sprintf "bitset pool index %d out of range" i));
+  pool.(i)
+
+let sbs pool d = Codec.array (sb pool) d
+
 (* ---------- program ---------- *)
 
 let add_okind b = function
@@ -211,8 +270,9 @@ let aux_of_solver prog result =
 let to_aux a = { Pta_memssa.Modref.pt = (fun v -> a.pts.(v)); cg = a.cg }
 
 let encode_aux a =
-  let b = Buffer.create 4096 in
-  Codec.add_array Codec.add_bitset b a.pts;
+  let p = pool_enc () in
+  let b = p.body in
+  add_sbs p b a.pts;
   let edges = ref [] in
   Callgraph.iter_edges a.cg (fun cs g ->
       edges := (cs.Callgraph.cs_func, cs.Callgraph.cs_inst, g) :: !edges);
@@ -226,11 +286,12 @@ let encode_aux a =
   let ind = ref [] in
   Callgraph.iter_indirect_targets a.cg (fun f -> ind := f :: !ind);
   Codec.add_list Codec.add_uint b (List.rev !ind);
-  Buffer.contents b
+  pool_finish p
 
 let decode_aux ~n_vars bytes =
   with_decoder bytes (fun d ->
-      let pts = Codec.array Codec.bitset d in
+      let pool = shared_pool d in
+      let pts = sbs pool d in
       if Array.length pts <> n_vars then
         raise (Codec.Corrupt "points-to table length mismatch");
       let cg = Callgraph.create () in
@@ -311,11 +372,9 @@ let nkind d =
     Svfg.NActualOut { f; call; obj }
   | t -> raise (Codec.Corrupt (Printf.sprintf "bad SVFG node tag %d" t))
 
-let add_bitsets b a = Codec.add_array Codec.add_bitset b a
-let bitsets d = Codec.array Codec.bitset d
-
 let encode_svfg (r : Svfg.raw) =
-  let b = Buffer.create 8192 in
+  let p = pool_enc () in
+  let b = p.body in
   Codec.add_array add_nkind b r.Svfg.raw_kinds;
   Codec.add_array
     (fun b (src, obj, dsts) ->
@@ -323,16 +382,17 @@ let encode_svfg (r : Svfg.raw) =
       Codec.add_uint b obj;
       Codec.add_array Codec.add_uint b dsts)
     b r.Svfg.raw_ind;
-  add_bitsets b r.Svfg.raw_mods;
-  add_bitsets b r.Svfg.raw_refs;
-  Codec.add_array add_bitsets b r.Svfg.raw_mu;
-  Codec.add_array add_bitsets b r.Svfg.raw_chi;
-  add_bitsets b r.Svfg.raw_entry_chis;
-  add_bitsets b r.Svfg.raw_exit_mus;
-  Buffer.contents b
+  add_sbs p b r.Svfg.raw_mods;
+  add_sbs p b r.Svfg.raw_refs;
+  Codec.add_array (add_sbs p) b r.Svfg.raw_mu;
+  Codec.add_array (add_sbs p) b r.Svfg.raw_chi;
+  add_sbs p b r.Svfg.raw_entry_chis;
+  add_sbs p b r.Svfg.raw_exit_mus;
+  pool_finish p
 
 let decode_svfg bytes =
   with_decoder bytes (fun d ->
+      let pool = shared_pool d in
       let raw_kinds = Codec.array nkind d in
       let raw_ind =
         Codec.array
@@ -343,12 +403,12 @@ let decode_svfg bytes =
             (src, obj, dsts))
           d
       in
-      let raw_mods = bitsets d in
-      let raw_refs = bitsets d in
-      let raw_mu = Codec.array bitsets d in
-      let raw_chi = Codec.array bitsets d in
-      let raw_entry_chis = bitsets d in
-      let raw_exit_mus = bitsets d in
+      let raw_mods = sbs pool d in
+      let raw_refs = sbs pool d in
+      let raw_mu = Codec.array (sbs pool) d in
+      let raw_chi = Codec.array (sbs pool) d in
+      let raw_entry_chis = sbs pool d in
+      let raw_exit_mus = sbs pool d in
       {
         Svfg.raw_kinds;
         raw_ind;
@@ -423,13 +483,15 @@ let decode_versioning bytes =
 type points_to = { top : Bitset.t array; obj : Bitset.t array }
 
 let encode_points_to r =
-  let b = Buffer.create 4096 in
-  add_bitsets b r.top;
-  add_bitsets b r.obj;
-  Buffer.contents b
+  let p = pool_enc () in
+  (* one pool across top-level and object collapses — they overlap a lot *)
+  add_sbs p p.body r.top;
+  add_sbs p p.body r.obj;
+  pool_finish p
 
 let decode_points_to bytes =
   with_decoder bytes (fun d ->
-      let top = bitsets d in
-      let obj = bitsets d in
+      let pool = shared_pool d in
+      let top = sbs pool d in
+      let obj = sbs pool d in
       { top; obj })

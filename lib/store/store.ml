@@ -1,4 +1,7 @@
-let format_version = 1
+(* v2: solver artifacts use structure-shared bitset frames (a per-artifact
+   pool of distinct sets, referenced by index). The version participates in
+   every entry key, so v1 entries are simply never addressed again. *)
+let format_version = 2
 let magic = "PTAS"
 let manifest_name = "MANIFEST.tsv"
 

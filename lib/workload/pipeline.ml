@@ -108,7 +108,9 @@ type solver_run = {
   seconds : float;
   pre_seconds : float;
   sets : int;
-  set_words : int;
+  set_words : int;  (* structure-shared: distinct sets once + 1 word/ref *)
+  unshared_words : int;  (* what per-slot materialisation would have cost *)
+  unique_sets : int;  (* distinct points-to sets across all slots *)
   props : int;
   pops : int;
 }
@@ -119,6 +121,8 @@ let sfs_run r seconds =
     pre_seconds = 0.;
     sets = Pta_sfs.Sfs.n_sets r;
     set_words = Pta_sfs.Sfs.words r;
+    unshared_words = Pta_sfs.Sfs.unshared_words r;
+    unique_sets = Pta_sfs.Sfs.n_unique_sets r;
     props = Pta_sfs.Sfs.n_propagations r;
     pops = Pta_sfs.Sfs.processed r;
   }
@@ -129,6 +133,8 @@ let vsfs_run r ver seconds =
     pre_seconds = Vsfs_core.Versioning.duration ver;
     sets = Vsfs_core.Vsfs.n_sets r;
     set_words = Vsfs_core.Vsfs.words r;
+    unshared_words = Vsfs_core.Vsfs.unshared_words r;
+    unique_sets = Vsfs_core.Vsfs.n_unique_sets r;
     props = Vsfs_core.Vsfs.n_propagations r;
     pops = Vsfs_core.Vsfs.processed r;
   }
@@ -152,6 +158,8 @@ let run_dense b =
       pre_seconds = 0.;
       sets = Pta_sfs.Dense.n_sets r;
       set_words = Pta_sfs.Dense.words r;
+      unshared_words = 0;
+      unique_sets = 0;
       props = 0;
       pops = Pta_sfs.Dense.processed r;
     } )

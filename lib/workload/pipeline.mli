@@ -56,6 +56,10 @@ type solver_run = {
                             versioning imported from the store) *)
   sets : int;
   set_words : int;
+      (** structure-shared memory: each distinct set once + 1 word/slot *)
+  unshared_words : int;
+      (** pre-interning cost: words summed over every slot (0 for dense) *)
+  unique_sets : int;  (** distinct points-to sets across all slots (0 for dense) *)
   props : int;
   pops : int;
 }

@@ -209,6 +209,140 @@ let prop_add_remove_sequence =
       && Bitset.elements s
          = List.sort Int.compare (Hashtbl.fold (fun k () a -> k :: a) model []))
 
+(* ---------- interned points-to sets ---------- *)
+
+let ptset_of_list l = Ptset.of_list l
+
+let test_ptset_intern () =
+  Ptset.reset ();
+  let a = ptset_of_list [ 3; 1; 2 ] in
+  let b = ptset_of_list [ 2; 3; 1 ] in
+  Alcotest.(check bool) "equal sets share an id" true (Ptset.equal a b);
+  Alcotest.(check (list int)) "elements" [ 1; 2; 3 ] (Ptset.elements a);
+  Alcotest.(check bool) "empty is id 0" true
+    (Ptset.equal Ptset.empty (ptset_of_list []));
+  Alcotest.(check int) "cardinal" 3 (Ptset.cardinal a);
+  Alcotest.(check bool) "mem" true (Ptset.mem a 2);
+  Alcotest.(check bool) "not mem" false (Ptset.mem a 4)
+
+let test_ptset_add_union () =
+  Ptset.reset ();
+  let a = ptset_of_list [ 1; 2 ] in
+  Alcotest.(check bool) "add member is identity" true
+    (Ptset.equal (Ptset.add a 1) a);
+  let a3 = Ptset.add a 3 in
+  Alcotest.(check (list int)) "add" [ 1; 2; 3 ] (Ptset.elements a3);
+  Alcotest.(check bool) "add interns" true
+    (Ptset.equal a3 (ptset_of_list [ 1; 2; 3 ]));
+  let b = ptset_of_list [ 3; 4 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ]
+    (Ptset.elements (Ptset.union a b));
+  Alcotest.(check bool) "union subset fast path" true
+    (Ptset.equal (Ptset.union a3 a) a3);
+  Alcotest.(check bool) "union commutes" true
+    (Ptset.equal (Ptset.union a b) (Ptset.union b a))
+
+let test_ptset_union_delta () =
+  Ptset.reset ();
+  let a = ptset_of_list [ 1; 2 ] and b = ptset_of_list [ 2; 3 ] in
+  let u, d = Ptset.union_delta a b in
+  Alcotest.(check (list int)) "union part" [ 1; 2; 3 ] (Ptset.elements u);
+  Alcotest.(check (list int)) "delta = b \\ a" [ 3 ] (Ptset.elements d);
+  let u', d' = Ptset.union_delta u b in
+  Alcotest.(check bool) "no growth returns same id" true (Ptset.equal u' u);
+  Alcotest.(check bool) "empty delta" true (Ptset.is_empty d');
+  let u'', d'' = Ptset.union_delta Ptset.empty b in
+  Alcotest.(check bool) "from empty: union is b" true (Ptset.equal u'' b);
+  Alcotest.(check bool) "from empty: delta is b" true (Ptset.equal d'' b)
+
+let test_ptset_view_words () =
+  Ptset.reset ();
+  let a = ptset_of_list [ 1; 100; 10_000 ] in
+  Alcotest.(check (list int)) "view" [ 1; 100; 10_000 ]
+    (Bitset.elements (Ptset.view a));
+  Alcotest.(check bool) "words positive" true (Ptset.words a > 0);
+  let tl = Ptset.Tally.create () in
+  Ptset.Tally.visit tl a;
+  Ptset.Tally.visit tl a;
+  Ptset.Tally.visit tl (ptset_of_list [ 5 ]);
+  Alcotest.(check int) "unique" 2 (Ptset.Tally.unique tl);
+  Alcotest.(check int) "refs" 3 (Ptset.Tally.refs tl);
+  Alcotest.(check int) "shared = distinct words + refs"
+    (Ptset.words a + Ptset.words (ptset_of_list [ 5 ]) + 3)
+    (Ptset.Tally.shared_words tl);
+  Alcotest.(check int) "unshared counts a twice"
+    ((2 * Ptset.words a) + Ptset.words (ptset_of_list [ 5 ]))
+    (Ptset.Tally.unshared_words tl)
+
+let prop_ptset_roundtrip =
+  QCheck2.Test.make ~name:"ptset elements = sorted input" ~count:300
+    QCheck2.Gen.(oneof [ ints_small; ints_sparse ])
+    (fun l -> Ptset.elements (ptset_of_list l) = Model.of_list l)
+
+let prop_ptset_equal_ids =
+  QCheck2.Test.make ~name:"structurally equal ptsets share one id" ~count:300
+    ints_small (fun l ->
+      let a = ptset_of_list l and b = ptset_of_list (List.rev l) in
+      Ptset.equal a b && Ptset.hash a = Ptset.hash b)
+
+let prop_ptset_add =
+  QCheck2.Test.make ~name:"ptset add matches model" ~count:300
+    QCheck2.Gen.(pair ints_small (0 -- 300))
+    (fun (l, x) ->
+      Ptset.elements (Ptset.add (ptset_of_list l) x)
+      = Model.union (Model.of_list l) [ x ])
+
+let prop_ptset_union =
+  QCheck2.Test.make ~name:"ptset union matches model" ~count:300
+    QCheck2.Gen.(pair ints_small ints_sparse)
+    (fun (a, b) ->
+      Ptset.elements (Ptset.union (ptset_of_list a) (ptset_of_list b))
+      = Model.union (Model.of_list a) (Model.of_list b))
+
+let prop_ptset_union_delta =
+  QCheck2.Test.make ~name:"union_delta = (union, b minus a)" ~count:300
+    QCheck2.Gen.(pair ints_small ints_small)
+    (fun (a, b) ->
+      let sa = ptset_of_list a and sb = ptset_of_list b in
+      let u, d = Ptset.union_delta sa sb in
+      Ptset.equal u (Ptset.union sa sb)
+      && Ptset.elements d = Model.diff (Model.of_list b) (Model.of_list a)
+      && Ptset.is_empty d = Ptset.equal u sa)
+
+let prop_ptset_diff =
+  QCheck2.Test.make ~name:"ptset diff matches model" ~count:300
+    QCheck2.Gen.(pair ints_small ints_small)
+    (fun (a, b) ->
+      Ptset.elements (Ptset.diff (ptset_of_list a) (ptset_of_list b))
+      = Model.diff (Model.of_list a) (Model.of_list b))
+
+let prop_ptset_memo_consistent =
+  (* The memo caches must return exactly what a recomputation from the
+     canonical bitsets returns — exercised by asking twice. *)
+  QCheck2.Test.make ~name:"memoized ops are stable across repeats" ~count:300
+    QCheck2.Gen.(triple ints_small ints_small (0 -- 300))
+    (fun (a, b, x) ->
+      let sa = ptset_of_list a and sb = ptset_of_list b in
+      let u1 = Ptset.union sa sb and u2 = Ptset.union sa sb in
+      let d1 = Ptset.union_delta sa sb and d2 = Ptset.union_delta sa sb in
+      let a1 = Ptset.add sa x and a2 = Ptset.add sa x in
+      let fresh =
+        Bitset.copy (Ptset.view sa)
+      in
+      ignore (Bitset.union_into ~into:fresh (Ptset.view sb));
+      Ptset.equal u1 u2
+      && Bitset.equal (Ptset.view u1) fresh
+      && fst d1 = fst d2 && snd d1 = snd d2
+      && Ptset.equal a1 a2)
+
+let prop_ptset_subset_cardinal =
+  QCheck2.Test.make ~name:"ptset subset/cardinal match model" ~count:300
+    QCheck2.Gen.(pair ints_small ints_small)
+    (fun (a, b) ->
+      let sa = ptset_of_list a and sb = ptset_of_list b in
+      Ptset.subset sa sb = Model.subset (Model.of_list a) (Model.of_list b)
+      && Ptset.cardinal sa = List.length (Model.of_list a))
+
 (* ---------- vec ---------- *)
 
 let test_vec_basic () =
@@ -235,6 +369,21 @@ let test_vec_many () =
   Alcotest.(check int) "len" 10000 (Vec.length v);
   Alcotest.(check int) "spot" 2468 (Vec.get v 1234);
   Alcotest.(check int) "fold" (9999 * 10000) (Vec.fold ( + ) 0 v)
+
+let test_vec_dummy_free () =
+  let v = Vec.create_empty () in
+  Alcotest.(check int) "len 0" 0 (Vec.length v);
+  for i = 0 to 999 do
+    Alcotest.(check int) "push idx" i (Vec.push v (string_of_int i))
+  done;
+  Alcotest.(check int) "len" 1000 (Vec.length v);
+  Alcotest.(check string) "spot" "123" (Vec.get v 123);
+  Vec.set v 0 "zero";
+  Alcotest.(check string) "set" "zero" (Vec.get v 0);
+  Alcotest.check_raises "grow_to refused"
+    (Invalid_argument "Vec.grow_to: dummy-free vector") (fun () ->
+      Vec.grow_to v 2000);
+  Alcotest.(check int) "length unchanged" 1000 (Vec.length v)
 
 (* ---------- hashcons ---------- *)
 
@@ -380,10 +529,29 @@ let () =
           prop_union_accumulate;
           prop_add_remove_sequence;
         ];
+      ( "ptset",
+        [
+          Alcotest.test_case "interning" `Quick test_ptset_intern;
+          Alcotest.test_case "add/union" `Quick test_ptset_add_union;
+          Alcotest.test_case "union_delta" `Quick test_ptset_union_delta;
+          Alcotest.test_case "view/tally" `Quick test_ptset_view_words;
+        ] );
+      qsuite "ptset-props"
+        [
+          prop_ptset_roundtrip;
+          prop_ptset_equal_ids;
+          prop_ptset_add;
+          prop_ptset_union;
+          prop_ptset_union_delta;
+          prop_ptset_diff;
+          prop_ptset_memo_consistent;
+          prop_ptset_subset_cardinal;
+        ];
       ( "vec",
         [
           Alcotest.test_case "basic" `Quick test_vec_basic;
           Alcotest.test_case "many" `Quick test_vec_many;
+          Alcotest.test_case "dummy-free" `Quick test_vec_dummy_free;
         ] );
       ("hashcons", [ Alcotest.test_case "intern" `Quick test_hashcons ]);
       ( "union-find",
