@@ -7,15 +7,17 @@
 #            run to be a warm start with a results hit
 #   bench-smoke — scale-0.1 Table III run with --json; checks the
 #            machine-readable output carries the interning metrics
+#   fuzz-smoke — bounded differential-fuzzing run (fixed seed, all
+#            oracles); any failure means a solver-stage disagreement
 #   ci     — all of the above
 
 DUNE ?= dune
 SMOKE_DIR := $(shell mktemp -d /tmp/pta-ci-cache.XXXXXX)
 BENCH_JSON := $(shell mktemp /tmp/pta-ci-bench.XXXXXX.json)
 
-.PHONY: ci build test smoke bench-smoke clean
+.PHONY: ci build test smoke bench-smoke fuzz-smoke clean
 
-ci: build test smoke bench-smoke
+ci: build test smoke bench-smoke fuzz-smoke
 
 build:
 	$(DUNE) build @all
@@ -46,6 +48,11 @@ bench-smoke: build
 	! grep -q '"equal": false' $(BENCH_JSON)
 	rm -f $(BENCH_JSON)
 	@echo "== bench smoke OK =="
+
+fuzz-smoke: build
+	@echo "== fuzz smoke (50 runs, seed 1, full oracle tower) =="
+	$(DUNE) exec bin/vsfs_cli.exe -- fuzz --runs 50 --seed 1
+	@echo "== fuzz smoke OK =="
 
 clean:
 	$(DUNE) clean

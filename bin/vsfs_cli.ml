@@ -4,6 +4,8 @@
                        [--dump-ir] [--dump-svfg] [--check] [--stats]
                        [--cache-dir DIR]
      vsfs gen [--bench NAME | --seed N] [--scale S] [-o FILE]
+     vsfs fuzz [--runs N] [--seed S] [--max-shrink-steps K]
+               [--oracle NAME] [--corpus-dir DIR]
      vsfs cache (ls|gc|clear) --cache-dir DIR
      vsfs bench ...          (hint to use bench/main.exe)
 
@@ -274,6 +276,57 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a synthetic mini-C benchmark program")
     Term.(const gen $ bench $ corpus $ seed $ scale $ output)
 
+(* ---------------- fuzzing ---------------- *)
+
+let fuzz runs seed max_shrink_steps oracle corpus_dir =
+  let cfg =
+    { Pta_fuzz.Driver.runs; seed; max_shrink_steps; oracle; corpus_dir }
+  in
+  match Pta_fuzz.Driver.run cfg with
+  | Error e ->
+    Format.eprintf "error: %s@." e;
+    1
+  | Ok report ->
+    print_string (Pta_fuzz.Driver.report_to_string report);
+    if report.Pta_fuzz.Driver.failures = [] then 0 else 1
+
+let fuzz_cmd =
+  let runs =
+    Arg.(value & opt int 100 & info [ "runs"; "n" ] ~docv:"N"
+           ~doc:"Number of fuzz cases to run.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+           ~doc:"Campaign seed. The whole campaign is deterministic in it: \
+                 the same --runs/--seed prints a byte-identical report.")
+  in
+  let max_shrink_steps =
+    Arg.(value & opt int 200 & info [ "max-shrink-steps" ] ~docv:"K"
+           ~doc:"Oracle-check budget for minimising each failing program.")
+  in
+  let oracle =
+    Arg.(value & opt (some string) None & info [ "oracle" ] ~docv:"NAME"
+           ~doc:(Printf.sprintf
+                   "Run a single oracle instead of the whole tower. One of: \
+                    %s."
+                   (String.concat ", " Pta_fuzz.Oracle.names)))
+  in
+  let corpus_dir =
+    Arg.(value & opt (some string) None & info [ "corpus-dir" ] ~docv:"DIR"
+           ~doc:"Persist each shrunk failing reproducer into DIR (the \
+                 checked-in regression corpus lives in test/corpus_fuzz).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate adversarial mini-C programs and \
+          check every solver stage against the oracle tower (crash safety, \
+          Naive-vs-Andersen soundness, Dense/SFS/VSFS equivalence, store \
+          round-trip). Failures are delta-debugged to a minimal reproducer. \
+          Exits 1 if any case fails.")
+    Term.(
+      const fuzz $ runs $ seed $ max_shrink_steps $ oracle $ corpus_dir)
+
 (* ---------------- cache maintenance ---------------- *)
 
 let cache_ls dir =
@@ -344,6 +397,6 @@ let main_cmd =
        ~doc:
          "Object versioning for flow-sensitive pointer analysis (CGO 2021 \
           reproduction)")
-    [ analyze_cmd; gen_cmd; cache_cmd; bench_cmd ]
+    [ analyze_cmd; gen_cmd; fuzz_cmd; cache_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,122 @@
+(* The persisted regression corpus: one mini-C file per reproducer, with a
+   machine-readable comment header recording which oracle judged it, the
+   campaign seed that produced it, the failure class (if any) and the
+   verdict the entry is expected to reproduce. `dune runtest` replays every
+   entry forever after. *)
+
+type verdict = Pass | Fail
+
+type entry = {
+  oracle : string;
+  seed : int;
+  cls : string;  (** [""] when the verdict is [Pass] *)
+  verdict : verdict;
+  note : string;  (** free-form provenance, one line *)
+  source : string;
+}
+
+let verdict_to_string = function Pass -> "pass" | Fail -> "fail"
+
+let verdict_of_string = function
+  | "pass" -> Pass
+  | "fail" -> Fail
+  | s -> failwith ("corpus entry: unknown verdict " ^ s)
+
+let to_string e =
+  String.concat "\n"
+    ([
+       "// pta-fuzz reproducer";
+       "// oracle: " ^ e.oracle;
+       "// seed: " ^ string_of_int e.seed;
+       "// cls: " ^ e.cls;
+       "// verdict: " ^ verdict_to_string e.verdict;
+       "// note: " ^ e.note;
+       "";
+     ]
+    @ [ e.source ])
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let header, rest =
+    let rec go acc = function
+      | l :: ls when String.length l >= 2 && String.sub l 0 2 = "//" ->
+        go (l :: acc) ls
+      | ls -> (List.rev acc, ls)
+    in
+    go [] lines
+  in
+  let field key =
+    let prefix = "// " ^ key ^ ": " in
+    let plen = String.length prefix in
+    List.find_map
+      (fun l ->
+        if String.length l >= plen && String.sub l 0 plen = prefix then
+          Some (String.sub l plen (String.length l - plen))
+        else if l = String.trim prefix then Some ""
+        else None)
+      header
+  in
+  let require key =
+    match field key with
+    | Some v -> v
+    | None -> failwith ("corpus entry: missing header field " ^ key)
+  in
+  let source =
+    (* drop the single blank separator line, keep the program verbatim *)
+    match rest with "" :: ls -> String.concat "\n" ls | ls -> String.concat "\n" ls
+  in
+  {
+    oracle = require "oracle";
+    seed = int_of_string (require "seed");
+    cls = Option.value ~default:"" (field "cls");
+    verdict = verdict_of_string (require "verdict");
+    note = Option.value ~default:"" (field "note");
+    source;
+  }
+
+let filename e = Printf.sprintf "seed%08d-%s.c" e.seed e.oracle
+
+let save ~dir e =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (filename e) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string e));
+  path
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".c")
+    |> List.sort String.compare
+    |> List.map (fun f -> (f, load (Filename.concat dir f)))
+
+(* Replay: the entry must reproduce its recorded verdict under its recorded
+   oracle — a Pass entry that now fails is a regression; a Fail entry that
+   now passes means the bug it pinned was fixed (update the header to
+   verdict: pass to keep it as a regression test). *)
+let replay e =
+  match Oracle.find e.oracle with
+  | None -> Error (Printf.sprintf "unknown oracle %S" e.oracle)
+  | Some o -> (
+    match (o.Oracle.check e.source, e.verdict) with
+    | Oracle.Pass, Pass -> Ok ()
+    | Oracle.Fail f, Fail when e.cls = "" || f.cls = e.cls -> Ok ()
+    | Oracle.Fail f, Fail ->
+      Error
+        (Printf.sprintf "fails with class %S, recorded %S:\n%s" f.cls e.cls
+           f.detail)
+    | Oracle.Fail f, Pass ->
+      Error (Printf.sprintf "REGRESSION (%s):\n%s" f.cls f.detail)
+    | Oracle.Pass, Fail ->
+      Error "recorded failure no longer reproduces (fixed? re-record as pass)"
+    | Oracle.Rejected msg, _ ->
+      Error ("frontend now rejects this entry: " ^ msg))

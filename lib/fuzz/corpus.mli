@@ -1,0 +1,39 @@
+(** The persisted regression corpus under [test/corpus_fuzz/].
+
+    One mini-C file per reproducer with a [// key: value] comment header
+    (oracle, campaign seed, failure class, expected verdict, provenance
+    note) followed by the minimised program. The fuzz driver appends an
+    entry for every shrunk failure; [dune runtest] replays every entry and
+    requires its recorded verdict to reproduce. When a pinned bug gets
+    fixed, flip the entry's header to [verdict: pass] — it then guards
+    against the bug's return forever. *)
+
+type verdict = Pass | Fail
+
+type entry = {
+  oracle : string;
+  seed : int;
+  cls : string;  (** [""] when the verdict is [Pass] *)
+  verdict : verdict;
+  note : string;
+  source : string;
+}
+
+val to_string : entry -> string
+
+val of_string : string -> entry
+(** @raise Failure on a malformed header. *)
+
+val filename : entry -> string
+(** Deterministic: [seed<8 digits>-<oracle>.c]. *)
+
+val save : dir:string -> entry -> string
+(** Writes [dir/filename e] (creating [dir] if needed); returns the path. *)
+
+val load : string -> entry
+val load_dir : string -> (string * entry) list
+(** All [*.c] entries, sorted by filename. Missing dir = empty corpus. *)
+
+val replay : entry -> (unit, string) result
+(** Run the entry's oracle on its source and require the recorded verdict
+    (and failure class, when one is recorded). *)

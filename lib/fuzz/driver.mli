@@ -1,0 +1,51 @@
+(** The deterministic fuzz-campaign driver.
+
+    Each case derives its own seed from the campaign seed and case index,
+    picks a generation mode (plain {!Pta_workload.Gen.small_random} config,
+    adversarial config with the edge-case levers up, or an AST mutant of a
+    generated program), and walks the {!Oracle} tower cheap-to-expensive.
+    The first failing oracle triggers {!Shrink.minimize} and, when a corpus
+    directory is configured, persists the reproducer via {!Corpus.save}.
+
+    Determinism contract (tested): the same [config] produces the same
+    {!report} and the same {!report_to_string} bytes — reports carry no
+    wall-clock data, and all randomness flows from the campaign seed. *)
+
+type config = {
+  runs : int;
+  seed : int;
+  max_shrink_steps : int;
+  oracle : string option;  (** [None] = the whole tower *)
+  corpus_dir : string option;  (** persist shrunk reproducers here *)
+}
+
+val default : config
+(** 100 runs, seed 1, 200 shrink steps, whole tower, no persistence. *)
+
+type failure = {
+  case : int;
+  case_seed : int;
+  oracle_name : string;
+  cls : string;
+  detail : string;
+  shrunk_loc : int;
+  shrink_steps : int;
+  corpus_path : string option;
+}
+
+type report = {
+  cfg : config;
+  cases : int;
+  rejected : int;  (** mutants the frontend cleanly refused *)
+  gen_cases : int;
+  adversarial_cases : int;
+  mutant_cases : int;
+  total_loc : int;
+  failures : failure list;
+}
+
+val run : config -> (report, string) result
+(** [Error] only for an unknown oracle name. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string

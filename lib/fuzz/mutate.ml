@@ -1,0 +1,175 @@
+open Pta_cfront
+
+(* Preorder statement-site arithmetic over a function body. A "site" is any
+   statement, at any nesting depth; compound statements count themselves
+   first, then their children. *)
+
+let rec count_list ss = List.fold_left (fun acc s -> acc + count_stmt s) 0 ss
+
+and count_stmt s =
+  1
+  +
+  match s with
+  | Ast.If (_, _, a, b) -> count_list a + count_list b
+  | Ast.While (_, _, b) | Ast.DoWhile (_, b, _) | Ast.For (_, _, _, _, b) ->
+    count_list b
+  | _ -> 0
+
+(* Rewrite site [n] with [f : stmt -> stmt list] (empty list = delete). *)
+let map_nth body n f =
+  let k = ref (-1) in
+  let rec go_list ss = List.concat_map go ss
+  and go s =
+    incr k;
+    if !k = n then f s
+    else
+      match s with
+      | Ast.If (p, c, a, b) -> [ Ast.If (p, c, go_list a, go_list b) ]
+      | Ast.While (p, c, b) -> [ Ast.While (p, c, go_list b) ]
+      | Ast.DoWhile (p, b, c) -> [ Ast.DoWhile (p, go_list b, c) ]
+      | Ast.For (p, i, c, st, b) -> [ Ast.For (p, i, c, st, go_list b) ]
+      | s -> [ s ]
+  in
+  go_list body
+
+let get_nth body n =
+  let k = ref (-1) in
+  let found = ref None in
+  let rec go_list ss = List.iter go ss
+  and go s =
+    incr k;
+    if !k = n then found := Some s;
+    match s with
+    | Ast.If (_, _, a, b) ->
+      go_list a;
+      go_list b
+    | Ast.While (_, _, b) | Ast.DoWhile (_, b, _) | Ast.For (_, _, _, _, b) ->
+      go_list b
+    | _ -> ()
+  in
+  go_list body;
+  !found
+
+(* Names usable inside a function: its params, its declared locals, every
+   global, every function name (decays to a pointer). *)
+let pools prog =
+  let globals =
+    List.filter_map
+      (function Ast.Global (_, g, _) -> Some g | _ -> None)
+      prog
+  in
+  let funcs =
+    List.filter_map
+      (function Ast.Func { name; _ } -> Some name | _ -> None)
+      prog
+  in
+  (globals, funcs)
+
+let rec decls_of ss =
+  List.concat_map
+    (function
+      | Ast.Decl (_, names) -> names
+      | Ast.If (_, _, a, b) -> decls_of a @ decls_of b
+      | Ast.While (_, _, b) | Ast.DoWhile (_, b, _) | Ast.For (_, _, _, _, b) ->
+        decls_of b
+      | _ -> [])
+    ss
+
+type st = { rng : Random.State.t; vars : string array; funcs : string array }
+
+let pick st arr =
+  if Array.length arr = 0 then "m0"
+  else arr.(Random.State.int st.rng (Array.length arr))
+
+let var st = pick st st.vars
+let fld st = Printf.sprintf "fld%d" (Random.State.int st.rng 4)
+
+let rand_rhs st =
+  match Random.State.int st.rng 7 with
+  | 0 -> Ast.Null
+  | 1 -> Ast.Malloc
+  | 2 -> Ast.Var (var st)
+  | 3 -> Ast.AddrVar (var st)
+  | 4 -> Ast.Arrow (Ast.Var (var st), fld st)
+  | 5 -> Ast.Deref (Ast.Var (var st))
+  | _ ->
+    if Array.length st.funcs = 0 then Ast.Malloc
+    else
+      Ast.Call
+        (Ast.Var (pick st st.funcs), [ Ast.Var (var st); Ast.Var (var st) ])
+
+let cond st = Ast.Cmp (Ast.Var (var st), Ast.Var (var st))
+
+(* One mutation of one function body. *)
+let mutate_body st body =
+  let n = count_list body in
+  if n = 0 then Ast.Assign (0, Ast.Var (var st), rand_rhs st) :: body
+  else begin
+    let site = Random.State.int st.rng n in
+    match Random.State.int st.rng 9 with
+    | 0 -> map_nth body site (fun _ -> []) (* delete *)
+    | 1 -> map_nth body site (fun s -> [ s; s ]) (* duplicate *)
+    | 2 -> map_nth body site (fun s -> [ Ast.If (0, cond st, [ s ], []) ])
+    | 3 -> map_nth body site (fun s -> [ Ast.While (0, cond st, [ s ]) ])
+    | 4 ->
+      (* null re-store before the site (strong-update pressure) *)
+      map_nth body site (fun s ->
+          [ Ast.Assign (0, Ast.Var (var st), Ast.Null); s ])
+    | 5 ->
+      (* make something address-taken *)
+      map_nth body site (fun s ->
+          [ Ast.Assign (0, Ast.Var (var st), Ast.AddrVar (var st)); s ])
+    | 6 ->
+      (* rewrite an assignment's rhs; append a fresh one elsewhere *)
+      map_nth body site (function
+        | Ast.Assign (p, lhs, _) -> [ Ast.Assign (p, lhs, rand_rhs st) ]
+        | s -> [ s; Ast.Assign (0, Ast.Var (var st), rand_rhs st) ])
+    | 7 ->
+      (* store through a field before the site *)
+      map_nth body site (fun s ->
+          [
+            Ast.Assign
+              (0, Ast.Arrow (Ast.Var (var st), fld st), Ast.Var (var st));
+            s;
+          ])
+    | _ ->
+      (* swap two sites (1-for-1, so preorder indices stay valid) *)
+      let other = Random.State.int st.rng n in
+      (match (get_nth body site, get_nth body other) with
+      | Some a, Some b when site <> other ->
+        let body = map_nth body site (fun _ -> [ b ]) in
+        map_nth body other (fun _ -> [ a ])
+      | _ -> body)
+  end
+
+let program ~seed ?n_mutations prog =
+  let rng = Random.State.make [| seed; 0x6074 |] in
+  let n =
+    match n_mutations with
+    | Some n -> max 0 n
+    | None -> 1 + Random.State.int rng 4
+  in
+  let globals, funcs = pools prog in
+  let n_funcs = List.length funcs in
+  let cur = ref prog in
+  if n_funcs > 0 then
+    for _ = 1 to n do
+      let target = Random.State.int rng n_funcs in
+      let fi = ref (-1) in
+      cur :=
+        List.map
+          (function
+            | Ast.Func f ->
+              incr fi;
+              if !fi = target then begin
+                let vars =
+                  Array.of_list (f.params @ decls_of f.body @ globals)
+                in
+                let st = { rng; vars; funcs = Array.of_list funcs } in
+                Ast.Func { f with body = mutate_body st f.body }
+              end
+              else Ast.Func f
+            | d -> d)
+          !cur
+    done;
+  !cur

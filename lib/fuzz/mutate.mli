@@ -1,0 +1,33 @@
+(** Seeded AST-level mutation of mini-C programs.
+
+    Mutations are grammar-shape-preserving (the result always pretty-prints
+    and reparses via {!Pta_cfront.Ast_print}) but not validity-preserving:
+    a mutant may reference a deleted declaration, which the frontend must
+    reject with a clean diagnostic — the crash oracle counts anything else
+    escaping a stage as a finding.
+
+    Operators: statement delete / duplicate / swap, wrap in [if]/[while],
+    null re-stores and address-of injections before a site, assignment
+    right-hand-side rewrites (including calls and field loads), and field
+    stores. Same [seed] and input, same mutant. *)
+
+val program :
+  seed:int -> ?n_mutations:int -> Pta_cfront.Ast.program -> Pta_cfront.Ast.program
+(** [n_mutations] defaults to a seeded draw of 1-4. *)
+
+(** {2 Statement-site arithmetic} (shared with {!Shrink})
+
+    A site is any statement at any nesting depth, numbered in preorder:
+    a compound counts itself first, then its children. *)
+
+val count_list : Pta_cfront.Ast.stmt list -> int
+
+val get_nth : Pta_cfront.Ast.stmt list -> int -> Pta_cfront.Ast.stmt option
+
+val map_nth :
+  Pta_cfront.Ast.stmt list ->
+  int ->
+  (Pta_cfront.Ast.stmt -> Pta_cfront.Ast.stmt list) ->
+  Pta_cfront.Ast.stmt list
+(** Rewrite site [n] with the callback (empty list deletes the site, and
+    with it the site's subtree). *)

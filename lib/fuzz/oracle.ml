@@ -1,0 +1,352 @@
+open Pta_ir
+module Cparser = Pta_cfront.Cparser
+module Lower = Pta_cfront.Lower
+module Pipeline = Pta_workload.Pipeline
+
+type outcome =
+  | Pass
+  | Rejected of string
+  | Fail of { cls : string; detail : string }
+
+type t = { name : string; doc : string; check : string -> outcome }
+
+let exn_name = function
+  | Cparser.Parse_error _ -> "Parse_error"
+  | Lower.Lower_error _ -> "Lower_error"
+  | Invalid_argument _ -> "Invalid_argument"
+  | Failure _ -> "Failure"
+  | Assert_failure _ -> "Assert_failure"
+  | Not_found -> "Not_found"
+  | Stack_overflow -> "Stack_overflow"
+  | Out_of_memory -> "Out_of_memory"
+  | _ -> "exn"
+
+let fail_exn stage e =
+  Fail
+    {
+      cls = Printf.sprintf "crash:%s:%s" stage (exn_name e);
+      detail = Printf.sprintf "%s raised %s" stage (Printexc.to_string e);
+    }
+
+(* Frontend rejections (a clean diagnostic on a program the mutator made
+   invalid) are not findings; everything else escaping a stage is. *)
+let rejected = function
+  | Cparser.Parse_error (line, msg) ->
+    Some (Printf.sprintf "parse error at line %d: %s" line msg)
+  | Lower.Lower_error (line, msg) ->
+    Some (Printf.sprintf "lower error at line %d: %s" line msg)
+  | _ -> None
+
+(* ---------- crash: per-stage exception capture ---------- *)
+
+let check_crash src =
+  let reject_or stage e =
+    match rejected e with Some msg -> Rejected msg | None -> fail_exn stage e
+  in
+  match Cparser.parse src with
+  | exception e -> reject_or "parse" e
+  | ast -> (
+    match Lower.lower ~promote:false ast with
+    | exception e -> reject_or "lower" e
+    | p -> (
+      match Pta_cfront.Mem2reg.run p with
+      | exception e -> fail_exn "mem2reg" e
+      | () -> (
+        match Validate.check p with
+        | exception e -> fail_exn "validate" e
+        | _ :: _ as errs ->
+          Fail
+            {
+              cls = "crash:validate:invalid-ir";
+              detail =
+                "lowered program fails validation:\n" ^ String.concat "\n" errs;
+            }
+        | [] -> (
+          match Pta_andersen.Solver.solve p with
+          | exception e -> fail_exn "andersen" e
+          | _ -> Pass))))
+
+(* ---------- shared compile for the semantic oracles ---------- *)
+
+let with_built src k =
+  match Pipeline.build_source src with
+  | exception e -> (
+    match rejected e with
+    | Some msg -> Rejected msg
+    | None -> fail_exn "build" e)
+  | b -> ( match k b with exception e -> fail_exn "oracle" e | o -> o)
+
+let set_names prog s =
+  "{"
+  ^ String.concat "," (List.map (Prog.name prog) (Pta_ds.Bitset.elements s))
+  ^ "}"
+
+(* ---------- andersen: wave solver vs naive reference ---------- *)
+
+let check_andersen src =
+  let run p =
+    let fast = Pta_andersen.Solver.solve p in
+    let slow = Pta_andersen.Naive.solve p in
+    let unsound = ref [] and imprecise = ref [] in
+    Prog.iter_vars p (fun v ->
+        let f = Pta_andersen.Solver.pts fast v
+        and n = Pta_andersen.Naive.pts slow v in
+        if not (Pta_ds.Bitset.equal f n) then
+          if not (Pta_ds.Bitset.subset n f) then unsound := v :: !unsound
+          else imprecise := v :: !imprecise);
+    let describe vs =
+      String.concat "\n"
+        (List.map
+           (fun v ->
+             Printf.sprintf "  %s: naive=%s wave=%s" (Prog.name p v)
+               (set_names p (Pta_andersen.Naive.pts slow v))
+               (set_names p (Pta_andersen.Solver.pts fast v)))
+           (List.filteri (fun i _ -> i < 5) (List.rev vs)))
+    in
+    if !unsound <> [] then
+      Fail
+        {
+          cls = "unsound";
+          detail = "wave solver misses naive facts:\n" ^ describe !unsound;
+        }
+    else if !imprecise <> [] then
+      Fail
+        {
+          cls = "imprecise";
+          detail = "wave solver exceeds naive facts:\n" ^ describe !imprecise;
+        }
+    else begin
+      let edges cg =
+        let acc = ref [] in
+        Callgraph.iter_edges cg (fun cs g ->
+            acc := (cs.Callgraph.cs_func, cs.Callgraph.cs_inst, g) :: !acc);
+        List.sort compare !acc
+      in
+      if
+        edges (Pta_andersen.Solver.callgraph fast)
+        <> edges (Pta_andersen.Naive.callgraph slow)
+      then
+        Fail
+          {
+            cls = "callgraph";
+            detail = "wave and naive solvers resolve different call graphs";
+          }
+      else Pass
+    end
+  in
+  match Lower.compile src with
+  | exception e -> (
+    match rejected e with Some msg -> Rejected msg | None -> fail_exn "build" e)
+  | p -> (
+    match Validate.check p with
+    | _ :: _ as errs ->
+      Fail
+        {
+          cls = "crash:validate:invalid-ir";
+          detail = String.concat "\n" errs;
+        }
+    | [] -> ( match run p with exception e -> fail_exn "oracle" e | o -> o))
+
+(* ---------- equiv: Dense vs SFS vs VSFS bit-equality ---------- *)
+
+let check_equiv src =
+  with_built src (fun b ->
+      let sfs_r, _ = Pipeline.run_sfs b in
+      let vsfs_r, _ = Pipeline.run_vsfs b in
+      let svfg = Pipeline.fresh_svfg b in
+      let report = Vsfs_core.Equiv.compare sfs_r vsfs_r svfg in
+      if not (Vsfs_core.Equiv.is_equal report) then begin
+        let cls =
+          if report.Vsfs_core.Equiv.top_level_mismatches <> [] then "top-level"
+          else "load"
+        in
+        Fail
+          {
+            cls;
+            detail =
+              Format.asprintf "SFS/VSFS disagree:@.%a"
+                (Vsfs_core.Equiv.pp_report b.Pipeline.prog)
+                report;
+          }
+      end
+      else begin
+        let dense_r, _ = Pipeline.run_dense b in
+        let p = b.Pipeline.prog in
+        let bad = ref [] in
+        Prog.iter_vars p (fun v ->
+            if
+              Prog.is_top p v
+              && not
+                   (Pta_ds.Bitset.equal (Pta_sfs.Sfs.pt sfs_r v)
+                      (Pta_sfs.Dense.pt dense_r v))
+            then bad := v :: !bad);
+        match !bad with
+        | [] -> Pass
+        | vs ->
+          Fail
+            {
+              cls = "dense";
+              detail =
+                "dense ICFG solver disagrees with SFS:\n"
+                ^ String.concat "\n"
+                    (List.map
+                       (fun v ->
+                         Printf.sprintf "  %s: sfs=%s dense=%s" (Prog.name p v)
+                           (set_names p (Pta_sfs.Sfs.pt sfs_r v))
+                           (set_names p (Pta_sfs.Dense.pt dense_r v)))
+                       (List.filteri (fun i _ -> i < 5) (List.rev vs)));
+            }
+      end)
+
+(* ---------- store: cold-vs-warm round trip through Pta_store ---------- *)
+
+let tmp_counter = ref 0
+
+let fresh_tmp_dir () =
+  incr tmp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pta-fuzz-%d-%d" (Unix.getpid ()) !tmp_counter)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let check_store src =
+  let dir = fresh_tmp_dir () in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with _ -> ())
+    (fun () ->
+      let store = Pta_store.Store.open_ dir in
+      let go () =
+        let cold, warm0 = Pipeline.build_cached ~store src in
+        if warm0 then
+          Fail { cls = "not-cold"; detail = "first build reported warm" }
+        else begin
+          let vsfs_cold, _ = Pipeline.run_vsfs_cached ~store cold in
+          Pipeline.save_points_to ~store cold ~solver:"vsfs"
+            (Pipeline.points_to_of_vsfs cold vsfs_cold);
+          let warm, warm1 = Pipeline.build_cached ~store src in
+          if not warm1 then
+            Fail
+              {
+                cls = "not-warm";
+                detail = "second build of identical source missed the cache";
+              }
+          else begin
+            let vsfs_warm, _ = Pipeline.run_vsfs_cached ~store warm in
+            let pc = cold.Pipeline.prog and pw = warm.Pipeline.prog in
+            if Prog.n_vars pc <> Prog.n_vars pw then
+              Fail
+                {
+                  cls = "prog-roundtrip";
+                  detail =
+                    Printf.sprintf "var table changed: cold %d vs warm %d vars"
+                      (Prog.n_vars pc) (Prog.n_vars pw);
+                }
+            else begin
+              let bad = ref [] in
+              Prog.iter_vars pc (fun v ->
+                  let c, w =
+                    if Prog.is_top pc v then
+                      (Vsfs_core.Vsfs.pt vsfs_cold v, Vsfs_core.Vsfs.pt vsfs_warm v)
+                    else
+                      ( Vsfs_core.Vsfs.object_pt vsfs_cold v,
+                        Vsfs_core.Vsfs.object_pt vsfs_warm v )
+                  in
+                  if not (Pta_ds.Bitset.equal c w) then bad := v :: !bad);
+              match !bad with
+              | _ :: _ as vs ->
+                Fail
+                  {
+                    cls = "pt-mismatch";
+                    detail =
+                      "warm-started VSFS differs from cold solve:\n"
+                      ^ String.concat "\n"
+                          (List.map
+                             (fun v ->
+                               Printf.sprintf "  %s: cold=%s warm=%s"
+                                 (Prog.name pc v)
+                                 (set_names pc (Vsfs_core.Vsfs.pt vsfs_cold v))
+                                 (set_names pw (Vsfs_core.Vsfs.pt vsfs_warm v)))
+                             (List.filteri (fun i _ -> i < 5) (List.rev vs)));
+                  }
+              | [] -> (
+                match Pipeline.load_points_to ~store cold ~solver:"vsfs" with
+                | None ->
+                  Fail
+                    {
+                      cls = "results-roundtrip";
+                      detail = "saved results-vsfs artifact does not load back";
+                    }
+                | Some r ->
+                  let reference = Pipeline.points_to_of_vsfs cold vsfs_cold in
+                  let same = ref true in
+                  Array.iteri
+                    (fun v s ->
+                      if
+                        not
+                          (Pta_ds.Bitset.equal s
+                             reference.Pta_store.Artifact.top.(v))
+                      then same := false)
+                    r.Pta_store.Artifact.top;
+                  Array.iteri
+                    (fun v s ->
+                      if
+                        not
+                          (Pta_ds.Bitset.equal s
+                             reference.Pta_store.Artifact.obj.(v))
+                      then same := false)
+                    r.Pta_store.Artifact.obj;
+                  if !same then Pass
+                  else
+                    Fail
+                      {
+                        cls = "results-roundtrip";
+                        detail =
+                          "decoded results-vsfs artifact differs from the \
+                           solve it was saved from";
+                      })
+            end
+          end
+        end
+      in
+      match go () with
+      | exception e -> (
+        match rejected e with
+        | Some msg -> Rejected msg
+        | None -> fail_exn "store" e)
+      | o -> o)
+
+(* ---------- the tower ---------- *)
+
+let all =
+  [
+    {
+      name = "crash";
+      doc = "parse -> lower -> mem2reg -> validate -> andersen raises nothing";
+      check = check_crash;
+    };
+    {
+      name = "andersen";
+      doc = "wave-propagation Andersen = naive reference fixpoint";
+      check = check_andersen;
+    };
+    {
+      name = "equiv";
+      doc = "Dense = SFS = VSFS points-to bit-equality (the paper's Sec IV-E)";
+      check = check_equiv;
+    };
+    {
+      name = "store";
+      doc = "cold vs Pta_store warm-started pipeline bit-equality";
+      check = check_store;
+    };
+  ]
+
+let find name = List.find_opt (fun o -> o.name = name) all
+let names = List.map (fun o -> o.name) all

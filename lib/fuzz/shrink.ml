@@ -1,0 +1,111 @@
+open Pta_cfront
+
+(* Greedy delta debugging on the mini-C AST: a candidate reduction is kept
+   iff the same oracle fails with the same class tag, so the minimiser can
+   never wander from the original failure onto an unrelated one (e.g. a
+   reduction that merely makes the program invalid). Every oracle re-check
+   counts against [max_steps]. *)
+
+type result = {
+  program : Ast.program;
+  steps : int;  (** oracle re-checks spent *)
+  reductions : int;  (** candidates accepted *)
+}
+
+let minimize ~(oracle : Oracle.t) ~cls ~max_steps ast0 =
+  let steps = ref 0 in
+  let reductions = ref 0 in
+  let budget () = !steps < max_steps in
+  let still_fails ast =
+    budget ()
+    && begin
+         incr steps;
+         match oracle.Oracle.check (Ast_print.program ast) with
+         | Oracle.Fail f -> f.cls = cls
+         | _ -> false
+       end
+  in
+  let cur = ref ast0 in
+  let attempt cand =
+    if still_fails cand then begin
+      cur := cand;
+      incr reductions;
+      true
+    end
+    else false
+  in
+
+  (* Pass: drop whole defs (functions and globals), last first. *)
+  let drop_defs () =
+    let changed = ref false in
+    let i = ref (List.length !cur - 1) in
+    while !i >= 0 && budget () do
+      if List.length !cur > 1 then begin
+        let cand = List.filteri (fun j _ -> j <> !i) !cur in
+        if attempt cand then changed := true
+      end;
+      decr i
+    done;
+    !changed
+  in
+
+  (* Per-function statement passes. [rewrite] maps one site to a
+     replacement list; sites are tried last-first so preorder indices of
+     untried sites stay valid across accepted reductions. *)
+  let stmt_pass rewrite =
+    let changed = ref false in
+    let n_defs = List.length !cur in
+    for d = n_defs - 1 downto 0 do
+      let body_of () =
+        match List.nth_opt !cur d with
+        | Some (Ast.Func f) -> Some f.body
+        | _ -> None
+      in
+      match body_of () with
+      | None -> ()
+      | Some body0 ->
+        let i = ref (Mutate.count_list body0 - 1) in
+        while !i >= 0 && budget () do
+          (match body_of () with
+          | Some body -> (
+            match Mutate.get_nth body !i with
+            | Some s -> (
+              match rewrite s with
+              | Some repl ->
+                let body' = Mutate.map_nth body !i (fun _ -> repl) in
+                let cand =
+                  List.mapi
+                    (fun j def ->
+                      match def with
+                      | Ast.Func f when j = d -> Ast.Func { f with body = body' }
+                      | def -> def)
+                    !cur
+                in
+                if attempt cand then changed := true
+              | None -> ())
+            | None -> ())
+          | None -> ());
+          decr i
+        done
+    done;
+    !changed
+  in
+
+  let remove_stmt () = stmt_pass (fun _ -> Some []) in
+  let hoist_stmt () =
+    stmt_pass (function
+      | Ast.If (_, _, a, b) -> Some (a @ b)
+      | Ast.While (_, _, b) | Ast.DoWhile (_, b, _) | Ast.For (_, _, _, _, b)
+        ->
+        Some b
+      | _ -> None)
+  in
+
+  let progress = ref true in
+  while !progress && budget () do
+    progress := false;
+    if drop_defs () then progress := true;
+    if remove_stmt () then progress := true;
+    if hoist_stmt () then progress := true
+  done;
+  { program = !cur; steps = !steps; reductions = !reductions }

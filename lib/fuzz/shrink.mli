@@ -1,0 +1,22 @@
+(** Delta-debugging minimiser for failing fuzz cases.
+
+    Greedy fixpoint over three reduction passes — whole-def removal
+    (functions, globals), statement-site removal at any nesting depth, and
+    block hoisting ([if]/[while]/[for]/[do] replaced by their bodies) — each
+    candidate re-checked against the {e same} oracle and required to fail
+    with the {e same} class tag, so the reproducer cannot drift onto an
+    unrelated failure. Deterministic; bounded by [max_steps] oracle
+    re-checks. *)
+
+type result = {
+  program : Pta_cfront.Ast.program;
+  steps : int;  (** oracle re-checks spent *)
+  reductions : int;  (** candidates accepted *)
+}
+
+val minimize :
+  oracle:Oracle.t ->
+  cls:string ->
+  max_steps:int ->
+  Pta_cfront.Ast.program ->
+  result

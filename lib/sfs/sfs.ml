@@ -93,7 +93,12 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
         let mu =
           match Svfg.kind svfg n with
           | Svfg.NInst { f; i } -> Pta_memssa.Annot.mu (Svfg.annot svfg) f i
-          | _ -> assert false
+          | _ ->
+            invalid_arg
+              (Format.asprintf
+                 "Sfs.solve: load %a is not an instruction node — SVFG node \
+                  kinds out of sync"
+                 (Svfg.pp_node svfg) n)
         in
         let changed = ref false in
         Bitset.iter
@@ -106,7 +111,12 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
         let chi =
           match Svfg.kind svfg n with
           | Svfg.NInst { f; i } -> Pta_memssa.Annot.chi (Svfg.annot svfg) f i
-          | _ -> assert false
+          | _ ->
+            invalid_arg
+              (Format.asprintf
+                 "Sfs.solve: store %a is not an instruction node — SVFG node \
+                  kinds out of sync"
+                 (Svfg.pp_node svfg) n)
         in
         let ptr_pts = Solver_common.pt_of c ptr in
         let rhs_id = Solver_common.pt_id c rhs in

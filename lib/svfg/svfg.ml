@@ -242,7 +242,11 @@ let rename_function t fn =
       | [] ->
         (* Every annotated object is in the function's inflow and thus has a
            FormalIn definition at the entry; an empty stack is a bug. *)
-        assert false
+        invalid_arg
+          (Printf.sprintf
+             "Svfg.rename_function: object %s has no reaching definition in \
+              %s (missing FormalIn — annotation inflow out of sync)"
+             (Prog.name t.prog o) fn.Prog.fname)
     in
     let edge src o dst = ignore (add_indirect_edge t src o dst) in
     let rec walk i =

@@ -27,9 +27,33 @@ type config = {
   call_density : float;  (** expected calls per function *)
   recursion_ratio : float;  (** share of calls allowed to go backwards *)
   global_traffic : float;  (** share of ops touching the global pool *)
+  empty_fn_ratio : float;
+      (** P(a function is empty: no locals, no statements) — degenerate
+          CFGs and mod/ref sets. Adversarial lever (defaults 0; only
+          {!Pta_fuzz} turns it on — likewise for the five below). *)
+  dead_block_ratio : float;
+      (** share of statements that are guarded stores into a write-only
+          global sink ([gdead]) — definitions flowing nowhere *)
+  mutual_recursion_ratio : float;
+      (** share of calls targeting self or the immediate predecessor,
+          closing tight call-graph cycles *)
+  null_reset_ratio : float;
+      (** share of statements that null a pointer then re-point it
+          (realloc-style re-stores; strong-update stress) *)
+  chain_depth : int;  (** max depth of [p->f->g->...] load chains (0 = off) *)
+  phi_fanin : int;
+      (** max width of if/else cascades assigning one variable — PHI
+          fan-in at the join (0 = off) *)
 }
 
 val default : config
+
+val clamp : config -> config
+(** Totalisation: clamp negative/oversized counts and out-of-range or NaN
+    ratios into the generator's valid domain. Identity on valid configs;
+    {!source} and {!small_random} apply it, so hostile configs degrade to
+    their nearest valid neighbour instead of crashing the generator or
+    emitting references to undeclared globals. *)
 
 val source : config -> string
 (** The generated mini-C program text ([main] included). *)

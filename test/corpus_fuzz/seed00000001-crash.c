@@ -1,0 +1,33 @@
+// pta-fuzz reproducer
+// oracle: crash
+// seed: 1
+// cls:
+// verdict: pass
+// note: hand-seeded guard: empty functions, dead blocks, stmt-after-return
+
+global g;
+global gdead;
+
+func empty0() {
+}
+
+func empty1() {
+  return;
+}
+
+func f0(p) {
+  var v;
+  v = malloc();
+  if (v != v) {
+    gdead = v;
+    gdead->fld0 = v;
+  }
+  return v;
+  g = v;
+}
+
+func main() {
+  var x;
+  x = f0(x);
+  g = x;
+}

@@ -1,0 +1,30 @@
+// pta-fuzz reproducer
+// oracle: andersen
+// seed: 2
+// cls:
+// verdict: pass
+// note: hand-seeded guard: mutual recursion closing a call-graph cycle through a function-pointer global
+
+global gf = &odd;
+global g;
+
+func even(n) {
+  var r;
+  r = (*gf)(n);
+  return r;
+}
+
+func odd(n) {
+  var r;
+  gf = &even;
+  r = even(n);
+  g = n;
+  return r;
+}
+
+func main() {
+  var h;
+  h = malloc();
+  h = even(h);
+  g = h;
+}

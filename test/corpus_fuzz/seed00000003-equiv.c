@@ -1,0 +1,21 @@
+// pta-fuzz reproducer
+// oracle: equiv
+// seed: 3
+// cls:
+// verdict: pass
+// note: hand-seeded guard: realloc-style null re-stores forcing strong updates in a loop
+
+global g;
+
+func main() {
+  var p, h, a;
+  p = &a;
+  h = malloc();
+  *p = h;
+  while (h != p) {
+    *p = null;
+    h = malloc();
+    *p = h;
+  }
+  g = *p;
+}

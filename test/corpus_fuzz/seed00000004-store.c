@@ -1,0 +1,22 @@
+// pta-fuzz reproducer
+// oracle: store
+// seed: 4
+// cls:
+// verdict: pass
+// note: hand-seeded guard: field stores/loads through two aliased bases (cold/warm cache equality)
+
+global g;
+
+func link(a, b) {
+  a->next = b;
+  b->next = a;
+  return a->next;
+}
+
+func main() {
+  var x, y, r;
+  x = malloc();
+  y = malloc();
+  r = link(x, y);
+  g = r->next;
+}

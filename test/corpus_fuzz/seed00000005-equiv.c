@@ -1,0 +1,26 @@
+// pta-fuzz reproducer
+// oracle: equiv
+// seed: 5
+// cls:
+// verdict: pass
+// note: hand-seeded guard: deep field chain plus an if/else cascade (wide PHI fan-in at the join)
+
+global g;
+
+func main() {
+  var v, w, a;
+  v = malloc();
+  v->fld0 = v;
+  v->fld1 = v;
+  w = v->fld0->fld1->fld0;
+  if (w == v) {
+    a = malloc();
+  } else {
+    if (w != v) {
+      a = &v;
+    } else {
+      a = w;
+    }
+  }
+  g = a;
+}

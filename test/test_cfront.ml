@@ -326,6 +326,73 @@ let test_mem2reg_undef_load () =
   Validate.check_exn p;
   Alcotest.(check bool) "valid despite undef" true (Validate.check p = [])
 
+(* Property: on arbitrary generated programs, mem2reg (a) leaves a valid
+   program, (b) retires every promoted slot completely — no dead object is
+   ever allocated again or shows up in any points-to set — (c) never invents
+   an Andersen fact: every surviving object may contain at most the names it
+   could before promotion (it usually contains fewer — removing the spurious
+   slot indirection is exactly why the pass helps precision), and (d) can
+   be re-run safely: a second pass (which may promote slots the first one's
+   copy rewrites exposed) stays valid and is monotone too. *)
+let object_facts p =
+  let r = Pta_andersen.Solver.solve p in
+  let facts = ref [] in
+  Prog.iter_objects p (fun o ->
+      if not (Prog.is_dead p o) then
+        facts :=
+          ( Prog.name p o,
+            List.sort String.compare
+              (List.map (Prog.name p)
+                 (Pta_ds.Bitset.elements (Pta_andersen.Solver.pts r o))) )
+          :: !facts);
+  List.sort compare !facts
+
+let prop_mem2reg_sound =
+  QCheck2.Test.make ~name:"mem2reg sound on generated programs" ~count:20
+    QCheck2.Gen.(33_000 -- 34_000)
+    (fun seed ->
+      let src =
+        Pta_workload.Gen.source (Pta_workload.Gen.small_random seed)
+      in
+      let raw = compile_raw src in
+      let p = compile_raw src in
+      Mem2reg.run p;
+      let valid = Validate.check p = [] in
+      (* no promoted slot survives: dead objects are never re-allocated,
+         and no points-to set (top-level or object contents) mentions one *)
+      let no_dead_alloc = ref true in
+      Prog.iter_funcs p (fun fn ->
+          for i = 0 to Prog.n_insts fn - 1 do
+            match Prog.inst fn i with
+            | Inst.Alloc { obj; _ } ->
+              if Prog.is_dead p obj then no_dead_alloc := false
+            | _ -> ()
+          done);
+      let r = Pta_andersen.Solver.solve p in
+      let no_dead_in_pts = ref true in
+      Prog.iter_vars p (fun v ->
+          if not (Prog.is_dead p v) then
+            Pta_ds.Bitset.iter
+              (fun o -> if Prog.is_dead p o then no_dead_in_pts := false)
+              (Pta_andersen.Solver.pts r v));
+      let after = object_facts p in
+      let before = object_facts raw in
+      let shrinks_only before after =
+        List.for_all
+          (fun (n, names) ->
+            match List.assoc_opt n before with
+            | None -> false (* a surviving object must pre-exist *)
+            | Some names0 -> List.for_all (fun x -> List.mem x names0) names)
+          after
+      in
+      let no_invented_fact = shrinks_only before after in
+      Mem2reg.run p;
+      let rerun_safe =
+        Validate.check p = [] && shrinks_only after (object_facts p)
+      in
+      valid && !no_dead_alloc && !no_dead_in_pts && no_invented_fact
+      && rerun_safe)
+
 let () =
   Alcotest.run "pta_cfront"
     [
@@ -358,6 +425,7 @@ let () =
             test_mem2reg_keeps_address_taken;
           Alcotest.test_case "inserts phi" `Quick test_mem2reg_inserts_phi;
           Alcotest.test_case "loop phi" `Quick test_mem2reg_loop_phi;
+          QCheck_alcotest.to_alcotest prop_mem2reg_sound;
           Alcotest.test_case "semantic equivalence" `Quick
             test_mem2reg_semantic_equivalence;
           Alcotest.test_case "promoted count" `Quick test_promoted_count;

@@ -333,6 +333,60 @@ let test_equal_strong_updates () =
        }
        |})
 
+(* The unequal path: force a genuine precision divergence by running SFS
+   with strong updates and VSFS without them. On a program where the second
+   store kills the first, the solvers then really disagree, and the report
+   must flag it and name the offending variable, sets, and load site. *)
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_unequal_report () =
+  let src =
+    {|
+    global g;
+    func main() {
+      var a, p1, h1, h2, r;
+      p1 = &a;
+      h1 = malloc();
+      h2 = malloc();
+      *p1 = h1;
+      *p1 = h2;
+      r = *p1;
+      g = r;
+    }
+    |}
+  in
+  (* no mem2reg: keep the source names so the report is checkable *)
+  let p = Pta_cfront.Lower.compile ~promote:false src in
+  Validate.check_exn p;
+  let r = Pta_andersen.Solver.solve p in
+  let aux =
+    { Pta_memssa.Modref.pt = Pta_andersen.Solver.pts r;
+      cg = Pta_andersen.Solver.callgraph r }
+  in
+  Pta_memssa.Singleton.refine p ~cg:aux.Pta_memssa.Modref.cg;
+  let pa = (p, aux) in
+  let sfs = Pta_sfs.Sfs.solve ~strong_updates:true (fresh_svfg pa) in
+  let svfg2 = fresh_svfg pa in
+  let vsfs = Vsfs.solve ~strong_updates:false svfg2 in
+  let report = Equiv.compare sfs vsfs svfg2 in
+  Alcotest.(check bool) "divergence detected" false (Equiv.is_equal report);
+  Alcotest.(check bool) "top-level mismatch recorded" true
+    (report.Equiv.top_level_mismatches <> []);
+  Alcotest.(check bool) "load mismatch recorded" true
+    (report.Equiv.load_mismatches <> []);
+  let text = Format.asprintf "%a" (Equiv.pp_report (fst pa)) report in
+  Alcotest.(check bool) "report names a diverging variable" true
+    (contains ~needle:"top-level main.l" text);
+  Alcotest.(check bool) "report names the killed-store object" true
+    (contains ~needle:"object main.a" text);
+  Alcotest.(check bool) "report names the reloaded local" true
+    (contains ~needle:"object main.r" text);
+  Alcotest.(check bool) "report shows both sides' sets" true
+    (contains ~needle:"sfs={" text && contains ~needle:"vsfs={" text)
+
 let test_equal_indirect_recursion () =
   Alcotest.(check bool) "indirect recursion" true
     (equal_on
@@ -526,6 +580,8 @@ let () =
         [
           Alcotest.test_case "handwritten" `Quick test_equal_handwritten;
           Alcotest.test_case "strong updates" `Quick test_equal_strong_updates;
+          Alcotest.test_case "unequal path reported" `Quick
+            test_unequal_report;
           Alcotest.test_case "indirect recursion" `Quick
             test_equal_indirect_recursion;
           QCheck_alcotest.to_alcotest prop_vsfs_equals_sfs;

@@ -29,6 +29,68 @@ let test_scale_monotone () =
   in
   Alcotest.(check bool) "scale grows loc" true (loc 0.2 < loc 1.0)
 
+(* Totality of the generator on hostile configs: clamp pulls every field
+   into the valid domain, and source on a clamped config still compiles. *)
+let test_clamp_hostile () =
+  let open Pta_workload.Gen in
+  let hostile =
+    {
+      default with
+      n_functions = -3;
+      n_globals = -1;
+      n_fp_globals = min_int;
+      locals_per_fn = -7;
+      stmts_per_fn = 0;
+      max_depth = -1;
+      heap_ratio = nan;
+      load_bias = -5.;
+      field_ratio = infinity;
+      indirect_ratio = -0.5;
+      call_density = neg_infinity;
+      recursion_ratio = 2.0;
+      global_traffic = nan;
+      empty_fn_ratio = 1e300;
+      dead_block_ratio = -1.;
+      mutual_recursion_ratio = nan;
+      null_reset_ratio = 3.;
+      chain_depth = max_int;
+      phi_fanin = -9;
+    }
+  in
+  let c = clamp hostile in
+  Alcotest.(check bool) "counts non-negative" true
+    (c.n_functions >= 0 && c.n_globals >= 0 && c.n_fp_globals >= 0
+   && c.locals_per_fn >= 0 && c.stmts_per_fn >= 0 && c.max_depth >= 0
+   && c.chain_depth >= 0 && c.phi_fanin >= 0);
+  let ratio_ok r = r >= 0. && r <= 1. in
+  Alcotest.(check bool) "ratios in [0,1]" true
+    (ratio_ok c.heap_ratio && ratio_ok c.field_ratio
+   && ratio_ok c.indirect_ratio && ratio_ok c.recursion_ratio
+   && ratio_ok c.global_traffic && ratio_ok c.empty_fn_ratio
+   && ratio_ok c.dead_block_ratio && ratio_ok c.mutual_recursion_ratio
+   && ratio_ok c.null_reset_ratio);
+  Alcotest.(check bool) "weights finite and non-negative" true
+    (c.load_bias >= 0. && c.call_density >= 0.
+    && Float.is_finite c.load_bias && Float.is_finite c.call_density);
+  (* identity on an already-valid config *)
+  Alcotest.(check bool) "identity on valid" true (clamp default = default);
+  (* and the hostile config still generates a compilable program *)
+  let p = Pta_cfront.Lower.compile (source hostile) in
+  Alcotest.(check bool) "hostile config compiles" true (Validate.check p = [])
+
+let test_small_random_total () =
+  (* small_random must be total in its seed and always yield a valid,
+     analysable program *)
+  List.iter
+    (fun seed ->
+      let cfg = Pta_workload.Gen.small_random seed in
+      let p = Pta_cfront.Lower.compile (Pta_workload.Gen.source cfg) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d compiles" seed)
+        true
+        (Validate.check p = []))
+    [ 0; -1; 1; min_int; max_int; 0x3FFFFFFF ]
+
 let test_generator_loc () =
   let src = "a\n\nb\n  \nc" in
   Alcotest.(check int) "loc counts nonblank" 3 (Pta_workload.Gen.loc src)
@@ -167,6 +229,9 @@ let () =
         ] );
       ( "generator",
         [
+          Alcotest.test_case "clamp hostile configs" `Quick test_clamp_hostile;
+          Alcotest.test_case "small_random total" `Quick
+            test_small_random_total;
           QCheck_alcotest.to_alcotest prop_generated_roundtrip;
           QCheck_alcotest.to_alcotest prop_generated_analysable;
           QCheck_alcotest.to_alcotest prop_roundtrip_semantic;
