@@ -9,15 +9,19 @@
 #            machine-readable output carries the interning metrics
 #   fuzz-smoke — bounded differential-fuzzing run (fixed seed, all
 #            oracles); any failure means a solver-stage disagreement
+#   engine-smoke — run a tiny benchmark through SFS and VSFS under every
+#            engine scheduler and require byte-identical reports
 #   ci     — all of the above
 
 DUNE ?= dune
 SMOKE_DIR := $(shell mktemp -d /tmp/pta-ci-cache.XXXXXX)
 BENCH_JSON := $(shell mktemp /tmp/pta-ci-bench.XXXXXX.json)
+ENGINE_DIR := $(shell mktemp -d /tmp/pta-ci-engine.XXXXXX)
+SCHEDULERS := fifo lifo topo lrf
 
-.PHONY: ci build test smoke bench-smoke fuzz-smoke clean
+.PHONY: ci build test smoke bench-smoke fuzz-smoke engine-smoke clean
 
-ci: build test smoke bench-smoke fuzz-smoke
+ci: build test smoke bench-smoke fuzz-smoke engine-smoke
 
 build:
 	$(DUNE) build @all
@@ -53,6 +57,21 @@ fuzz-smoke: build
 	@echo "== fuzz smoke (50 runs, seed 1, full oracle tower) =="
 	$(DUNE) exec bin/vsfs_cli.exe -- fuzz --runs 50 --seed 1
 	@echo "== fuzz smoke OK =="
+
+engine-smoke: build
+	@echo "== engine smoke (every scheduler, identical results; dir: $(ENGINE_DIR)) =="
+	$(DUNE) exec bin/vsfs_cli.exe -- gen --bench du --scale 0.15 -o $(ENGINE_DIR)/du.c
+	@set -e; \
+	for a in sfs vsfs; do \
+	  for s in $(SCHEDULERS); do \
+	    echo "  $$a / $$s"; \
+	    $(DUNE) exec bin/vsfs_cli.exe -- analyze $(ENGINE_DIR)/du.c \
+	      --analysis $$a --scheduler $$s > $(ENGINE_DIR)/$$a-$$s.out; \
+	    cmp $(ENGINE_DIR)/$$a-fifo.out $(ENGINE_DIR)/$$a-$$s.out; \
+	  done; \
+	done
+	rm -rf $(ENGINE_DIR)
+	@echo "== engine smoke OK =="
 
 clean:
 	$(DUNE) clean

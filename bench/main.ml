@@ -127,14 +127,7 @@ let hit_rate hits misses =
   let h = float_of_int hits and m = float_of_int misses in
   if h +. m <= 0. then 0. else h /. (h +. m)
 
-let json_of_run (r : Pipeline.solver_run) =
-  Printf.sprintf
-    "{\"seconds\": %.6f, \"pre_seconds\": %.6f, \"words\": %d, \
-     \"unshared_words\": %d, \"unique_sets\": %d, \"sets\": %d, \
-     \"props\": %d, \"pops\": %d}"
-    r.Pipeline.seconds r.Pipeline.pre_seconds r.Pipeline.set_words
-    r.Pipeline.unshared_words r.Pipeline.unique_sets r.Pipeline.sets
-    r.Pipeline.props r.Pipeline.pops
+let json_of_run = Pipeline.json_of_run
 
 let ptset_stats_json () =
   let g = Pta_ds.Stats.get in
@@ -283,15 +276,20 @@ let ablations ?(scale = 1.0) () =
     let _, seconds = Pipeline.time f in
     pf "  %-44s %10s@." name (T.human_seconds seconds)
   in
-  pf "1. worklist scheduling (FIFO vs SCC-topological):@.";
-  run "SFS, FIFO worklist" (fun () ->
-      ignore (Pta_sfs.Sfs.solve ~strategy:`Fifo (Pipeline.fresh_svfg b)));
-  run "SFS, topological worklist" (fun () ->
-      ignore (Pta_sfs.Sfs.solve ~strategy:`Topo (Pipeline.fresh_svfg b)));
-  run "VSFS, FIFO worklist" (fun () ->
-      ignore (Vsfs_core.Vsfs.solve ~strategy:`Fifo (Pipeline.fresh_svfg b)));
-  run "VSFS, topological worklist" (fun () ->
-      ignore (Vsfs_core.Vsfs.solve ~strategy:`Topo (Pipeline.fresh_svfg b)));
+  pf "1. engine scheduling (same fixpoint, different visit order):@.";
+  List.iter
+    (fun s ->
+      run
+        (Printf.sprintf "SFS, %s scheduler" (Pta_engine.Scheduler.name s))
+        (fun () -> ignore (Pta_sfs.Sfs.solve ~strategy:s (Pipeline.fresh_svfg b))))
+    Pta_engine.Scheduler.all;
+  List.iter
+    (fun s ->
+      run
+        (Printf.sprintf "VSFS, %s scheduler" (Pta_engine.Scheduler.name s))
+        (fun () ->
+          ignore (Vsfs_core.Vsfs.solve ~strategy:s (Pipeline.fresh_svfg b))))
+    Pta_engine.Scheduler.all;
   pf "@.2. strong updates on/off (identical toggle for both solvers):@.";
   run "SFS, strong updates on" (fun () ->
       ignore (Pta_sfs.Sfs.solve (Pipeline.fresh_svfg b)));

@@ -37,8 +37,8 @@ let resolve_query prog name =
   Prog.iter_vars prog (fun v -> if Prog.name prog v = name then r := v);
   if !r < 0 then None else Some !r
 
-let analyze file analysis queries dump_ir dump_svfg dot_file check stats
-    cache_dir =
+let analyze file analysis scheduler queries dump_ir dump_svfg dot_file check
+    stats cache_dir =
   let src = read_file file in
   let compile s =
     if Filename.check_suffix file ".ir" then Parser.parse s
@@ -104,14 +104,16 @@ let analyze file analysis queries dump_ir dump_svfg dot_file check stats
     | `Andersen ->
       (aux.Pta_memssa.Modref.pt, aux.Pta_memssa.Modref.pt, "andersen")
     | `Dense ->
-      let r = Pta_sfs.Dense.solve prog aux in
+      let r = Pta_sfs.Dense.solve ~strategy:scheduler prog aux in
       (Pta_sfs.Dense.pt r, Pta_sfs.Dense.pt r, "dense")
     | `Sfs ->
       let run st =
         match st with
-        | None -> Pta_sfs.Sfs.solve (fresh ())
+        | None -> Pta_sfs.Sfs.solve ~strategy:scheduler (fresh ())
         | Some store ->
-          let r, _ = Pipeline.run_sfs_cached ~store ~label:file b in
+          let r, _ =
+            Pipeline.run_sfs_cached ~store ~label:file ~strategy:scheduler b
+          in
           Pipeline.save_points_to ~store ~label:file b ~solver:"sfs"
             (Pipeline.points_to_of_sfs b r);
           r
@@ -123,9 +125,11 @@ let analyze file analysis queries dump_ir dump_svfg dot_file check stats
     | `Vsfs ->
       let run st =
         match st with
-        | None -> Vsfs_core.Vsfs.solve (fresh ())
+        | None -> Vsfs_core.Vsfs.solve ~strategy:scheduler (fresh ())
         | Some store ->
-          let r, _ = Pipeline.run_vsfs_cached ~store ~label:file b in
+          let r, _ =
+            Pipeline.run_vsfs_cached ~store ~label:file ~strategy:scheduler b
+          in
           Pipeline.save_points_to ~store ~label:file b ~solver:"vsfs"
             (Pipeline.points_to_of_vsfs b r);
           r
@@ -170,7 +174,9 @@ let analyze file analysis queries dump_ir dump_svfg dot_file check stats
   end;
   if stats then begin
     Format.printf "-- stats --@.";
-    Format.printf "%a" Pta_ds.Stats.pp ()
+    Format.printf "%a" Pta_ds.Stats.pp ();
+    Format.printf "-- engine --@.";
+    Format.printf "%a" Pta_engine.Telemetry.pp Pta_engine.Telemetry.global
   end;
   0
 
@@ -220,6 +226,16 @@ let analyze_cmd =
     Arg.(value & opt analysis_conv `Vsfs & info [ "analysis"; "a" ]
            ~doc:"Analysis to run: vsfs (default), sfs, dense, or andersen.")
   in
+  let scheduler =
+    Arg.(value
+         & opt (enum Pta_engine.Scheduler.assoc) `Fifo
+         & info [ "scheduler" ] ~docv:"STRATEGY"
+             ~doc:"Engine worklist scheduling for the flow-sensitive solvers: \
+                   fifo (default), lifo, topo (SVFG SCC-topological), or lrf \
+                   (least-recently-fired). Any choice yields bit-identical \
+                   points-to sets; only the visit order (and so the running \
+                   time) changes.")
+  in
   let queries =
     Arg.(value & opt_all string [] & info [ "query"; "q" ]
            ~docv:"NAME"
@@ -250,8 +266,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyse a mini-C (.c) or textual-IR (.ir) file")
     Term.(
-      const analyze $ file $ analysis $ queries $ dump_ir $ dump_svfg
-      $ dot_file $ check $ stats $ cache_dir)
+      const analyze $ file $ analysis $ scheduler $ queries $ dump_ir
+      $ dump_svfg $ dot_file $ check $ stats $ cache_dir)
 
 let gen_cmd =
   let bench =

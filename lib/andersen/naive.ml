@@ -1,7 +1,14 @@
 open Pta_ds
 open Pta_ir
+module Engine = Pta_engine.Engine
+module Scheduler = Pta_engine.Scheduler
+module Telemetry = Pta_engine.Telemetry
 
-type result = { sets : (Inst.var, Ptset.t) Hashtbl.t; cg : Callgraph.t }
+type result = {
+  sets : (Inst.var, Ptset.t) Hashtbl.t;
+  cg : Callgraph.t;
+  tel : Telemetry.phase;
+}
 
 let pts_id r v =
   match Hashtbl.find_opt r.sets v with
@@ -14,8 +21,9 @@ let pts r v = Ptset.view (pts_id r v)
 let callgraph r = r.cg
 
 let solve prog =
-  let r = { sets = Hashtbl.create 256; cg = Callgraph.create () } in
-  let changed = ref true in
+  let tel = Telemetry.phase ~name:"naive.solve" ~scheduler:"fifo" () in
+  let r = { sets = Hashtbl.create 256; cg = Callgraph.create (); tel } in
+  let changed = ref false in
   let union_into dst src =
     let s = pts_id r dst in
     let s' = Ptset.union s src in
@@ -64,8 +72,7 @@ let solve prog =
         | _ -> ())
       targets
   in
-  while !changed do
-    changed := false;
+  let sweep () =
     Prog.iter_funcs prog (fun fn ->
         for i = 0 to Prog.n_insts fn - 1 do
           match Prog.inst fn i with
@@ -90,5 +97,22 @@ let solve prog =
           | Inst.Call { lhs; callee; args } -> apply_call fn i lhs callee args
           | Inst.Entry | Inst.Exit | Inst.Branch -> ()
         done)
-  done;
+  in
+  (* Single-node engine domain: one "node" whose transfer is a full sweep,
+     re-pushed while any set grew. Gets the naive oracle the same telemetry
+     (sweeps = pops) and budget machinery as the real solvers for free. *)
+  let process _ =
+    changed := false;
+    sweep ();
+    if !changed then [ 0 ] else []
+  in
+  let eng =
+    Engine.create ~telemetry:tel ~scheduler:(Scheduler.make `Fifo) ~process ()
+  in
+  Engine.push eng 0;
+  (match Engine.run eng with
+  | Engine.Fixpoint -> ()
+  | Engine.Paused _ -> assert false (* unbudgeted *));
   r
+
+let telemetry r = r.tel

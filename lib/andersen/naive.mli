@@ -8,3 +8,6 @@ type result
 val solve : Pta_ir.Prog.t -> result
 val pts : result -> Pta_ir.Inst.var -> Pta_ds.Bitset.t
 val callgraph : result -> Pta_ir.Callgraph.t
+
+val telemetry : result -> Pta_engine.Telemetry.phase
+(** Engine telemetry (phase ["naive.solve"]; pops = full sweeps). *)

@@ -1,5 +1,8 @@
 open Pta_ds
 open Pta_ir
+module Engine = Pta_engine.Engine
+module Scheduler = Pta_engine.Scheduler
+module Telemetry = Pta_engine.Telemetry
 
 type complex = {
   (* [lhs = *p] constraints keyed by pointer [p] *)
@@ -19,11 +22,23 @@ type state = {
   uf : Union_find.t;
   pts : Ptset.t Vec.t;  (* authoritative at representatives *)
   prev : Ptset.t Vec.t;  (* what has been pushed to copy successors *)
-  copy : Pta_graph.Digraph.t;  (* copy edges over original variable ids *)
+  copy : Pta_graph.Digraph.t;
+      (* copy edges, canonicalised at insertion; a collapse migrates the
+         absorbed node's out-edges to the surviving representative, and
+         edge *targets* are re-canonicalised at use — so walking the
+         representatives' successor lists sees every live edge *)
   complex : (Inst.var, complex) Hashtbl.t;
   cg : Callgraph.t;
+  mutable new_edges : (int * int) list;
+      (* copy edges added since the last sync: their sources' already-
+         propagated sets must be pushed across once in full, because
+         difference propagation only ships future growth *)
   mutable changed : bool;
   mutable waves : int;
+  tel : Telemetry.phase;
+  merges : int ref;  (* telemetry extras, cached *)
+  propagated : int ref;
+  n_waves_tel : int ref;
 }
 
 type result = state
@@ -35,7 +50,6 @@ let ensure st v =
   Pta_graph.Digraph.ensure st.copy (v + 1)
 
 let pts_id st v = Vec.get st.pts (Union_find.find st.uf v)
-let prev_id st v = Vec.get st.prev (Union_find.find st.uf v)
 
 let complex_of st v =
   match Hashtbl.find_opt st.complex v with
@@ -49,8 +63,12 @@ let complex_of st v =
     c
 
 let add_copy st u w =
-  if u <> w then
-    if Pta_graph.Digraph.add_edge st.copy u w then st.changed <- true
+  let cu = Union_find.find st.uf u and cw = Union_find.find st.uf w in
+  if cu <> cw then
+    if Pta_graph.Digraph.add_edge st.copy cu cw then begin
+      st.new_edges <- (cu, cw) :: st.new_edges;
+      st.changed <- true
+    end
 
 let add_pt st v o =
   let r = Union_find.find st.uf v in
@@ -61,13 +79,17 @@ let add_pt st v o =
     st.changed <- true
   end
 
-let union_pts st v src =
-  let r = Union_find.find st.uf v in
+(* Engine-driven propagation grows [pts] without touching [changed]: growth
+   inside a wave is re-examined by [expand_complex] at the wave's end, so
+   only structural changes (new constraints, edges, merges) re-arm the
+   outer loop. *)
+let quiet_union st r src =
   let s = Vec.get st.pts r in
   let s' = Ptset.union s src in
-  if not (Ptset.equal s' s) then begin
+  if Ptset.equal s' s then false
+  else begin
     Vec.set st.pts r s';
-    st.changed <- true
+    true
   end
 
 (* ---------- constraint extraction ---------- *)
@@ -127,6 +149,11 @@ let extract st =
 
 (* ---------- one wave ---------- *)
 
+(* Merge every non-trivial SCC of the condensed copy graph and return the
+   condensation, whose topological ranks drive the [`Topo] scheduler. The
+   absorbed node's out-edges migrate to the surviving leader; its points-to
+   union and [prev] intersection make the post-collapse seeding re-send
+   whatever any merged party's successors may still be missing. *)
 let collapse_sccs st =
   let n = Pta_graph.Digraph.n_nodes st.copy in
   (* Condensed view of the copy graph over current representatives. *)
@@ -135,7 +162,6 @@ let collapse_sccs st =
       let cu = Union_find.find st.uf u and cw = Union_find.find st.uf w in
       if cu <> cw then ignore (Pta_graph.Digraph.add_edge canon cu cw));
   let scc = Pta_graph.Scc.compute canon in
-  (* Merge every non-trivial component. *)
   let leader = Array.make scc.Pta_graph.Scc.n_comps (-1) in
   for v = 0 to n - 1 do
     if Union_find.find st.uf v = v then begin
@@ -147,42 +173,32 @@ let collapse_sccs st =
           (* Keep [l] as representative; fold [v]'s data into it. *)
           let pv = Vec.get st.pts v and qv = Vec.get st.prev v in
           Union_find.union_into st.uf ~winner:l v;
-          Stats.incr "andersen.scc_merges";
+          incr st.merges;
           Vec.set st.pts l (Ptset.union (Vec.get st.pts l) pv);
           (* [prev] must under-approximate what reached every successor of
              the merged node, so intersect. *)
-          Vec.set st.prev l (Ptset.inter (Vec.get st.prev l) qv)
+          Vec.set st.prev l (Ptset.inter (Vec.get st.prev l) qv);
+          (* Out-edges of [v] live on under [l]; targets are canonicalised
+             when walked. (In-edges need nothing: their sources walk to
+             [find v] = [l].) *)
+          Pta_graph.Digraph.iter_succs st.copy v (fun w ->
+              ignore (Pta_graph.Digraph.add_edge st.copy l w))
         end
     end
   done;
-  (canon, scc)
+  scc
 
-let propagate st (canon, scc) =
-  let n = Pta_graph.Digraph.n_nodes canon in
-  let order = Array.init n (fun i -> i) in
-  Array.sort
-    (fun a b ->
-      Int.compare (Pta_graph.Scc.rank_of_node scc a) (Pta_graph.Scc.rank_of_node scc b))
-    order;
-  Array.iter
-    (fun v ->
-      if Union_find.find st.uf v = v then begin
-        let p = Vec.get st.pts v and q = Vec.get st.prev v in
-        let diff = Ptset.diff p q in
-        if not (Ptset.is_empty diff) then begin
-          Vec.set st.prev v (Ptset.union q p);
-          Stats.add "andersen.propagated" (Ptset.cardinal diff);
-          Pta_graph.Digraph.iter_succs st.copy v (fun w0 ->
-              let w = Union_find.find st.uf w0 in
-              if w <> v then union_pts st w diff)
-        end
-      end)
-    order;
-  (* Stale edges from non-representatives still need their targets fed;
-     canonicalise by also walking edges whose source is merged away. *)
-  Pta_graph.Digraph.iter_edges st.copy (fun u w ->
+(* A copy edge added after its source already propagated needs one full
+   catch-up union (difference propagation only ships growth after the edge
+   exists). Growth surfaces in the pts-vs-prev seeding scan that follows. *)
+let sync_new_edges st =
+  let edges = st.new_edges in
+  st.new_edges <- [];
+  List.iter
+    (fun (u, w) ->
       let cu = Union_find.find st.uf u and cw = Union_find.find st.uf w in
-      if cu <> cw then union_pts st cw (prev_id st cu))
+      if cu <> cw then ignore (quiet_union st cw (Vec.get st.prev cu)))
+    edges
 
 let expand_complex st =
   let geps_todo = ref [] in
@@ -229,8 +245,12 @@ let expand_complex st =
       add_pt st lhs fo)
     !geps_todo
 
-let solve prog =
+let solve ?(strategy = `Topo) prog =
   let n = Prog.n_vars prog in
+  let tel =
+    Telemetry.phase ~name:"andersen.solve" ~scheduler:(Scheduler.name strategy)
+      ()
+  in
   let st =
     {
       prog;
@@ -240,20 +260,72 @@ let solve prog =
       copy = Pta_graph.Digraph.create ~n ();
       complex = Hashtbl.create 256;
       cg = Callgraph.create ();
+      new_edges = [];
       changed = false;
       waves = 0;
+      tel;
+      merges = Telemetry.counter tel "scc_merges";
+      propagated = Telemetry.counter tel "propagated";
+      n_waves_tel = Telemetry.counter tel "waves";
     }
   in
   Vec.grow_to st.pts (max n 1);
   Vec.grow_to st.prev (max n 1);
   extract st;
+  (* The [`Topo] rank is the SCC-condensation rank of a node's current
+     representative, refreshed every wave after the collapse; the Prio
+     worklist re-reads it at pop, so merged nodes re-rank in place. *)
+  let rank = ref [||] in
+  let rank_of v =
+    let r = !rank in
+    if v < Array.length r then r.(v) else max_int
+  in
+  let scheduler =
+    match strategy with
+    | `Topo -> Scheduler.make ~rank:rank_of `Topo
+    | (`Fifo | `Lifo | `Lrf) as s -> Scheduler.make s
+  in
+  (* Difference propagation as the engine's transfer step: ship the part of
+     [pts] that successors have not seen, record it in [prev], return the
+     representatives that grew. Merges never happen while the engine runs,
+     so [find] is stable within a wave. *)
+  let process v =
+    let r = Union_find.find st.uf v in
+    let p = Vec.get st.pts r and q = Vec.get st.prev r in
+    let diff = Ptset.diff p q in
+    if Ptset.is_empty diff then []
+    else begin
+      Vec.set st.prev r (Ptset.union q p);
+      st.propagated := !(st.propagated) + Ptset.cardinal diff;
+      let out = ref [] in
+      Pta_graph.Digraph.iter_succs st.copy r (fun w0 ->
+          let w = Union_find.find st.uf w0 in
+          if w <> r && quiet_union st w diff then out := w :: !out);
+      !out
+    end
+  in
+  let eng = Engine.create ~telemetry:tel ~scheduler ~process () in
   st.changed <- true;
   while st.changed do
     st.changed <- false;
     st.waves <- st.waves + 1;
-    Stats.incr "andersen.waves";
-    let condensed = collapse_sccs st in
-    propagate st condensed;
+    incr st.n_waves_tel;
+    let scc = collapse_sccs st in
+    let m = Pta_graph.Digraph.n_nodes st.copy in
+    rank :=
+      Array.init m (fun v ->
+          Pta_graph.Scc.rank_of_node scc (Union_find.find st.uf v));
+    sync_new_edges st;
+    (* Seed every representative with unshipped facts. *)
+    for v = 0 to m - 1 do
+      if
+        Union_find.find st.uf v = v
+        && not (Ptset.equal (Vec.get st.pts v) (Vec.get st.prev v))
+      then Engine.push eng v
+    done;
+    (match Engine.run eng with
+    | Engine.Fixpoint -> ()
+    | Engine.Paused _ -> assert false (* unbudgeted *));
     expand_complex st
   done;
   st
@@ -263,3 +335,4 @@ let points_to st v o = Ptset.mem (pts_id st v) o
 let callgraph st = st.cg
 let rep st v = Union_find.find st.uf v
 let n_waves st = st.waves
+let telemetry st = st.tel

@@ -7,13 +7,16 @@
     strictly more precise points-to sets.
 
     The implementation is wave propagation: repeat (collapse copy-edge SCCs
-    with a union-find; propagate difference sets in topological order;
+    with a union-find; propagate difference sets on {!Pta_engine.Engine};
     expand complex constraints — loads, stores, field address-of, indirect
-    calls) until fixpoint. *)
+    calls) until fixpoint. The default [`Topo] strategy ranks each node by
+    the SCC-condensation rank of its current representative, refreshed after
+    every collapse — the worklist's rank-at-pop revalidation makes mid-solve
+    merges re-prioritise queued nodes in place. *)
 
 type result
 
-val solve : Pta_ir.Prog.t -> result
+val solve : ?strategy:Pta_engine.Scheduler.strategy -> Pta_ir.Prog.t -> result
 
 val pts : result -> Pta_ir.Inst.var -> Pta_ds.Bitset.t
 (** Points-to set (object ids) of a variable. Do not mutate. *)
@@ -27,3 +30,7 @@ val rep : result -> Pta_ir.Inst.var -> Pta_ir.Inst.var
 (** Cycle-collapsing representative (exposed for tests/diagnostics). *)
 
 val n_waves : result -> int
+
+val telemetry : result -> Pta_engine.Telemetry.phase
+(** Engine telemetry (phase ["andersen.solve"]; extras [waves],
+    [scc_merges], [propagated]). *)

@@ -5,7 +5,7 @@ let run ?(frozen = fun _ -> false) table g ~prelabels =
   let label = Array.make n Version.epsilon in
   List.iter (fun (node, v) -> label.(node) <- v) prelabels;
   let wl = Worklist.Fifo.create () in
-  List.iter (fun (node, _) -> Worklist.Fifo.push wl node) prelabels;
+  List.iter (fun (node, _) -> ignore (Worklist.Fifo.push wl node)) prelabels;
   let rec loop () =
     match Worklist.Fifo.pop wl with
     | None -> ()
@@ -15,7 +15,7 @@ let run ?(frozen = fun _ -> false) table g ~prelabels =
             let merged = Version.meld table label.(v) label.(u) in
             if merged <> label.(v) then begin
               label.(v) <- merged;
-              Worklist.Fifo.push wl v
+              ignore (Worklist.Fifo.push wl v)
             end
           end);
       loop ()

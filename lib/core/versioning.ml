@@ -201,9 +201,10 @@ let compute ?(release_labels = true) ?(order = `Fifo) svfg =
       `P (Worklist.Prio.create ~priority ())
   in
   let wl_push n =
-    match wl with
-    | `F w -> Worklist.Fifo.push w n
-    | `P w -> Worklist.Prio.push w n
+    ignore
+      (match wl with
+      | `F w -> Worklist.Fifo.push w n
+      | `P w -> Worklist.Prio.push w n)
   in
   let wl_pop () =
     match wl with `F w -> Worklist.Fifo.pop w | `P w -> Worklist.Prio.pop w

@@ -2,14 +2,18 @@ open Pta_ds
 open Pta_ir
 module Svfg = Pta_svfg.Svfg
 module Solver_common = Pta_sfs.Solver_common
+module Engine = Pta_engine.Engine
+module Scheduler = Pta_engine.Scheduler
+module Telemetry = Pta_engine.Telemetry
 
 type result = {
   c : Solver_common.t;
   ver : Versioning.t;
   ptk : (int, Ptset.t) Hashtbl.t;  (* key (obj lsl 31 lor κ) -> pt_κ(o) *)
-  mutable props : int;
-  mutable pops : int;
 }
+
+type paused = { res : result; eng : Engine.t }
+type outcome = Done of result | Paused of paused
 
 (* Checked packing: an object or version id at or above 2^31 would silently
    collide with another key, corrupting results — fail loudly instead. *)
@@ -33,14 +37,23 @@ let ptk_id t o v =
 
 let ptk_opt t o v = Hashtbl.find_opt t.ptk (key o v)
 
-let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
+(* Build the solver state and its engine, seed the instruction nodes, but do
+   not run: [solve] drives it to fixpoint, [solve_budgeted]/[resume] in
+   slices. *)
+let start ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
   let ver =
     match versioning with Some v -> v | None -> Versioning.compute svfg
   in
-  let c = Solver_common.create ?strong_updates svfg in
-  let t = { c; ver; ptk = Hashtbl.create 1024; props = 0; pops = 0 } in
-  let wl = Solver_common.make_worklist strategy svfg in
-  let push = Solver_common.wl_push wl in
+  let tel =
+    Telemetry.phase ~name:"vsfs.solve" ~scheduler:(Scheduler.name strategy) ()
+  in
+  let c = Solver_common.create ?strong_updates ~tel svfg in
+  let t = { c; ver; ptk = Hashtbl.create 1024 } in
+  let props = c.Solver_common.props in
+  (* [process] collects the nodes to (re)visit in [buf]; the engine owns
+     scheduling and deduplication. *)
+  let buf = ref [] in
+  let push n = buf := n :: !buf in
   let push_users v = List.iter push (Svfg.users svfg v) in
   (* pt_κ(o) just grew by [d0]: push the statements consuming it and flow the
      delta along the version-reliance relation transitively. Only the newly
@@ -55,8 +68,7 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
         let v, d = Queue.pop q in
         Versioning.iter_subscribers ver o v push;
         Versioning.iter_relied ver o v (fun v' ->
-            t.props <- t.props + 1;
-            Stats.incr "vsfs.propagations";
+            incr props;
             let cur = ptk_id t o v' in
             let cur', d' = Ptset.union_delta cur d in
             if not (Ptset.equal cur' cur) then begin
@@ -71,7 +83,7 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
       (fun (src, o, dst) ->
         match Versioning.add_dynamic_edge ver src o dst with
         | Some (y, c') ->
-          t.props <- t.props + 1;
+          incr props;
           let cur = ptk_id t o c' in
           let cur', d = Ptset.union_delta cur (ptk_id t o y) in
           if not (Ptset.equal cur' cur) then begin
@@ -83,7 +95,8 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
   in
   let annot = Svfg.annot svfg in
   let process n =
-    match Svfg.kind svfg n with
+    buf := [];
+    (match Svfg.kind svfg n with
     | Svfg.NInst { f; i } -> (
       match Svfg.inst_of svfg n with
       | Inst.Load { lhs; ptr } ->
@@ -140,22 +153,34 @@ let solve ?(strategy = `Fifo) ?strong_updates ?versioning svfg =
     | Svfg.NActualOut _ ->
       (* Memory nodes do no runtime work in VSFS: their effect is the
          precomputed version reliance. *)
-      ()
+      ());
+    !buf
+  in
+  let eng =
+    Engine.create ~telemetry:tel
+      ~scheduler:(Solver_common.scheduler strategy svfg)
+      ~process ()
   in
   (* Seed with instruction nodes only. *)
   for n = 0 to Svfg.n_nodes svfg - 1 do
-    match Svfg.kind svfg n with Svfg.NInst _ -> push n | _ -> ()
+    match Svfg.kind svfg n with Svfg.NInst _ -> Engine.push eng n | _ -> ()
   done;
-  let rec loop () =
-    match Solver_common.wl_pop wl with
-    | Some n ->
-      t.pops <- t.pops + 1;
-      process n;
-      loop ()
-    | None -> ()
-  in
-  loop ();
-  t
+  { res = t; eng }
+
+let continue_ budget p =
+  match Engine.run ?budget p.eng with
+  | Engine.Fixpoint -> Done p.res
+  | Engine.Paused _ -> Paused p
+
+let solve ?strategy ?strong_updates ?versioning svfg =
+  match continue_ None (start ?strategy ?strong_updates ?versioning svfg) with
+  | Done r -> r
+  | Paused _ -> assert false (* no budget: run only returns at fixpoint *)
+
+let solve_budgeted ?strategy ?strong_updates ?versioning ~budget svfg =
+  continue_ (Some budget) (start ?strategy ?strong_updates ?versioning svfg)
+
+let resume ~budget p = continue_ (Some budget) p
 
 let pt t v = Solver_common.pt_of t.c v
 let pt_version t o v = Option.map Ptset.view (ptk_opt t o v)
@@ -212,5 +237,6 @@ let words t = Versioning.words t.ver + Ptset.Tally.shared_words (tally t)
 let unshared_words t = Versioning.words t.ver + Ptset.Tally.unshared_words (tally t)
 let n_unique_sets t = Ptset.Tally.unique (tally t)
 
-let n_propagations t = t.props
-let processed t = t.pops
+let telemetry t = t.c.Solver_common.tel
+let n_propagations t = !(t.c.Solver_common.props)
+let processed t = (telemetry t).Telemetry.pops

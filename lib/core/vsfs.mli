@@ -17,13 +17,32 @@ open Pta_ir
 type result
 
 val solve :
-  ?strategy:Pta_sfs.Solver_common.strategy ->
+  ?strategy:Pta_engine.Scheduler.strategy ->
   ?strong_updates:bool ->
   ?versioning:Versioning.t ->
   Pta_svfg.Svfg.t ->
   result
 (** [versioning] defaults to [Versioning.compute svfg] (pass it explicitly
     to time the phases separately, as the paper's Table III does). *)
+
+type paused
+(** A budgeted solve stopped short of fixpoint: partial state plus the
+    queued work. Resume with {!resume}; do not read results out of it. *)
+
+type outcome = Done of result | Paused of paused
+
+val solve_budgeted :
+  ?strategy:Pta_engine.Scheduler.strategy ->
+  ?strong_updates:bool ->
+  ?versioning:Versioning.t ->
+  budget:Pta_engine.Engine.budget ->
+  Pta_svfg.Svfg.t ->
+  outcome
+(** Like {!solve} but stops when the engine budget is exhausted; a paused
+    solve resumed to completion is bit-identical to an unbudgeted one. *)
+
+val resume : budget:Pta_engine.Engine.budget -> paused -> outcome
+(** Each resume grants a fresh budget allowance. *)
 
 val pt : result -> Inst.var -> Pta_ds.Bitset.t
 val pt_version : result -> Inst.var -> Version.t -> Pta_ds.Bitset.t option
@@ -54,6 +73,9 @@ val unshared_words : result -> int
 
 val n_unique_sets : result -> int
 (** Number of distinct points-to sets among all (object, version) entries. *)
+
+val telemetry : result -> Pta_engine.Telemetry.phase
+(** The solve's engine telemetry (phase ["vsfs.solve"]). *)
 
 val n_propagations : result -> int
 val processed : result -> int

@@ -3,7 +3,12 @@ module Fifo = struct
 
   let create () = { queue = Queue.create (); queued = Bitset.create () }
 
-  let push t x = if Bitset.add t.queued x then Queue.push x t.queue
+  let push t x =
+    if Bitset.add t.queued x then begin
+      Queue.push x t.queue;
+      true
+    end
+    else false
 
   let pop t =
     match Queue.pop t.queue with
@@ -16,18 +21,62 @@ module Fifo = struct
   let length t = Queue.length t.queue
 end
 
+module Lifo = struct
+  type t = { mutable stack : int list; mutable count : int; queued : Bitset.t }
+
+  let create () = { stack = []; count = 0; queued = Bitset.create () }
+
+  let push t x =
+    if Bitset.add t.queued x then begin
+      t.stack <- x :: t.stack;
+      t.count <- t.count + 1;
+      true
+    end
+    else false
+
+  let pop t =
+    match t.stack with
+    | [] -> None
+    | x :: rest ->
+      t.stack <- rest;
+      t.count <- t.count - 1;
+      ignore (Bitset.remove t.queued x);
+      Some x
+
+  let is_empty t = t.stack = []
+  let length t = t.count
+end
+
 module Prio = struct
-  (* Binary min-heap of (priority, item) pairs with an "on heap" bitset for
-     deduplication. *)
+  (* Binary min-heap of (rank, item) pairs with an "on list" bitset for
+     deduplication, tolerant of ranks that change while an item is queued
+     (Andersen's online SCC collapses re-rank merged representatives; the
+     engine's least-recently-fired policy bumps ranks on every pop):
+
+     - [push] of an already-queued item whose current rank *improved* on the
+       best stored entry inserts a duplicate entry at the fresh rank — a
+       decrease-key by duplication. The stale entry is skipped at [pop]
+       because the item is no longer in [queued] by the time it surfaces.
+     - [pop] re-reads the root item's rank; if it *grew* while queued, the
+       entry is re-sunk at the fresh rank instead of being delivered early
+       (rank-at-pop revalidation).
+
+     Order is a heuristic, not a contract: a rank that both grows and then
+     shrinks again without a re-push can be delivered at the stale larger
+     rank. What is guaranteed is deduplication, termination, and that a
+     stable rank behaves like a plain min-heap. *)
   type t = {
     mutable heap : (int * int) array;
     mutable len : int;
     queued : Bitset.t;
+    mutable n_queued : int;
+    best : (int, int) Hashtbl.t;  (* item -> best (smallest) stored rank *)
     priority : int -> int;
   }
 
   let create ~priority () =
-    { heap = Array.make 16 (0, 0); len = 0; queued = Bitset.create (); priority }
+    { heap = Array.make 16 (0, 0); len = 0; queued = Bitset.create ();
+      n_queued = 0; best = Hashtbl.create 64; priority }
 
   let swap t i j =
     let tmp = t.heap.(i) in
@@ -53,31 +102,67 @@ module Prio = struct
       sift_down t !smallest
     end
 
+  let insert t entry =
+    if t.len = Array.length t.heap then begin
+      let heap = Array.make (2 * t.len) (0, 0) in
+      Array.blit t.heap 0 heap 0 t.len;
+      t.heap <- heap
+    end;
+    t.heap.(t.len) <- entry;
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1)
+
   let push t x =
+    let k = t.priority x in
     if Bitset.add t.queued x then begin
-      if t.len = Array.length t.heap then begin
-        let heap = Array.make (2 * t.len) (0, 0) in
-        Array.blit t.heap 0 heap 0 t.len;
-        t.heap <- heap
-      end;
-      t.heap.(t.len) <- (t.priority x, x);
-      t.len <- t.len + 1;
-      sift_up t (t.len - 1)
+      t.n_queued <- t.n_queued + 1;
+      Hashtbl.replace t.best x k;
+      insert t (k, x);
+      true
+    end
+    else begin
+      (match Hashtbl.find_opt t.best x with
+      | Some b when k < b ->
+        Hashtbl.replace t.best x k;
+        insert t (k, x)
+      | _ -> ());
+      false
     end
 
-  let pop t =
+  let drop_root t =
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end
+
+  let rec pop t =
     if t.len = 0 then None
     else begin
-      let _, x = t.heap.(0) in
-      t.len <- t.len - 1;
-      if t.len > 0 then begin
-        t.heap.(0) <- t.heap.(t.len);
-        sift_down t 0
-      end;
-      ignore (Bitset.remove t.queued x);
-      Some x
+      let k, x = t.heap.(0) in
+      if not (Bitset.mem t.queued x) then begin
+        (* stale duplicate of an already-delivered item *)
+        drop_root t;
+        pop t
+      end
+      else begin
+        let k' = t.priority x in
+        if k' > k then begin
+          (* rank grew while queued: revalidate instead of popping early *)
+          t.heap.(0) <- (k', x);
+          sift_down t 0;
+          pop t
+        end
+        else begin
+          drop_root t;
+          ignore (Bitset.remove t.queued x);
+          t.n_queued <- t.n_queued - 1;
+          Hashtbl.remove t.best x;
+          Some x
+        end
+      end
     end
 
-  let is_empty t = t.len = 0
-  let length t = t.len
+  let is_empty t = t.n_queued = 0
+  let length t = t.n_queued
 end

@@ -1,16 +1,32 @@
 (** Deduplicating worklists over dense integer ids.
 
     {!Fifo} is the classic pointer-analysis worklist: FIFO order, an item
-    already on the list is not enqueued twice. {!Prio} pops the item with the
-    smallest priority first (used to process SVFG nodes in topological order
-    of their SCCs, which is what SVF does for both SFS solving and meld
-    labelling). *)
+    already on the list is not enqueued twice. {!Lifo} pops the most recently
+    queued item first (depth-first flavour; cheap cache locality on chains).
+    {!Prio} pops the item with the smallest priority first (used to process
+    SVFG nodes in topological order of their SCCs, which is what SVF does for
+    both SFS solving and meld labelling, and by the engine's
+    least-recently-fired policy).
+
+    Every [push] returns [true] iff the item was newly enqueued ([false]: it
+    was already queued — the engine's telemetry counts these as duplicate
+    pushes). *)
 
 module Fifo : sig
   type t
 
   val create : unit -> t
-  val push : t -> int -> unit
+  val push : t -> int -> bool
+  val pop : t -> int option
+  val is_empty : t -> bool
+  val length : t -> int
+end
+
+module Lifo : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> int -> bool
   val pop : t -> int option
   val is_empty : t -> bool
   val length : t -> int
@@ -21,10 +37,16 @@ module Prio : sig
 
   val create : priority:(int -> int) -> unit -> t
   (** [priority] maps an item to its rank; smaller pops first. The rank is
-      read at push time. *)
+      read both at push time and revalidated at pop time, so priorities may
+      change while an item is queued: a re-[push] with an improved rank moves
+      the item forward (decrease-key by duplication), and a rank that grew in
+      the meantime is re-sunk at pop instead of being delivered early. This
+      is what lets Andersen's online SCC collapses re-rank merged
+      representatives mid-solve. *)
 
-  val push : t -> int -> unit
+  val push : t -> int -> bool
   val pop : t -> int option
   val is_empty : t -> bool
   val length : t -> int
+  (** Number of distinct queued items (duplicate rank entries not counted). *)
 end

@@ -1,0 +1,44 @@
+(** The generic fixpoint engine every solver runs on.
+
+    A solver supplies a [process : node -> node list] transfer step (returns
+    the nodes whose inputs grew and must be (re)visited) and a
+    {!Scheduler.t}; the engine owns the worklist loop — deduplicated pushes,
+    pops in the policy's order, budget checks, telemetry. [process] must be
+    monotone for termination: re-processing a node with unchanged inputs
+    must return [[]] eventually.
+
+    Budgets make adversarial inputs degrade gracefully instead of hanging:
+    [run ~budget] stops after [max_steps] pops or [max_seconds] of wall
+    time and returns [Paused] with the engine itself as the resume token —
+    all queued work is retained, and a later [run] continues bit-exactly
+    where it stopped (each segment gets a fresh allowance). *)
+
+type budget = { max_steps : int option; max_seconds : float option }
+
+val unlimited : budget
+val step_budget : int -> budget
+val time_budget : float -> budget
+
+type t
+
+type outcome =
+  | Fixpoint  (** the worklist drained — the solve is complete *)
+  | Paused of t  (** budget hit with work remaining; resume with {!run} *)
+
+val create :
+  ?telemetry:Telemetry.phase ->
+  scheduler:Scheduler.t ->
+  process:(int -> int list) ->
+  unit ->
+  t
+
+val push : t -> int -> unit
+(** Seed (or re-seed) a node. Deduplicated; counted in telemetry. *)
+
+val pending : t -> int
+(** Nodes currently queued. *)
+
+val run : ?budget:budget -> t -> outcome
+(** Pops and processes until fixpoint or budget exhaustion (default
+    {!unlimited}). May be called again after either outcome; running a
+    drained engine returns [Fixpoint] immediately. *)

@@ -1,0 +1,65 @@
+(** Structured telemetry for {!Engine} runs.
+
+    Each solver activation opens a {!phase}; the engine maintains the
+    push/pop/step counters and wall time, the solver registers named extras
+    ([counter] hands back a cached [int ref] so hot loops pay no hashing).
+    Phases live in a sink — default {!global}, which the CLI's [--stats]
+    prints and which keeps only the most recent activations (bounded, so
+    long fuzzing campaigns don't accumulate). {!snapshot} freezes a phase
+    into an immutable record for the bench's JSON output. *)
+
+type phase = {
+  name : string;  (** e.g. ["vsfs.solve"] *)
+  scheduler : string;  (** {!Scheduler.name} of the policy driving it *)
+  mutable pushes : int;  (** accepted pushes *)
+  mutable dups : int;  (** pushes dropped as already-queued *)
+  mutable pops : int;
+  mutable steps : int;  (** process() invocations (= pops) *)
+  mutable grew : int;  (** steps that produced successor work *)
+  mutable runs : int;  (** run segments: 1 + number of resumes *)
+  mutable paused : int;  (** segments stopped by a budget *)
+  mutable wall : float;  (** seconds inside [Engine.run], summed *)
+  extras : (string, int ref) Hashtbl.t;
+}
+
+type t
+
+val create : unit -> t
+val global : t
+val reset : t -> unit
+
+val phase : ?sink:t -> name:string -> scheduler:string -> unit -> phase
+(** Registers (and returns) a fresh phase in [sink] (default {!global}). *)
+
+val phases : t -> phase list
+(** Oldest first (most recent activations only — the sink is bounded). *)
+
+val counter : phase -> string -> int ref
+(** The named extra's ref, created at zero on first use. *)
+
+val bump : phase -> string -> int -> unit
+val extra : phase -> string -> int
+
+type snapshot = {
+  phase : string;
+  scheduler : string;
+  s_pushes : int;
+  s_dups : int;
+  s_pops : int;
+  s_steps : int;
+  s_grew : int;
+  s_runs : int;
+  s_paused : int;
+  s_wall : float;
+  s_extras : (string * int) list;  (** sorted by key *)
+}
+
+val snapshot : phase -> snapshot
+
+val snapshot_to_json : snapshot -> string
+(** One JSON object: [{"phase": ..., "scheduler": ..., "pushes": n, "dups":
+    n, "pops": n, "steps": n, "grew": n, "runs": n, "paused": n,
+    "wall_seconds": s, "extras": {...}}]. *)
+
+val pp_phase : Format.formatter -> phase -> unit
+val pp : Format.formatter -> t -> unit

@@ -15,7 +15,7 @@ type result = {
   cg_fs : Callgraph.t;
   (* per callee: discovered (call node, return sites, lhs) *)
   callers : (Inst.func_id, (int * int list * Inst.var option) list ref) Hashtbl.t;
-  mutable pops : int;
+  tel : Pta_engine.Telemetry.phase;
 }
 
 let obj_dummy = Bitset.create ()
@@ -102,12 +102,16 @@ let resolve_targets t = function
         | None -> acc)
       (pt_of t fp) []
 
-let solve prog (aux : Pta_memssa.Modref.aux) =
+let solve ?(strategy = `Fifo) prog (aux : Pta_memssa.Modref.aux) =
   let mr = Pta_memssa.Modref.compute prog aux in
   (* ICFG with no call edges: a call's fall-through successors act as the
      weak "around the call" path; call/return edges are added dynamically. *)
   let icfg = Icfg.build prog ~callees:(fun _ _ -> []) in
   let n = Array.length icfg.Icfg.nodes in
+  let tel =
+    Pta_engine.Telemetry.phase ~name:"dense.solve"
+      ~scheduler:(Pta_engine.Scheduler.name strategy) ()
+  in
   let t =
     {
       prog;
@@ -120,7 +124,7 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
       objs = Vec.create ~dummy:obj_dummy ();
       cg_fs = Callgraph.create ();
       callers = Hashtbl.create 16;
-      pops = 0;
+      tel;
     }
   in
   Vec.grow_to t.pt (Prog.n_vars prog);
@@ -138,8 +142,11 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
             | _ -> ())
         | _ -> ()
       done);
-  let wl = Worklist.Fifo.create () in
-  let push = Worklist.Fifo.push wl in
+  (* [process] collects the nodes to revisit in [buf]; the engine schedules
+     them ([`Topo] ranks ICFG nodes by SCC condensation of the static
+     graph — call/return flow bypasses it, which only costs order). *)
+  let buf = ref [] in
+  let push nid = buf := nid :: !buf in
   (* users index for top-level variables *)
   let users : int list Vec.t = Vec.create ~dummy:[] () in
   Vec.grow_to users (Prog.n_vars prog);
@@ -169,6 +176,7 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
     Icfg.node_id icfg f fn.Prog.exit_inst
   in
   let process nid =
+    buf := [];
     let node = t.icfg.Icfg.nodes.(nid) in
     let fn = Prog.func prog node.Icfg.func in
     let ins = Prog.inst fn node.Icfg.inst in
@@ -288,21 +296,27 @@ let solve prog (aux : Pta_memssa.Modref.aux) =
       | None -> ())
     | _ ->
       Pta_graph.Digraph.iter_succs t.icfg.Icfg.graph nid (fun succ ->
-          prop_all nid succ))
+          prop_all nid succ));
+    !buf
   in
+  let scheduler =
+    match strategy with
+    | `Topo ->
+      let scc = Pta_graph.Scc.compute icfg.Icfg.graph in
+      Pta_engine.Scheduler.make
+        ~rank:(fun nid ->
+          if nid < n then Pta_graph.Scc.rank_of_node scc nid else max_int)
+        `Topo
+    | (`Fifo | `Lifo | `Lrf) as s -> Pta_engine.Scheduler.make s
+  in
+  let eng = Pta_engine.Engine.create ~telemetry:tel ~scheduler ~process () in
   (* Seed: every node once. *)
   for i = 0 to n - 1 do
-    push i
+    Pta_engine.Engine.push eng i
   done;
-  let rec loop () =
-    match Worklist.Fifo.pop wl with
-    | Some nid ->
-      t.pops <- t.pops + 1;
-      process nid;
-      loop ()
-    | None -> ()
-  in
-  loop ();
+  (match Pta_engine.Engine.run eng with
+  | Pta_engine.Engine.Fixpoint -> ()
+  | Pta_engine.Engine.Paused _ -> assert false (* unbudgeted *));
   t
 
 let pt t v = pt_of t v
@@ -315,4 +329,5 @@ let words t =
   Hashtbl.iter (fun _ id -> Ptset.Tally.visit tl id) t.outs;
   Ptset.Tally.shared_words tl
 
-let processed t = t.pops
+let telemetry t = t.tel
+let processed t = t.tel.Pta_engine.Telemetry.pops

@@ -11,13 +11,19 @@
     rules, agreement between the two on arbitrary programs is a strong
     differential test of memory-SSA and SVFG construction. It is quadratic-
     ish and only used on test-sized programs and in benchmarks as the
-    "traditional analysis" ablation. *)
+    "traditional analysis" ablation. Runs on {!Pta_engine.Engine} (phase
+    ["dense.solve"]; [`Topo] ranks ICFG nodes by the static graph's SCC
+    condensation). *)
 
 open Pta_ir
 
 type result
 
-val solve : Pta_ir.Prog.t -> Pta_memssa.Modref.aux -> result
+val solve :
+  ?strategy:Pta_engine.Scheduler.strategy ->
+  Pta_ir.Prog.t ->
+  Pta_memssa.Modref.aux ->
+  result
 (** [aux] supplies the auxiliary mod/ref used for call-edge filtering (the
     call graph itself is re-resolved flow-sensitively). *)
 
@@ -25,4 +31,5 @@ val pt : result -> Inst.var -> Pta_ds.Bitset.t
 val callgraph : result -> Callgraph.t
 val n_sets : result -> int
 val words : result -> int
+val telemetry : result -> Pta_engine.Telemetry.phase
 val processed : result -> int

@@ -1,6 +1,9 @@
 open Pta_ds
 open Pta_ir
 module Svfg = Pta_svfg.Svfg
+module Engine = Pta_engine.Engine
+module Scheduler = Pta_engine.Scheduler
+module Telemetry = Pta_engine.Telemetry
 
 type result = {
   c : Solver_common.t;
@@ -11,9 +14,10 @@ type result = {
   node_objs : (int, Bitset.t) Hashtbl.t;
       (* per node: objects with a materialised IN set — a store must pass
          these through to OUT when it does not actually define them *)
-  mutable props : int;
-  mutable pops : int;
 }
+
+type paused = { res : result; eng : Engine.t }
+type outcome = Done of result | Paused of paused
 
 let key n o =
   if n < 0 || o < 0 || n >= 1 lsl 31 || o >= 1 lsl 31 then
@@ -56,14 +60,22 @@ let out_for_id t n o =
     out_id t n o
   | _ -> in_id t n o
 
-let solve ?(strategy = `Fifo) ?strong_updates svfg =
-  let c = Solver_common.create ?strong_updates svfg in
+(* Build the solver state and its engine, seed every node, but do not run:
+   [solve] drives it to fixpoint, [solve_budgeted]/[resume] in slices. *)
+let start ?(strategy = `Fifo) ?strong_updates svfg =
+  let tel =
+    Telemetry.phase ~name:"sfs.solve" ~scheduler:(Scheduler.name strategy) ()
+  in
+  let c = Solver_common.create ?strong_updates ~tel svfg in
   let t =
     { c; ins = Hashtbl.create 1024; outs = Hashtbl.create 256;
-      node_objs = Hashtbl.create 256; props = 0; pops = 0 }
+      node_objs = Hashtbl.create 256 }
   in
-  let wl = Solver_common.make_worklist strategy svfg in
-  let push = Solver_common.wl_push wl in
+  let props = c.Solver_common.props in
+  (* [process] collects the nodes to (re)visit in [buf]; the engine owns
+     scheduling and deduplication. *)
+  let buf = ref [] in
+  let push n = buf := n :: !buf in
   let push_users v = List.iter push (Svfg.users svfg v) in
   (* Propagate [set] along every outgoing [o]-edge of [n]. Callers pass
      either a full exposed set (phi-like pass-through nodes, where the
@@ -72,21 +84,21 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
   let propagate n o set =
     if not (Ptset.is_empty set) then
       Svfg.iter_ind_succs svfg n o (fun m ->
-          t.props <- t.props + 1;
-          Stats.incr "sfs.propagations";
+          incr props;
           if union_in t m o set then push m)
   in
   let on_call_edge cs g =
     List.iter
       (fun (src, o, dst) ->
-        t.props <- t.props + 1;
+        incr props;
         (* A late edge needs a full sync: the destination missed every delta
            propagated before the edge existed. *)
         if union_in t dst o (out_for_id t src o) then push dst)
       (Svfg.add_call_edges svfg cs g)
   in
   let process n =
-    match Svfg.kind svfg n with
+    buf := [];
+    (match Svfg.kind svfg n with
     | Svfg.NInst _ -> (
       match Svfg.inst_of svfg n with
       | Inst.Load { lhs; ptr } ->
@@ -163,21 +175,33 @@ let solve ?(strategy = `Fifo) ?strong_updates svfg =
     | Svfg.NFormalOut { obj; _ }
     | Svfg.NActualIn { obj; _ }
     | Svfg.NActualOut { obj; _ } ->
-      propagate n obj (in_id t n obj)
+      propagate n obj (in_id t n obj));
+    !buf
+  in
+  let eng =
+    Engine.create ~telemetry:tel
+      ~scheduler:(Solver_common.scheduler strategy svfg)
+      ~process ()
   in
   for n = 0 to Svfg.n_nodes svfg - 1 do
-    push n
+    Engine.push eng n
   done;
-  let rec loop () =
-    match Solver_common.wl_pop wl with
-    | Some n ->
-      t.pops <- t.pops + 1;
-      process n;
-      loop ()
-    | None -> ()
-  in
-  loop ();
-  t
+  { res = t; eng }
+
+let continue_ budget p =
+  match Engine.run ?budget p.eng with
+  | Engine.Fixpoint -> Done p.res
+  | Engine.Paused _ -> Paused p
+
+let solve ?strategy ?strong_updates svfg =
+  match continue_ None (start ?strategy ?strong_updates svfg) with
+  | Done r -> r
+  | Paused _ -> assert false (* no budget: run only returns at fixpoint *)
+
+let solve_budgeted ?strategy ?strong_updates ~budget svfg =
+  continue_ (Some budget) (start ?strategy ?strong_updates svfg)
+
+let resume ~budget p = continue_ (Some budget) p
 
 let pt t v = Solver_common.pt_of t.c v
 let in_set t n o = Option.map Ptset.view (Hashtbl.find_opt t.ins (key n o))
@@ -213,5 +237,6 @@ let words t = Ptset.Tally.shared_words (tally t)
 let unshared_words t = Ptset.Tally.unshared_words (tally t)
 let n_unique_sets t = Ptset.Tally.unique (tally t)
 
-let n_propagations t = t.props
-let processed t = t.pops
+let telemetry t = t.c.Solver_common.tel
+let n_propagations t = !(t.c.Solver_common.props)
+let processed t = (telemetry t).Telemetry.pops

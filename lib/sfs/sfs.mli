@@ -9,18 +9,39 @@
 
     The call graph is resolved on the fly from the flow-sensitive points-to
     sets; newly discovered call edges add interprocedural SVFG edges (the
-    gray parts of Fig. 10). *)
+    gray parts of Fig. 10).
+
+    The solve runs on {!Pta_engine.Engine}; {!solve_budgeted} and {!resume}
+    expose the engine's step/time budgets — a paused solve resumed to
+    completion is bit-identical to an unbudgeted one. *)
 
 open Pta_ir
 
 type result
 
 val solve :
-  ?strategy:Solver_common.strategy ->
+  ?strategy:Pta_engine.Scheduler.strategy ->
   ?strong_updates:bool ->
   Pta_svfg.Svfg.t ->
   result
-(** [strategy] defaults to [`Fifo] (empirically better here; [`Topo] is benchmarked as an ablation). *)
+(** [strategy] defaults to [`Fifo] (empirically better here; the
+    alternatives are benchmarked as ablations). *)
+
+type paused
+(** A budgeted solve stopped short of fixpoint: partial state plus the
+    queued work. Resume with {!resume}; do not read results out of it. *)
+
+type outcome = Done of result | Paused of paused
+
+val solve_budgeted :
+  ?strategy:Pta_engine.Scheduler.strategy ->
+  ?strong_updates:bool ->
+  budget:Pta_engine.Engine.budget ->
+  Pta_svfg.Svfg.t ->
+  outcome
+
+val resume : budget:Pta_engine.Engine.budget -> paused -> outcome
+(** Each resume grants a fresh budget allowance. *)
 
 val pt : result -> Inst.var -> Pta_ds.Bitset.t
 (** Final points-to set of a top-level variable. *)
@@ -52,6 +73,9 @@ val unshared_words : result -> int
 
 val n_unique_sets : result -> int
 (** Number of distinct points-to sets among all IN/OUT entries. *)
+
+val telemetry : result -> Pta_engine.Telemetry.phase
+(** The solve's engine telemetry (phase ["sfs.solve"]). *)
 
 val n_propagations : result -> int
 (** Number of edge propagations executed ([A-PROP] firings). *)

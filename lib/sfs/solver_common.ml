@@ -1,5 +1,6 @@
 open Pta_ds
 open Pta_ir
+module Telemetry = Pta_engine.Telemetry
 
 type t = {
   svfg : Pta_svfg.Svfg.t;
@@ -7,34 +8,33 @@ type t = {
   cg_fs : Callgraph.t;
   callers : (Inst.func_id, (Callgraph.callsite * Inst.var option) list ref) Hashtbl.t;
   su_enabled : bool;
+  tel : Telemetry.phase;
+  top_adds : int ref;  (* cached telemetry extras — no hashing per event *)
+  top_unions : int ref;
+  props : int ref;
 }
 
-let create ?(strong_updates = true) svfg =
+let create ?(strong_updates = true) ~tel svfg =
   let prog = Pta_svfg.Svfg.prog svfg in
   let pt = Vec.create ~dummy:Ptset.empty () in
   Vec.grow_to pt (Prog.n_vars prog);
   { svfg; pt; cg_fs = Callgraph.create (); callers = Hashtbl.create 32;
-    su_enabled = strong_updates }
+    su_enabled = strong_updates; tel;
+    top_adds = Telemetry.counter tel "top_adds";
+    top_unions = Telemetry.counter tel "top_unions";
+    props = Telemetry.counter tel "props" }
 
-type strategy = [ `Fifo | `Topo ]
-
-type wl = Fifo of Worklist.Fifo.t | Prio of Worklist.Prio.t
-
-let make_worklist strategy svfg =
+(* Both sparse solvers schedule SVFG nodes; `Topo ranks them by the SCC
+   condensation of the SVFG snapshot (late on-the-fly edges make this a
+   heuristic, which is all a scheduler needs to be). *)
+let scheduler strategy svfg =
   match strategy with
-  | `Fifo -> Fifo (Worklist.Fifo.create ())
   | `Topo ->
     let rank = Pta_svfg.Svfg.topo_rank svfg in
-    let priority n = if n < Array.length rank then rank.(n) else max_int in
-    Prio (Worklist.Prio.create ~priority ())
-
-let wl_push wl n =
-  match wl with
-  | Fifo w -> Worklist.Fifo.push w n
-  | Prio w -> Worklist.Prio.push w n
-
-let wl_pop wl =
-  match wl with Fifo w -> Worklist.Fifo.pop w | Prio w -> Worklist.Prio.pop w
+    Pta_engine.Scheduler.make
+      ~rank:(fun n -> if n < Array.length rank then rank.(n) else max_int)
+      `Topo
+  | (`Fifo | `Lifo | `Lrf) as s -> Pta_engine.Scheduler.make s
 
 let pt_id t v =
   (* Field objects may be interned after [create]; grow on demand. *)
@@ -44,7 +44,7 @@ let pt_id t v =
 let pt_of t v = Ptset.view (pt_id t v)
 
 let add_pt t v o =
-  Stats.incr "fs.top_adds";
+  incr t.top_adds;
   let s = pt_id t v in
   let s' = Ptset.add s o in
   if Ptset.equal s' s then false
@@ -54,7 +54,7 @@ let add_pt t v o =
   end
 
 let union_pt t v src =
-  Stats.incr "fs.top_unions";
+  incr t.top_unions;
   let s = pt_id t v in
   let s' = Ptset.union s src in
   if Ptset.equal s' s then false

@@ -3,7 +3,11 @@
     SSA), the flow-sensitively resolved call graph, and the top-level
     transfer functions (ADDR, COPY, PHI, FIELD, CALL, RET of Fig. 10). The
     two solvers differ only in how address-taken objects' points-to sets are
-    stored and propagated, which is exactly the paper's point. *)
+    stored and propagated, which is exactly the paper's point.
+
+    Both solvers run on {!Pta_engine.Engine}; [create] takes the solve's
+    telemetry phase and caches the hot extras ([top_adds], [top_unions],
+    [props]) as refs. *)
 
 open Pta_ir
 
@@ -13,22 +17,21 @@ type t = {
   cg_fs : Callgraph.t;  (** call edges discovered flow-sensitively *)
   callers : (Inst.func_id, (Callgraph.callsite * Inst.var option) list ref) Hashtbl.t;
   su_enabled : bool;  (** strong updates enabled (ablation switch) *)
+  tel : Pta_engine.Telemetry.phase;
+  top_adds : int ref;
+  top_unions : int ref;
+  props : int ref;  (** sparse-edge propagations (the solver bumps it) *)
 }
 
-val create : ?strong_updates:bool -> Pta_svfg.Svfg.t -> t
+val create :
+  ?strong_updates:bool -> tel:Pta_engine.Telemetry.phase -> Pta_svfg.Svfg.t -> t
 (** [strong_updates] defaults to [true]; [false] disables [SU] entirely
     (benchmarked as an ablation — both solvers lose the same precision). *)
 
-type strategy = [ `Fifo | `Topo ]
-(** Worklist scheduling: plain FIFO, or SCC-topological order of the SVFG
-    snapshot (SVF's scheduling; usually much faster). Benchmarked as an
-    ablation. *)
-
-type wl
-
-val make_worklist : strategy -> Pta_svfg.Svfg.t -> wl
-val wl_push : wl -> int -> unit
-val wl_pop : wl -> int option
+val scheduler :
+  Pta_engine.Scheduler.strategy -> Pta_svfg.Svfg.t -> Pta_engine.Scheduler.t
+(** A scheduler over SVFG node ids; [`Topo] ranks by the SCC condensation of
+    the snapshot ({!Pta_svfg.Svfg.topo_rank}). *)
 
 val pt_id : t -> Inst.var -> Pta_ds.Ptset.t
 (** Interned id of [pt v] (grows the table on demand for late field

@@ -113,6 +113,7 @@ type solver_run = {
   unique_sets : int;  (* distinct points-to sets across all slots *)
   props : int;
   pops : int;
+  engine : Pta_engine.Telemetry.snapshot option;
 }
 
 let sfs_run r seconds =
@@ -125,6 +126,7 @@ let sfs_run r seconds =
     unique_sets = Pta_sfs.Sfs.n_unique_sets r;
     props = Pta_sfs.Sfs.n_propagations r;
     pops = Pta_sfs.Sfs.processed r;
+    engine = Some (Pta_engine.Telemetry.snapshot (Pta_sfs.Sfs.telemetry r));
   }
 
 let vsfs_run r ver seconds =
@@ -137,21 +139,24 @@ let vsfs_run r ver seconds =
     unique_sets = Vsfs_core.Vsfs.n_unique_sets r;
     props = Vsfs_core.Vsfs.n_propagations r;
     pops = Vsfs_core.Vsfs.processed r;
+    engine = Some (Pta_engine.Telemetry.snapshot (Vsfs_core.Vsfs.telemetry r));
   }
 
-let run_sfs b =
+let run_sfs ?strategy b =
   let svfg = fresh_svfg b in
-  let r, seconds = time (fun () -> Pta_sfs.Sfs.solve svfg) in
+  let r, seconds = time (fun () -> Pta_sfs.Sfs.solve ?strategy svfg) in
   (r, sfs_run r seconds)
 
-let run_vsfs b =
+let run_vsfs ?strategy b =
   let svfg = fresh_svfg b in
   let ver = Vsfs_core.Versioning.compute svfg in
-  let r, seconds = time (fun () -> Vsfs_core.Vsfs.solve ~versioning:ver svfg) in
+  let r, seconds =
+    time (fun () -> Vsfs_core.Vsfs.solve ?strategy ~versioning:ver svfg)
+  in
   (r, vsfs_run r ver seconds)
 
-let run_dense b =
-  let r, seconds = time (fun () -> Pta_sfs.Dense.solve b.prog b.aux) in
+let run_dense ?strategy b =
+  let r, seconds = time (fun () -> Pta_sfs.Dense.solve ?strategy b.prog b.aux) in
   ( r,
     {
       seconds;
@@ -162,14 +167,16 @@ let run_dense b =
       unique_sets = 0;
       props = 0;
       pops = Pta_sfs.Dense.processed r;
+      engine =
+        Some (Pta_engine.Telemetry.snapshot (Pta_sfs.Dense.telemetry r));
     } )
 
-let run_sfs_cached ~store ?label b =
+let run_sfs_cached ~store ?label ?strategy b =
   let svfg, _ = fresh_svfg_cached ~store ?label b in
-  let r, seconds = time (fun () -> Pta_sfs.Sfs.solve svfg) in
+  let r, seconds = time (fun () -> Pta_sfs.Sfs.solve ?strategy svfg) in
   (r, sfs_run r seconds)
 
-let run_vsfs_cached ~store ?(label = "") b =
+let run_vsfs_cached ~store ?(label = "") ?strategy b =
   let svfg, _ = fresh_svfg_cached ~store ~label b in
   let k = Store.key ~stage:"versioning" [ b.src_digest ] in
   let compute_and_save () =
@@ -186,8 +193,25 @@ let run_vsfs_cached ~store ?(label = "") b =
       with Pta_store.Codec.Corrupt _ | Invalid_argument _ ->
         compute_and_save ())
   in
-  let r, seconds = time (fun () -> Vsfs_core.Vsfs.solve ~versioning:ver svfg) in
+  let r, seconds =
+    time (fun () -> Vsfs_core.Vsfs.solve ?strategy ~versioning:ver svfg)
+  in
   (r, vsfs_run r ver seconds)
+
+(* Machine-readable run record, shared by [bench --json] and its round-trip
+   test so the schema lives in exactly one place. *)
+let json_of_run (r : solver_run) =
+  let engine =
+    match r.engine with
+    | Some s -> Pta_engine.Telemetry.snapshot_to_json s
+    | None -> "null"
+  in
+  Printf.sprintf
+    "{\"seconds\": %.6f, \"pre_seconds\": %.6f, \"words\": %d, \
+     \"unshared_words\": %d, \"unique_sets\": %d, \"sets\": %d, \
+     \"props\": %d, \"pops\": %d, \"engine\": %s}"
+    r.seconds r.pre_seconds r.set_words r.unshared_words r.unique_sets r.sets
+    r.props r.pops engine
 
 (* Final-result artifacts ------------------------------------------------- *)
 

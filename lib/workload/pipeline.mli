@@ -62,21 +62,39 @@ type solver_run = {
   unique_sets : int;  (** distinct points-to sets across all slots (0 for dense) *)
   props : int;
   pops : int;
+  engine : Pta_engine.Telemetry.snapshot option;
+      (** the solve phase's engine counters (pushes/pops/steps/grew/wall) *)
 }
 
-val run_sfs : built -> Pta_sfs.Sfs.result * solver_run
-val run_vsfs : built -> Vsfs_core.Vsfs.result * solver_run
-val run_dense : built -> Pta_sfs.Dense.result * solver_run
+val run_sfs :
+  ?strategy:Pta_engine.Scheduler.strategy -> built ->
+  Pta_sfs.Sfs.result * solver_run
+
+val run_vsfs :
+  ?strategy:Pta_engine.Scheduler.strategy -> built ->
+  Vsfs_core.Vsfs.result * solver_run
+
+val run_dense :
+  ?strategy:Pta_engine.Scheduler.strategy -> built ->
+  Pta_sfs.Dense.result * solver_run
 
 val run_sfs_cached :
-  store:Pta_store.Store.t -> ?label:string -> built ->
+  store:Pta_store.Store.t -> ?label:string ->
+  ?strategy:Pta_engine.Scheduler.strategy -> built ->
   Pta_sfs.Sfs.result * solver_run
 
 val run_vsfs_cached :
-  store:Pta_store.Store.t -> ?label:string -> built ->
+  store:Pta_store.Store.t -> ?label:string ->
+  ?strategy:Pta_engine.Scheduler.strategy -> built ->
   Vsfs_core.Vsfs.result * solver_run
 (** Warm starts import the SVFG and the versioning, so only the solve phase
     itself runs (and [pre_seconds] reads 0). *)
+
+val json_of_run : solver_run -> string
+(** One JSON object per solver run — the schema behind [bench --json]:
+    [seconds], [pre_seconds], [words], [unshared_words], [unique_sets],
+    [sets], [props], [pops] and [engine] (a {!Pta_engine.Telemetry.snapshot}
+    as emitted by {!Pta_engine.Telemetry.snapshot_to_json}, or [null]). *)
 
 (* Final-result artifacts ------------------------------------------------- *)
 

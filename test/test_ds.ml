@@ -453,24 +453,58 @@ let prop_union_find =
 
 let test_fifo_dedup () =
   let w = Worklist.Fifo.create () in
-  Worklist.Fifo.push w 1;
-  Worklist.Fifo.push w 2;
-  Worklist.Fifo.push w 1;
+  Alcotest.(check bool) "fresh" true (Worklist.Fifo.push w 1);
+  Alcotest.(check bool) "fresh" true (Worklist.Fifo.push w 2);
+  Alcotest.(check bool) "dup rejected" false (Worklist.Fifo.push w 1);
   Alcotest.(check int) "deduped" 2 (Worklist.Fifo.length w);
   Alcotest.(check (option int)) "fifo order" (Some 1) (Worklist.Fifo.pop w);
-  Worklist.Fifo.push w 1;
-  (* re-push after pop is allowed *)
+  Alcotest.(check bool) "re-push after pop" true (Worklist.Fifo.push w 1);
   Alcotest.(check int) "requeued" 2 (Worklist.Fifo.length w);
   Alcotest.(check (option int)) "next" (Some 2) (Worklist.Fifo.pop w);
   Alcotest.(check (option int)) "last" (Some 1) (Worklist.Fifo.pop w);
   Alcotest.(check (option int)) "empty" None (Worklist.Fifo.pop w)
 
+let test_lifo_order () =
+  let w = Worklist.Lifo.create () in
+  List.iter (fun x -> ignore (Worklist.Lifo.push w x)) [ 1; 2; 3; 2 ];
+  Alcotest.(check int) "deduped" 3 (Worklist.Lifo.length w);
+  Alcotest.(check (option int)) "newest first" (Some 3) (Worklist.Lifo.pop w);
+  Alcotest.(check (option int)) "then" (Some 2) (Worklist.Lifo.pop w);
+  Alcotest.(check bool) "re-push popped" true (Worklist.Lifo.push w 3);
+  Alcotest.(check (option int)) "requeued wins" (Some 3) (Worklist.Lifo.pop w);
+  Alcotest.(check (option int)) "oldest last" (Some 1) (Worklist.Lifo.pop w);
+  Alcotest.(check (option int)) "empty" None (Worklist.Lifo.pop w)
+
 let test_prio_order () =
   let prio = [| 5; 1; 3; 0; 4 |] in
   let w = Worklist.Prio.create ~priority:(fun i -> prio.(i)) () in
-  List.iter (Worklist.Prio.push w) [ 0; 1; 2; 3; 4 ];
+  List.iter (fun x -> ignore (Worklist.Prio.push w x)) [ 0; 1; 2; 3; 4 ];
   let popped = List.init 5 (fun _ -> Option.get (Worklist.Prio.pop w)) in
   Alcotest.(check (list int)) "min-first" [ 3; 1; 2; 4; 0 ] popped;
+  Alcotest.(check (option int)) "drained" None (Worklist.Prio.pop w)
+
+(* Regression for the stale-rank footgun: ranks that change while a node is
+   queued (as when Andersen collapses an SCC mid-solve) must take effect at
+   pop, both when a rank improves (decrease-key by duplication) and when it
+   worsens (lazy re-sink on pop). *)
+let test_prio_rank_mutation () =
+  let rank = [| 10; 20; 30 |] in
+  let w = Worklist.Prio.create ~priority:(fun i -> rank.(i)) () in
+  List.iter (fun x -> ignore (Worklist.Prio.push w x)) [ 0; 1; 2 ];
+  (* Node 2's rank improves past everyone; the re-push advertises it. *)
+  rank.(2) <- 1;
+  Alcotest.(check bool) "re-push while queued is a dup" false
+    (Worklist.Prio.push w 2);
+  Alcotest.(check int) "still three queued" 3 (Worklist.Prio.length w);
+  Alcotest.(check (option int)) "improved rank pops first" (Some 2)
+    (Worklist.Prio.pop w);
+  (* Node 0's rank worsens with no re-push at all: rank-at-pop must spot the
+     stale heap key and re-sink instead of delivering it early. *)
+  rank.(0) <- 99;
+  Alcotest.(check (option int)) "worsened rank yields" (Some 1)
+    (Worklist.Prio.pop w);
+  Alcotest.(check (option int)) "demoted node last" (Some 0)
+    (Worklist.Prio.pop w);
   Alcotest.(check (option int)) "drained" None (Worklist.Prio.pop w)
 
 let prop_prio_sorted =
@@ -478,7 +512,7 @@ let prop_prio_sorted =
     QCheck2.Gen.(list_size (1 -- 50) (0 -- 30))
     (fun items ->
       let w = Worklist.Prio.create ~priority:(fun i -> i) () in
-      List.iter (Worklist.Prio.push w) items;
+      List.iter (fun x -> ignore (Worklist.Prio.push w x)) items;
       let rec drain acc =
         match Worklist.Prio.pop w with
         | Some x -> drain (x :: acc)
@@ -486,6 +520,44 @@ let prop_prio_sorted =
       in
       let out = drain [] in
       out = List.sort Int.compare (List.sort_uniq Int.compare items))
+
+(* Under mutating ranks the order is only a heuristic, but dedup/termination
+   must survive arbitrary interleavings of pushes, pops, and rank churn. *)
+let prop_prio_rank_churn =
+  QCheck2.Test.make ~name:"prio survives rank churn" ~count:200
+    QCheck2.Gen.(
+      list_size (1 -- 60) (pair (0 -- 15) (0 -- 2)))
+    (fun ops ->
+      let rank = Array.init 16 (fun i -> i) in
+      let w = Worklist.Prio.create ~priority:(fun i -> rank.(i)) () in
+      let queued = Hashtbl.create 16 and popped = ref 0 and pushed = ref 0 in
+      List.iter
+        (fun (x, op) ->
+          match op with
+          | 0 ->
+            if Worklist.Prio.push w x then begin
+              incr pushed;
+              Hashtbl.replace queued x ()
+            end
+          | 1 -> rank.(x) <- (rank.(x) * 7) mod 31
+          | _ -> (
+            match Worklist.Prio.pop w with
+            | Some y ->
+              incr popped;
+              Hashtbl.remove queued y
+            | None -> ()))
+        ops;
+      let rec drain () =
+        match Worklist.Prio.pop w with
+        | Some y ->
+          incr popped;
+          Hashtbl.remove queued y;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      (* every accepted push is delivered exactly once *)
+      !popped = !pushed && Hashtbl.length queued = 0)
 
 (* ---------- stats ---------- *)
 
@@ -563,8 +635,12 @@ let () =
       ( "worklist",
         [
           Alcotest.test_case "fifo dedup" `Quick test_fifo_dedup;
+          Alcotest.test_case "lifo order" `Quick test_lifo_order;
           Alcotest.test_case "prio order" `Quick test_prio_order;
+          Alcotest.test_case "prio rank mutation" `Quick
+            test_prio_rank_mutation;
           QCheck_alcotest.to_alcotest prop_prio_sorted;
+          QCheck_alcotest.to_alcotest prop_prio_rank_churn;
         ] );
       ("stats", [ Alcotest.test_case "counters" `Quick test_stats ]);
     ]
