@@ -11,17 +11,24 @@
 #            oracles); any failure means a solver-stage disagreement
 #   engine-smoke — run a tiny benchmark through SFS and VSFS under every
 #            engine scheduler and require byte-identical reports
+#   par-smoke — run the bench table and the fuzz campaign at --jobs 1 and
+#            --jobs 4 and require identical output: byte-identical fuzz
+#            reports, and bench JSON identical after zeroing the timing
+#            fields (seconds, wall_seconds, ...) that legitimately move
 #   ci     — all of the above
 
 DUNE ?= dune
 SMOKE_DIR := $(shell mktemp -d /tmp/pta-ci-cache.XXXXXX)
 BENCH_JSON := $(shell mktemp /tmp/pta-ci-bench.XXXXXX.json)
 ENGINE_DIR := $(shell mktemp -d /tmp/pta-ci-engine.XXXXXX)
+PAR_DIR := $(shell mktemp -d /tmp/pta-ci-par.XXXXXX)
 SCHEDULERS := fifo lifo topo lrf
+# every field here is wall-clock-derived; everything else must match exactly
+PAR_TIMING_SED := s/"(seconds|pre_seconds|wall_seconds|andersen_s|time_ratio|jobs)": *[0-9.eE+-]+/"\1": 0/g
 
-.PHONY: ci build test smoke bench-smoke fuzz-smoke engine-smoke clean
+.PHONY: ci build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke clean
 
-ci: build test smoke bench-smoke fuzz-smoke engine-smoke
+ci: build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke
 
 build:
 	$(DUNE) build @all
@@ -72,6 +79,19 @@ engine-smoke: build
 	done
 	rm -rf $(ENGINE_DIR)
 	@echo "== engine smoke OK =="
+
+par-smoke: build
+	@echo "== par smoke (--jobs 1 vs --jobs 4 must agree; dir: $(PAR_DIR)) =="
+	$(DUNE) exec bench/main.exe -- tableIII 0.1 --jobs 1 --json $(PAR_DIR)/bench-j1.json > /dev/null
+	$(DUNE) exec bench/main.exe -- tableIII 0.1 --jobs 4 --json $(PAR_DIR)/bench-j4.json > /dev/null
+	sed -E '$(PAR_TIMING_SED)' $(PAR_DIR)/bench-j1.json > $(PAR_DIR)/bench-j1.norm
+	sed -E '$(PAR_TIMING_SED)' $(PAR_DIR)/bench-j4.json > $(PAR_DIR)/bench-j4.norm
+	cmp $(PAR_DIR)/bench-j1.norm $(PAR_DIR)/bench-j4.norm
+	$(DUNE) exec bin/vsfs_cli.exe -- fuzz --runs 30 --seed 2 --jobs 1 > $(PAR_DIR)/fuzz-j1.out
+	$(DUNE) exec bin/vsfs_cli.exe -- fuzz --runs 30 --seed 2 --jobs 4 > $(PAR_DIR)/fuzz-j4.out
+	cmp $(PAR_DIR)/fuzz-j1.out $(PAR_DIR)/fuzz-j4.out
+	rm -rf $(PAR_DIR)
+	@echo "== par smoke OK =="
 
 clean:
 	$(DUNE) clean

@@ -64,6 +64,10 @@ let table1 () =
 (* Table II: benchmark characteristics.                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Caller-domain only: [Pipeline.built] values capture closures over the
+   building domain's interned-set state, so they must never be handed to a
+   pool worker. The parallel drivers (table3, warm) build per-task on the
+   worker instead of using this cache. *)
 let built_cache : (string, Pipeline.built) Hashtbl.t = Hashtbl.create 16
 
 let build_bench (e : Suite.entry) =
@@ -129,13 +133,12 @@ let hit_rate hits misses =
 
 let json_of_run = Pipeline.json_of_run
 
-let ptset_stats_json () =
+let ptset_stats_json ~unique_sets ~pool_words =
   let g = Pta_ds.Stats.get in
   Printf.sprintf
     "{\"unique_sets\": %d, \"pool_words\": %d, \"add_hit_rate\": %.4f, \
      \"union_hit_rate\": %.4f, \"delta_hit_rate\": %.4f, \"hit_rate\": %.4f}"
-    (Pta_ds.Ptset.n_unique ())
-    (Pta_ds.Ptset.pool_words ())
+    unique_sets pool_words
     (hit_rate (g "ptset.add_hits") (g "ptset.add_misses"))
     (hit_rate (g "ptset.union_hits") (g "ptset.union_misses"))
     (hit_rate (g "ptset.delta_hits") (g "ptset.delta_misses"))
@@ -143,123 +146,172 @@ let ptset_stats_json () =
        (g "ptset.add_hits" + g "ptset.union_hits" + g "ptset.delta_hits")
        (g "ptset.add_misses" + g "ptset.union_misses" + g "ptset.delta_misses"))
 
-let table3 ?(scale = 1.0) ?(check = true) ?json () =
-  pf "== Table III: analysis time and memory (scale %.2f) ==@.@." scale;
+let host_json ~jobs =
+  Printf.sprintf
+    "{\"hostname\": \"%s\", \"os\": \"%s\", \"ocaml\": \"%s\", \
+     \"word_size\": %d, \"recommended_domains\": %d, \"jobs\": %d}"
+    (json_escape (Unix.gethostname ()))
+    (json_escape Sys.os_type) (json_escape Sys.ocaml_version) Sys.word_size
+    (Domain.recommended_domain_count ())
+    jobs
+
+(* Everything one Table III benchmark contributes, computed entirely on the
+   worker domain that solved it and shipped back as plain data (strings,
+   floats, a stats snapshot) — never Ptset ids or closures. The task resets
+   its domain's interned-set pool and counters on entry, so every per-entry
+   figure is a function of the benchmark alone: independent of which worker
+   ran it, in what order, and of the jobs count. *)
+type bench_row = {
+  r_row : string list;  (** the rendered table cells *)
+  r_json : string;  (** the per-benchmark JSON object *)
+  r_tdiff : float;
+  r_mdiff : float;
+  r_mdiff_shared : float;
+  r_easy : bool;
+  r_dedup_sfs : float;
+  r_dedup_vsfs : float;
+  r_stats : (string * int) list;  (** worker counters, merged at the join *)
+  r_unique : int;
+  r_pool_words : int;
+}
+
+let bench_entry ~check (e : Suite.entry) =
+  Pta_ds.Ptset.reset ();
+  Pta_ds.Stats.reset_all ();
+  let b = Pipeline.build e.Suite.cfg in
+  let sfs_r, sfs = Pipeline.run_sfs b in
+  let vsfs_r, vsfs = Pipeline.run_vsfs b in
+  let equal =
+    if check then begin
+      let svfg = Pipeline.fresh_svfg b in
+      Vsfs_core.Equiv.is_equal (Vsfs_core.Equiv.compare sfs_r vsfs_r svfg)
+    end
+    else true
+  in
+  let tdiff = sfs.Pipeline.seconds /. max vsfs.Pipeline.seconds 1e-9 in
+  (* The paper's memory metric counts each (slot, object) set where it
+     is materialised — with interning that is [unshared_words]; the
+     structure-shared footprint is reported separately below. *)
+  let mdiff =
+    float sfs.Pipeline.unshared_words
+    /. float (max vsfs.Pipeline.unshared_words 1)
+  in
+  let mdiff_shared =
+    float sfs.Pipeline.set_words /. float (max vsfs.Pipeline.set_words 1)
+  in
+  Printf.eprintf "  [done] %-14s sfs=%.2fs vsfs=%.2fs (%s)\n%!" e.Suite.name
+    sfs.Pipeline.seconds vsfs.Pipeline.seconds
+    (if equal then "precision equal" else "PRECISION MISMATCH!");
+  {
+    r_row =
+      [
+        e.Suite.name;
+        Printf.sprintf "%.2f" b.Pipeline.andersen_seconds;
+        Printf.sprintf "%.2f" sfs.Pipeline.seconds;
+        Printf.sprintf "%.1f" (float sfs.Pipeline.set_words *. 8. /. 1048576.);
+        Printf.sprintf "%.2f" vsfs.Pipeline.pre_seconds;
+        Printf.sprintf "%.2f" vsfs.Pipeline.seconds;
+        Printf.sprintf "%.1f" (float vsfs.Pipeline.set_words *. 8. /. 1048576.);
+        Printf.sprintf "%.2fx" tdiff;
+        Printf.sprintf "%.2fx" mdiff;
+        (if equal then "yes" else "NO!");
+      ];
+    r_json =
+      Printf.sprintf
+        "    {\"name\": \"%s\", \"andersen_s\": %.6f, \"sfs\": %s, \
+         \"vsfs\": %s, \"time_ratio\": %.4f, \"mem_ratio\": %.4f, \
+         \"mem_ratio_shared\": %.4f, \"equal\": %b}"
+        (json_escape e.Suite.name)
+        b.Pipeline.andersen_seconds (json_of_run sfs) (json_of_run vsfs)
+        tdiff mdiff mdiff_shared equal;
+    r_tdiff = tdiff;
+    r_mdiff = mdiff;
+    r_mdiff_shared = mdiff_shared;
+    r_easy = e.Suite.easy;
+    r_dedup_sfs =
+      float sfs.Pipeline.unshared_words /. float (max sfs.Pipeline.set_words 1);
+    r_dedup_vsfs =
+      float vsfs.Pipeline.unshared_words
+      /. float (max vsfs.Pipeline.set_words 1);
+    r_stats = Pta_ds.Stats.snapshot ();
+    r_unique = Pta_ds.Ptset.n_unique ();
+    r_pool_words = Pta_ds.Ptset.pool_words ();
+  }
+
+let table3 ?(scale = 1.0) ?(check = true) ?(jobs = 1) ?json () =
+  pf "== Table III: analysis time and memory (scale %.2f, jobs %d) ==@.@."
+    scale jobs;
   pf "Time in seconds (main phase; VSFS versioning listed separately, as in@.";
   pf "the paper). The MB columns are the structure-shared footprint (interned@.";
   pf "sets counted once, 8-byte words) incl. versioning structures; 'Mem diff.'@.";
   pf "compares per-slot materialised words — the paper's metric, independent@.";
   pf "of interning. Front end, auxiliary analysis and SVFG are excluded.@.@.";
-  let time_ratios = ref [] and mem_ratios = ref [] in
-  let shared_mem_ratios = ref [] in
-  let easy_excluded_time = ref [] in
-  let sfs_dedups = ref [] and vsfs_dedups = ref [] in
-  let json_rows = ref [] in
-  let rows =
-    List.map
-      (fun (e : Suite.entry) ->
-        let b = build_bench e in
-        let sfs_r, sfs = Pipeline.run_sfs b in
-        let vsfs_r, vsfs = Pipeline.run_vsfs b in
-        let equal =
-          if check then begin
-            let svfg = Pipeline.fresh_svfg b in
-            Vsfs_core.Equiv.is_equal (Vsfs_core.Equiv.compare sfs_r vsfs_r svfg)
-          end
-          else true
-        in
-        let tdiff = sfs.Pipeline.seconds /. max vsfs.Pipeline.seconds 1e-9 in
-        (* The paper's memory metric counts each (slot, object) set where it
-           is materialised — with interning that is [unshared_words]; the
-           structure-shared footprint is reported separately below. *)
-        let mdiff =
-          float sfs.Pipeline.unshared_words
-          /. float (max vsfs.Pipeline.unshared_words 1)
-        in
-        let mdiff_shared =
-          float sfs.Pipeline.set_words /. float (max vsfs.Pipeline.set_words 1)
-        in
-        time_ratios := tdiff :: !time_ratios;
-        mem_ratios := mdiff :: !mem_ratios;
-        shared_mem_ratios := mdiff_shared :: !shared_mem_ratios;
-        if not e.Suite.easy then easy_excluded_time := tdiff :: !easy_excluded_time;
-        sfs_dedups :=
-          (float sfs.Pipeline.unshared_words
-          /. float (max sfs.Pipeline.set_words 1))
-          :: !sfs_dedups;
-        vsfs_dedups :=
-          (float vsfs.Pipeline.unshared_words
-          /. float (max vsfs.Pipeline.set_words 1))
-          :: !vsfs_dedups;
-        json_rows :=
-          Printf.sprintf
-            "    {\"name\": \"%s\", \"andersen_s\": %.6f, \"sfs\": %s, \
-             \"vsfs\": %s, \"time_ratio\": %.4f, \"mem_ratio\": %.4f, \
-             \"mem_ratio_shared\": %.4f, \"equal\": %b}"
-            (json_escape e.Suite.name)
-            b.Pipeline.andersen_seconds (json_of_run sfs) (json_of_run vsfs)
-            tdiff mdiff mdiff_shared equal
-          :: !json_rows;
-        Printf.eprintf "  [done] %-14s sfs=%.2fs vsfs=%.2fs (%s)\n%!" e.Suite.name
-          sfs.Pipeline.seconds vsfs.Pipeline.seconds
-          (if equal then "precision equal" else "PRECISION MISMATCH!");
-        [
-          e.Suite.name;
-          Printf.sprintf "%.2f" b.Pipeline.andersen_seconds;
-          Printf.sprintf "%.2f" sfs.Pipeline.seconds;
-          Printf.sprintf "%.1f" (float sfs.Pipeline.set_words *. 8. /. 1048576.);
-          Printf.sprintf "%.2f" vsfs.Pipeline.pre_seconds;
-          Printf.sprintf "%.2f" vsfs.Pipeline.seconds;
-          Printf.sprintf "%.1f" (float vsfs.Pipeline.set_words *. 8. /. 1048576.);
-          Printf.sprintf "%.2fx" tdiff;
-          Printf.sprintf "%.2fx" mdiff;
-          (if equal then "yes" else "NO!");
-        ])
-      (Suite.benchmarks ~scale ())
+  let results, wall_seconds =
+    Pipeline.time (fun () ->
+        Pta_par.Pool.run ~jobs (bench_entry ~check) (Suite.benchmarks ~scale ()))
   in
+  (* The join: fold the per-benchmark snapshots back in suite order. The
+     aggregates below are sums/geomeans of per-task figures, so they are
+     byte-identical for every jobs count (only the timings move). *)
+  Pta_ds.Stats.reset_all ();
+  List.iter (fun r -> Pta_ds.Stats.merge r.r_stats) results;
+  let time_ratios = List.map (fun r -> r.r_tdiff) results in
+  let mem_ratios = List.map (fun r -> r.r_mdiff) results in
+  let shared_mem_ratios = List.map (fun r -> r.r_mdiff_shared) results in
+  let easy_excluded_time =
+    List.filter_map
+      (fun r -> if r.r_easy then None else Some r.r_tdiff)
+      results
+  in
+  let sfs_dedups = List.map (fun r -> r.r_dedup_sfs) results in
+  let vsfs_dedups = List.map (fun r -> r.r_dedup_vsfs) results in
+  let unique_sets = List.fold_left (fun a r -> a + r.r_unique) 0 results in
+  let pool_words = List.fold_left (fun a r -> a + r.r_pool_words) 0 results in
   T.render Format.std_formatter
     ~header:
       [ "Bench."; "Ander."; "SFS"; "SFS MB"; "Version."; "VSFS"; "VSFS MB";
         "Time diff."; "Mem diff."; "Equal" ]
     ~align:[ T.L; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.L ]
-    rows;
-  pf "@.geometric mean speedup:            %.2fx@." (T.geomean !time_ratios);
+    (List.map (fun r -> r.r_row) results);
+  pf "@.geometric mean speedup:            %.2fx@." (T.geomean time_ratios);
   pf "geometric mean speedup (hard set): %.2fx@."
-    (T.geomean !easy_excluded_time);
+    (T.geomean easy_excluded_time);
   pf "geometric mean memory reduction:   %.2fx (per-slot sets, paper's metric)@."
-    (T.geomean !mem_ratios);
+    (T.geomean mem_ratios);
   pf "(paper: 5.31x mean speedup, up to 26.22x; 2.11x mean memory, up to 5.46x)@.@.";
   let g = Pta_ds.Stats.get in
-  pf "interned points-to sets (process-wide):@.";
+  pf "interned points-to sets (per-benchmark pools, summed):@.";
   pf "  geomean SFS/VSFS shared-words ratio: %.2fx (interning favours SFS — it@."
-    (T.geomean !shared_mem_ratios);
+    (T.geomean shared_mem_ratios);
   pf "    duplicated the most sets, so sharing collapses much of its overhead)@.";
-  pf "  unique sets in pool:               %d (%d words)@."
-    (Pta_ds.Ptset.n_unique ())
-    (Pta_ds.Ptset.pool_words ());
+  pf "  unique sets in pool:               %d (%d words)@." unique_sets
+    pool_words;
   pf "  geomean words dedup (SFS):         %.2fx (unshared / shared)@."
-    (T.geomean !sfs_dedups);
-  pf "  geomean words dedup (VSFS):        %.2fx@." (T.geomean !vsfs_dedups);
+    (T.geomean sfs_dedups);
+  pf "  geomean words dedup (VSFS):        %.2fx@." (T.geomean vsfs_dedups);
   pf "  add memo hit rate:                 %.1f%%@."
     (100. *. hit_rate (g "ptset.add_hits") (g "ptset.add_misses"));
   pf "  union memo hit rate:               %.1f%%@."
     (100. *. hit_rate (g "ptset.union_hits") (g "ptset.union_misses"));
-  pf "  union_delta memo hit rate:         %.1f%%@.@."
+  pf "  union_delta memo hit rate:         %.1f%%@."
     (100. *. hit_rate (g "ptset.delta_hits") (g "ptset.delta_misses"));
+  pf "  table wall time:                   %s (jobs %d)@.@."
+    (T.human_seconds wall_seconds) jobs;
   match json with
   | None -> ()
   | Some path ->
     let oc = open_out path in
     Printf.fprintf oc
-      "{\n  \"scale\": %.4f,\n  \"benchmarks\": [\n%s\n  ],\n  \"geomean\": \
+      "{\n  \"scale\": %.4f,\n  \"jobs\": %d,\n  \"wall_seconds\": %.6f,\n  \
+       \"host\": %s,\n  \"benchmarks\": [\n%s\n  ],\n  \"geomean\": \
        {\"time_ratio\": %.4f, \"mem_ratio\": %.4f, \"mem_ratio_shared\": \
        %.4f, \"dedup_sfs\": %.4f, \"dedup_vsfs\": %.4f},\n  \"ptset\": %s\n}\n"
-      scale
-      (String.concat ",\n" (List.rev !json_rows))
-      (T.geomean !time_ratios) (T.geomean !mem_ratios)
-      (T.geomean !shared_mem_ratios)
-      (T.geomean !sfs_dedups) (T.geomean !vsfs_dedups)
-      (ptset_stats_json ());
+      scale jobs wall_seconds (host_json ~jobs)
+      (String.concat ",\n" (List.map (fun r -> r.r_json) results))
+      (T.geomean time_ratios) (T.geomean mem_ratios)
+      (T.geomean shared_mem_ratios)
+      (T.geomean sfs_dedups) (T.geomean vsfs_dedups)
+      (ptset_stats_json ~unique_sets ~pool_words);
     close_out oc;
     pf "machine-readable results written to %s@.@." path
 
@@ -345,8 +397,55 @@ let ablations ?(scale = 1.0) () =
 (* Warm starts from the persistent analysis store (Pta_store).         *)
 (* ------------------------------------------------------------------ *)
 
-let warm ?(scale = 1.0) () =
-  pf "== Warm start: persistent analysis store (scale %.2f) ==@.@." scale;
+(* One warm-start measurement, self-contained on its worker domain: the
+   task opens its own [Store.open_] handle on the shared directory (handles
+   hold a mutable manifest view, so they never cross domains; concurrent
+   writers are safe because artifact writes are temp-file + atomic-rename
+   and every benchmark keys by its own content hash). *)
+let warm_entry dir (e : Suite.entry) =
+  Pta_ds.Ptset.reset ();
+  Pta_ds.Stats.reset_all ();
+  let store = Pta_store.Store.open_ dir in
+  let name = e.Suite.name in
+  let src = Gen.source e.Suite.cfg in
+  let (), t_cold =
+    Pipeline.time (fun () ->
+        let b, _ = Pipeline.build_cached ~store ~label:name src in
+        let r, _ = Pipeline.run_vsfs_cached ~store ~label:name b in
+        Pipeline.save_points_to ~store ~label:name b ~solver:"vsfs"
+          (Pipeline.points_to_of_vsfs b r))
+  in
+  let warm_ok, t_resolve =
+    Pipeline.time (fun () ->
+        let b, w1 = Pipeline.build_cached ~store ~label:name src in
+        let _, run = Pipeline.run_vsfs_cached ~store ~label:name b in
+        w1 && run.Pipeline.pre_seconds = 0.)
+  in
+  let full_ok, t_full =
+    Pipeline.time (fun () ->
+        let b, w1 = Pipeline.build_cached ~store ~label:name src in
+        w1 && Pipeline.load_points_to ~store b ~solver:"vsfs" <> None)
+  in
+  let s_resolve = t_cold /. max t_resolve 1e-9 in
+  let s_full = t_cold /. max t_full 1e-9 in
+  Printf.eprintf "  [done] %-14s cold=%.2fs resolve=%.2fs full=%.3fs%s\n%!"
+    name t_cold t_resolve t_full
+    (if warm_ok && full_ok then "" else "  STORE MISSED!");
+  ( [
+      name;
+      Printf.sprintf "%.2f" t_cold;
+      Printf.sprintf "%.2f" t_resolve;
+      Printf.sprintf "%.3f" t_full;
+      Printf.sprintf "%.2fx" s_resolve;
+      Printf.sprintf "%.2fx" s_full;
+      (if warm_ok && full_ok then "yes" else "NO!");
+    ],
+    s_resolve,
+    s_full )
+
+let warm ?(scale = 1.0) ?(jobs = 1) () =
+  pf "== Warm start: persistent analysis store (scale %.2f, jobs %d) ==@.@."
+    scale jobs;
   pf "cold         = empty store: lower + validate + Andersen + SVFG +@.";
   pf "               versioning + VSFS solve, saving every artifact@.";
   pf "warm-resolve = program/Andersen/SVFG/versioning imported from the@.";
@@ -354,50 +453,17 @@ let warm ?(scale = 1.0) () =
   pf "               only the VSFS solve itself re-runs@.";
   pf "warm-full    = final points-to results loaded directly@.@.";
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "pta-store-bench" in
-  let store = Pta_store.Store.open_ dir in
-  ignore (Pta_store.Store.clear store);
-  let resolve_speedups = ref [] and full_speedups = ref [] in
-  let rows =
-    List.map
-      (fun (e : Suite.entry) ->
-        let name = e.Suite.name in
-        let src = Gen.source e.Suite.cfg in
-        let (), t_cold =
-          Pipeline.time (fun () ->
-              let b, _ = Pipeline.build_cached ~store ~label:name src in
-              let r, _ = Pipeline.run_vsfs_cached ~store ~label:name b in
-              Pipeline.save_points_to ~store ~label:name b ~solver:"vsfs"
-                (Pipeline.points_to_of_vsfs b r))
-        in
-        let warm_ok, t_resolve =
-          Pipeline.time (fun () ->
-              let b, w1 = Pipeline.build_cached ~store ~label:name src in
-              let _, run = Pipeline.run_vsfs_cached ~store ~label:name b in
-              w1 && run.Pipeline.pre_seconds = 0.)
-        in
-        let full_ok, t_full =
-          Pipeline.time (fun () ->
-              let b, w1 = Pipeline.build_cached ~store ~label:name src in
-              w1 && Pipeline.load_points_to ~store b ~solver:"vsfs" <> None)
-        in
-        let s_resolve = t_cold /. max t_resolve 1e-9 in
-        let s_full = t_cold /. max t_full 1e-9 in
-        resolve_speedups := s_resolve :: !resolve_speedups;
-        full_speedups := s_full :: !full_speedups;
-        Printf.eprintf "  [done] %-14s cold=%.2fs resolve=%.2fs full=%.3fs%s\n%!"
-          name t_cold t_resolve t_full
-          (if warm_ok && full_ok then "" else "  STORE MISSED!");
-        [
-          name;
-          Printf.sprintf "%.2f" t_cold;
-          Printf.sprintf "%.2f" t_resolve;
-          Printf.sprintf "%.3f" t_full;
-          Printf.sprintf "%.2fx" s_resolve;
-          Printf.sprintf "%.2fx" s_full;
-          (if warm_ok && full_ok then "yes" else "NO!");
-        ])
-      (Suite.benchmarks ~scale ())
+  ignore (Pta_store.Store.clear (Pta_store.Store.open_ dir));
+  let results =
+    Pta_par.Pool.run ~jobs (warm_entry dir) (Suite.benchmarks ~scale ())
   in
+  let rows = List.map (fun (row, _, _) -> row) results in
+  let resolve_speedups = ref [] and full_speedups = ref [] in
+  List.iter
+    (fun (_, s_resolve, s_full) ->
+      resolve_speedups := s_resolve :: !resolve_speedups;
+      full_speedups := s_full :: !full_speedups)
+    results;
   T.render Format.std_formatter
     ~header:
       [ "Bench."; "Cold"; "Warm-resolve"; "Warm-full"; "Speedup(res.)";
@@ -487,15 +553,27 @@ let micro () =
 
 let () =
   let argv = Array.to_list Sys.argv in
-  (* [--json <path>]: drop the pair from the positional arguments *)
-  let rec extract_json = function
-    | "--json" :: path :: rest -> (Some path, rest)
+  (* [--json <path>] / [--jobs <n>]: drop the pair from the positional
+     arguments *)
+  let rec extract_opt key = function
+    | k :: v :: rest when k = key -> (Some v, rest)
     | a :: rest ->
-      let j, rest = extract_json rest in
+      let j, rest = extract_opt key rest in
       (j, a :: rest)
     | [] -> (None, [])
   in
-  let json, argv = extract_json argv in
+  let json, argv = extract_opt "--json" argv in
+  let jobs_arg, argv = extract_opt "--jobs" argv in
+  let jobs =
+    match jobs_arg with
+    | None -> Pta_par.Pool.default_jobs ()
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> n
+      | _ ->
+        Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" v;
+        exit 2)
+  in
   let scale =
     List.fold_left
       (fun acc a -> match float_of_string_opt a with Some f -> f | None -> acc)
@@ -509,7 +587,7 @@ let () =
      reproduction *)
   if has "tableI" || has "all" || default then table1 ();
   if has "tableII" || has "all" || default then table2 ~scale ();
-  if has "tableIII" || has "all" || default then table3 ~scale ?json ();
+  if has "tableIII" || has "all" || default then table3 ~scale ~jobs ?json ();
   if has "ablations" || has "all" || default then ablations ~scale ();
-  if has "warm" || has "all" || default then warm ~scale ();
+  if has "warm" || has "all" || default then warm ~scale ~jobs ();
   if has "micro" || has "all" || default then micro ()

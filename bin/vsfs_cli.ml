@@ -5,7 +5,7 @@
                        [--cache-dir DIR]
      vsfs gen [--bench NAME | --seed N] [--scale S] [-o FILE]
      vsfs fuzz [--runs N] [--seed S] [--max-shrink-steps K]
-               [--oracle NAME] [--corpus-dir DIR]
+               [--oracle NAME] [--corpus-dir DIR] [--jobs N]
      vsfs cache (ls|gc|clear) --cache-dir DIR
      vsfs bench ...          (hint to use bench/main.exe)
 
@@ -176,7 +176,7 @@ let analyze file analysis scheduler queries dump_ir dump_svfg dot_file check
     Format.printf "-- stats --@.";
     Format.printf "%a" Pta_ds.Stats.pp ();
     Format.printf "-- engine --@.";
-    Format.printf "%a" Pta_engine.Telemetry.pp Pta_engine.Telemetry.global
+    Format.printf "%a" Pta_engine.Telemetry.pp (Pta_engine.Telemetry.global ())
   end;
   0
 
@@ -294,11 +294,11 @@ let gen_cmd =
 
 (* ---------------- fuzzing ---------------- *)
 
-let fuzz runs seed max_shrink_steps oracle corpus_dir =
+let fuzz runs seed max_shrink_steps oracle corpus_dir jobs =
   let cfg =
     { Pta_fuzz.Driver.runs; seed; max_shrink_steps; oracle; corpus_dir }
   in
-  match Pta_fuzz.Driver.run cfg with
+  match Pta_fuzz.Driver.run ~jobs cfg with
   | Error e ->
     Format.eprintf "error: %s@." e;
     1
@@ -332,6 +332,14 @@ let fuzz_cmd =
            ~doc:"Persist each shrunk failing reproducer into DIR (the \
                  checked-in regression corpus lives in test/corpus_fuzz).")
   in
+  let jobs =
+    Arg.(value
+         & opt int (Pta_par.Pool.default_jobs ())
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Fan cases out over N worker domains (default: the \
+                   machine's recommended domain count). Never changes the \
+                   report — every jobs count prints the same bytes.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -341,7 +349,7 @@ let fuzz_cmd =
           round-trip). Failures are delta-debugged to a minimal reproducer. \
           Exits 1 if any case fails.")
     Term.(
-      const fuzz $ runs $ seed $ max_shrink_steps $ oracle $ corpus_dir)
+      const fuzz $ runs $ seed $ max_shrink_steps $ oracle $ corpus_dir $ jobs)
 
 (* ---------------- cache maintenance ---------------- *)
 

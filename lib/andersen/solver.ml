@@ -200,6 +200,38 @@ let sync_new_edges st =
       if cu <> cw then ignore (quiet_union st cw (Vec.get st.prev cu)))
     edges
 
+(* Deferred GEPs.
+
+   [lhs = &p->k] cannot materialise the field object while [expand_complex]
+   is iterating [st.complex]: [Prog.field_obj] grows the variable table,
+   and a mid-iteration [ensure]/[Hashtbl] mutation under the live iterator
+   would be undefined. So the walk only records (lhs, base, offset)
+   triples, and they are flushed after it.
+
+   The ordering invariant: triples are consed (newest first) during the
+   walk and the flush consumes the list as-is, i.e. in REVERSE discovery
+   order. This is load-bearing — [Prog.field_obj] assigns the next free
+   variable id to each first-seen (base, offset) pair, so the flush order
+   fixes the numbering of every field object, and those ids are the very
+   elements stored in points-to bitsets. Any run that is supposed to be
+   comparable bit-for-bit (sequential vs pool-worker, cold vs warm,
+   scheduler A vs B) must create field objects in the same order, so this
+   order must never depend on scheduling, domain, or wave count — only on
+   the walk order of [st.complex] (insertion-ordered hashing) and of each
+   delta bitset (ascending). Do not "fix" the reversal: flipping it would
+   renumber field objects and invalidate every persisted artifact and
+   pinned regression expectation downstream. *)
+let defer_gep todo ~lhs ~base ~offset = todo := (lhs, base, offset) :: !todo
+
+let flush_deferred_geps st todo =
+  List.iter
+    (fun (lhs, o, k) ->
+      let fo = Prog.field_obj st.prog ~base:o ~offset:k in
+      ensure st fo;
+      ensure st lhs;
+      add_pt st lhs fo)
+    !todo
+
 let expand_complex st =
   let geps_todo = ref [] in
   Hashtbl.iter
@@ -220,7 +252,7 @@ let expand_complex st =
               | Prog.Func _ -> () (* no fields on functions *)
               | _ ->
                 List.iter
-                  (fun (lhs, k) -> geps_todo := (lhs, o, k) :: !geps_todo)
+                  (fun (lhs, k) -> defer_gep geps_todo ~lhs ~base:o ~offset:k)
                   c.geps
             end;
             (* indirect calls through p *)
@@ -235,15 +267,7 @@ let expand_complex st =
           delta
       end)
     st.complex;
-  (* Field-object creation grows the variable table; done outside the
-     iteration over [st.complex]. *)
-  List.iter
-    (fun (lhs, o, k) ->
-      let fo = Prog.field_obj st.prog ~base:o ~offset:k in
-      ensure st fo;
-      ensure st lhs;
-      add_pt st lhs fo)
-    !geps_todo
+  flush_deferred_geps st geps_todo
 
 let solve ?(strategy = `Topo) prog =
   let n = Prog.n_vars prog in

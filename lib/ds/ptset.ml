@@ -1,13 +1,13 @@
 (* Hash-consed points-to sets.
 
-   A set is an [int] id into a process-wide intern pool of canonical
+   A set is an [int] id into a domain-local intern pool of canonical
    [Bitset]s: structurally equal sets always share one id (and one heap
    representation), so set equality is integer equality and every solver
    that materialises "the same set at a thousand program points" stores it
    once. On top of the pool sit memo caches for the hot operations —
    [add], [union] and [union_delta] — keyed by operand ids: once a union
-   of two interned sets has been computed, every later occurrence anywhere
-   in the process is a single hash-table probe. [union_delta] additionally
+   of two interned sets has been computed, every later occurrence on the
+   same domain is a single hash-table probe. [union_delta] additionally
    returns the interned set of elements actually added, which is what makes
    difference propagation in the flow-sensitive solvers fall out for free.
 
@@ -44,8 +44,16 @@ let fresh_state () =
     diff_memo = Hashtbl.create 1024;
   }
 
-let state = ref (fresh_state ())
-let reset () = state := fresh_state ()
+(* The pool and memo tables are confined to the domain that uses them
+   ([Domain.DLS]): each worker domain of a parallel batch gets a fresh,
+   unshared generation on first use, so interning needs no locks and ids
+   never leak meaning across domains. The flip side is a sharp ownership
+   rule — an id is only valid on the domain (and generation) that interned
+   it, so values crossing domains must carry [Bitset]s (or other plain
+   data), never [Ptset.t]. *)
+let dls_state = Domain.DLS.new_key fresh_state
+let state () = Domain.DLS.get dls_state
+let reset () = Domain.DLS.set dls_state (fresh_state ())
 
 let empty = 0
 let is_empty id = id = 0
@@ -60,11 +68,11 @@ let pack a b =
     invalid_arg "Ptset: id or element exceeds the 31-bit packed-key range";
   (a lsl 31) lor b
 
-let view id = HC.get !state.pool id
+let view id = HC.get (state ()).pool id
 
 (* Intern a bitset the caller owns (and will never mutate again). *)
 let intern_owned s =
-  let st = !state in
+  let st = state () in
   match HC.find_opt st.pool s with
   | Some id -> id
   | None ->
@@ -72,7 +80,7 @@ let intern_owned s =
     HC.intern st.pool s
 
 let of_bitset s =
-  match HC.find_opt !state.pool s with
+  match HC.find_opt (state ()).pool s with
   | Some id -> id
   | None -> intern_owned (Bitset.copy s)
 
@@ -83,7 +91,7 @@ let mem id x = Bitset.mem (view id) x
 let add id x =
   if mem id x then id
   else begin
-    let st = !state in
+    let st = state () in
     let key = pack id x in
     match Hashtbl.find_opt st.add_memo key with
     | Some r ->
@@ -104,7 +112,7 @@ let union a b =
   if a = b || b = empty then a
   else if a = empty then b
   else begin
-    let st = !state in
+    let st = state () in
     let key = pack (min a b) (max a b) in
     match Hashtbl.find_opt st.union_memo key with
     | Some r ->
@@ -127,7 +135,7 @@ let union_delta a b =
   if a = b || b = empty then (a, empty)
   else if a = empty then (b, b)
   else begin
-    let st = !state in
+    let st = state () in
     let key = pack a b in
     match Hashtbl.find_opt st.delta_memo key with
     | Some r ->
@@ -148,7 +156,7 @@ let diff a b =
   if a = b || b = empty then if b = empty then a else empty
   else if a = empty then empty
   else begin
-    let st = !state in
+    let st = state () in
     let key = pack a b in
     match Hashtbl.find_opt st.diff_memo key with
     | Some r ->
@@ -173,11 +181,11 @@ let fold f id acc = Bitset.fold f (view id) acc
 let elements id = Bitset.elements (view id)
 let choose id = Bitset.choose (view id)
 let words id = Bitset.words (view id)
-let n_unique () = HC.count !state.pool
+let n_unique () = HC.count (state ()).pool
 
 let pool_words () =
   let total = ref 0 in
-  HC.iter (fun _ s -> total := !total + Bitset.words s) !state.pool;
+  HC.iter (fun _ s -> total := !total + Bitset.words s) (state ()).pool;
   !total
 
 let pp ppf id = Bitset.pp ppf (view id)

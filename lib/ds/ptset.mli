@@ -1,6 +1,6 @@
 (** Hash-consed, immutable points-to sets with memoized set operations.
 
-    A value of type {!t} is a small integer id into a process-wide intern
+    A value of type {!t} is a small integer id into a domain-local intern
     pool of canonical {!Bitset}s: structurally equal sets share one id and
     one heap representation, so equality is [Int.equal] and a set duplicated
     across thousands of (node, object) or (object, version) slots is stored
@@ -16,7 +16,11 @@
 
 type t = private int
 (** An interned set. Ids are only meaningful against the current pool
-    generation (see {!reset}). *)
+    generation (see {!reset}) {e of the current domain}: the pool and every
+    memo table live in domain-local storage ([Domain.DLS]), so each worker
+    domain of a parallel batch owns a private, lock-free generation. Never
+    ship a [t] (or a closure capturing one) to another domain — convert to
+    {!Bitset.t} ({!view} + copy, or {!elements}) at the boundary. *)
 
 val empty : t
 (** The empty set; always id 0. *)
@@ -78,10 +82,11 @@ val pool_words : unit -> int
 (** Total heap words of all canonical sets in the pool. *)
 
 val reset : unit -> unit
-(** Drop the pool and every memo cache, starting a fresh generation.
-    Outstanding ids become invalid (previously obtained {!view}s remain
-    valid plain bitsets). Only for tests and benchmark isolation — never
-    call it while any solver result is still alive. *)
+(** Drop the current domain's pool and every memo cache, starting a fresh
+    generation (other domains' generations are untouched). Outstanding ids
+    become invalid (previously obtained {!view}s remain valid plain
+    bitsets). Only for tests and per-task batch isolation — never call it
+    while any solver result is still alive. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,6 +1,16 @@
-let table : (string, int ref) Hashtbl.t = Hashtbl.create 64
+(* Counters are domain-local ([Domain.DLS]): each worker domain of a
+   parallel batch counts into its own table, lock-free, and the batch
+   driver carries worker totals back to the aggregating domain explicitly
+   ([snapshot] in the task, [merge] at the join). Aggregates are therefore
+   sums of per-task snapshots — independent of which domain ran which task,
+   which is what keeps `--jobs 1` and `--jobs N` reports identical. *)
+let dls_table : (string, int ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let table () = Domain.DLS.get dls_table
 
 let counter name =
+  let table = table () in
   match Hashtbl.find_opt table name with
   | Some r -> r
   | None ->
@@ -11,18 +21,22 @@ let counter name =
 let incr name = Stdlib.incr (counter name)
 let add name n = counter name := !(counter name) + n
 let get name = !(counter name)
+
 (* Zero every registered counter *and* drop the registrations: counters only
    reappear in [snapshot]/[pp] once they are touched again, so a dump after a
    reset never reports stale names from earlier runs. The refs are zeroed
    before being dropped so holders of a pre-reset [counter] ref observe the
    reset rather than a stale count. *)
 let reset_all () =
+  let table = table () in
   Hashtbl.iter (fun _ r -> r := 0) table;
   Hashtbl.reset table
 
 let snapshot () =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) table []
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) (table ()) []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge snap = List.iter (fun (name, n) -> add name n) snap
 
 let pp ppf () =
   List.iter

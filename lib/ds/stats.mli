@@ -1,9 +1,14 @@
-(** Global named counters.
+(** Named counters, one table per domain.
 
     The solvers bump counters for propagations, set unions, processed nodes,
     etc. The benchmark harness snapshots them to report the paper's
     "number of propagation constraints / points-to sets" style figures
-    deterministically (unlike wall-clock time). *)
+    deterministically (unlike wall-clock time).
+
+    The table is domain-local ([Domain.DLS]): worker domains of a parallel
+    batch count into private tables with no locking, and a batch driver
+    aggregates explicitly — {!snapshot} inside the task, {!merge} at the
+    join. Counts never flow between domains implicitly. *)
 
 val counter : string -> int ref
 (** [counter name] returns the (shared) counter registered under [name],
@@ -26,5 +31,11 @@ val reset_all : unit -> unit
 
 val snapshot : unit -> (string * int) list
 (** All counters touched since the last {!reset_all}, sorted by name. *)
+
+val merge : (string * int) list -> unit
+(** Add a snapshot (typically taken on a worker domain at the end of a
+    task) into the current domain's counters. [merge (snapshot ())] on the
+    same domain doubles every counter — only merge snapshots carried over
+    from elsewhere. *)
 
 val pp : Format.formatter -> unit -> unit

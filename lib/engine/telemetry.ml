@@ -20,13 +20,19 @@ type phase = {
 
 type t = { mutable phases : phase list; mutable count : int }
 
-(* The global sink backs the CLI's [--stats] report. Solves registering
+(* The default sink backs the CLI's [--stats] report. Solves registering
    phases are unbounded over a process lifetime (the fuzzer runs thousands),
-   so the sink keeps only the most recent [cap]. *)
+   so the sink keeps only the most recent [cap]. The sink is domain-local
+   ([Domain.DLS]): worker domains of a parallel batch record into private
+   sinks, so concurrent solves never interleave phase lists; a batch driver
+   that wants a worker's phases carries [snapshot]s (plain data) back at the
+   join. *)
 let cap = 64
 
 let create () = { phases = []; count = 0 }
-let global = create ()
+
+let dls_global = Domain.DLS.new_key create
+let global () = Domain.DLS.get dls_global
 
 let reset t =
   t.phases <- [];
@@ -38,7 +44,8 @@ let truncate t =
     t.count <- cap
   end
 
-let phase ?(sink = global) ~name ~scheduler () =
+let phase ?sink ~name ~scheduler () =
+  let sink = match sink with Some s -> s | None -> global () in
   let p =
     { name; scheduler; pushes = 0; dups = 0; pops = 0; steps = 0; grew = 0;
       runs = 0; paused = 0; wall = 0.; extras = Hashtbl.create 8 }

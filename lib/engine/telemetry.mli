@@ -6,7 +6,11 @@
     Phases live in a sink — default {!global}, which the CLI's [--stats]
     prints and which keeps only the most recent activations (bounded, so
     long fuzzing campaigns don't accumulate). {!snapshot} freezes a phase
-    into an immutable record for the bench's JSON output. *)
+    into an immutable record for the bench's JSON output.
+
+    The default sink is domain-local: {!global} returns the calling
+    domain's sink ([Domain.DLS]), so parallel batch workers record phases
+    privately and cross the domain boundary only via {!snapshot}s. *)
 
 type phase = {
   name : string;  (** e.g. ["vsfs.solve"] *)
@@ -25,7 +29,10 @@ type phase = {
 type t
 
 val create : unit -> t
-val global : t
+
+val global : unit -> t
+(** The calling domain's default sink. *)
+
 val reset : t -> unit
 
 val phase : ?sink:t -> name:string -> scheduler:string -> unit -> phase

@@ -77,7 +77,9 @@ let of_string text =
 let filename e = Printf.sprintf "seed%08d-%s.c" e.seed e.oracle
 
 let save ~dir e =
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  (* tolerate a concurrent creator: parallel campaign workers may race here *)
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let path = Filename.concat dir (filename e) in
   let oc = open_out path in
   Fun.protect

@@ -98,78 +98,107 @@ let oracles_of cfg =
     | None -> Error (Printf.sprintf "unknown oracle %S (have: %s)" name
                        (String.concat ", " Oracle.names)))
 
-let run cfg =
+(* One case, self-contained: everything from program generation to shrinking
+   and corpus persistence happens on the domain running it, against that
+   domain's private [Ptset]/[Stats] state, and only plain data comes back.
+   Determinism is per-case by construction — the case seed is index-mixed
+   and every random draw goes through the case-local PRNG — so fanning cases
+   out over a pool cannot change any verdict, only who computes it. *)
+type case_outcome = {
+  o_kind : case_kind;
+  o_loc : int;
+  o_verdict : [ `Ok | `Rejected | `Fail of failure ];
+}
+
+let run_case cfg oracles case =
+  (* keep the interning pool and memo tables case-local *)
+  Pta_ds.Ptset.reset ();
+  let case_seed = mix cfg.seed case in
+  let rng = Random.State.make [| case_seed; 0xF022 |] in
+  let kind, src = case_source rng case_seed in
+  let rec first_failure = function
+    | [] -> `None
+    | o :: rest -> (
+      match o.Oracle.check src with
+      | Oracle.Pass -> first_failure rest
+      | Oracle.Rejected _ ->
+        (* the frontend refused the program; no later oracle can say
+           anything about it either *)
+        `Rejected
+      | Oracle.Fail { cls; detail } -> `Fail (o, cls, detail))
+  in
+  let verdict =
+    match first_failure oracles with
+    | `None -> `Ok
+    | `Rejected -> `Rejected
+    | `Fail (o, cls, detail) ->
+      let ast = Pta_cfront.Cparser.parse src in
+      let shrunk =
+        Shrink.minimize ~oracle:o ~cls ~max_steps:cfg.max_shrink_steps ast
+      in
+      let shrunk_src = Pta_cfront.Ast_print.program shrunk.Shrink.program in
+      let corpus_path =
+        Option.map
+          (fun dir ->
+            Corpus.save ~dir
+              {
+                Corpus.oracle = o.Oracle.name;
+                seed = case_seed;
+                cls;
+                verdict = Corpus.Fail;
+                note =
+                  Printf.sprintf
+                    "campaign seed=%d case=%d; shrunk %d->%d loc in %d steps"
+                    cfg.seed case (Gen.loc src) (Gen.loc shrunk_src)
+                    shrunk.Shrink.steps;
+                source = shrunk_src;
+              })
+          cfg.corpus_dir
+      in
+      `Fail
+        {
+          case;
+          case_seed;
+          oracle_name = o.Oracle.name;
+          cls;
+          detail;
+          shrunk_loc = Gen.loc shrunk_src;
+          shrink_steps = shrunk.Shrink.steps;
+          corpus_path;
+        }
+  in
+  { o_kind = kind; o_loc = Gen.loc src; o_verdict = verdict }
+
+let run ?(jobs = 1) cfg =
   match oracles_of cfg with
   | Error e -> Error e
   | Ok oracles ->
+    (* The fan-out: cases run on pool workers (even at [jobs = 1], so the
+       caller's domain-local state is never touched by a campaign), the
+       join folds outcomes back in case order — the report is therefore
+       byte-identical for every jobs count. *)
+    let outcomes =
+      Pta_par.Pool.run ~jobs (run_case cfg oracles)
+        (List.init cfg.runs Fun.id)
+    in
     let rejected = ref 0 in
     let gen_cases = ref 0
     and adversarial_cases = ref 0
     and mutant_cases = ref 0 in
     let total_loc = ref 0 in
     let failures = ref [] in
-    for case = 0 to cfg.runs - 1 do
-      (* keep the interning pool and memo tables case-local *)
-      Pta_ds.Ptset.reset ();
-      let case_seed = mix cfg.seed case in
-      let rng = Random.State.make [| case_seed; 0xF022 |] in
-      let kind, src = case_source rng case_seed in
-      (match kind with
-      | Plain -> incr gen_cases
-      | Adversarial -> incr adversarial_cases
-      | Mutant -> incr mutant_cases);
-      total_loc := !total_loc + Gen.loc src;
-      let rec first_failure = function
-        | [] -> None
-        | o :: rest -> (
-          match o.Oracle.check src with
-          | Oracle.Pass -> first_failure rest
-          | Oracle.Rejected _ ->
-            (* the frontend refused the program; no later oracle can say
-               anything about it either *)
-            incr rejected;
-            None
-          | Oracle.Fail { cls; detail } -> Some (o, cls, detail))
-      in
-      match first_failure oracles with
-      | None -> ()
-      | Some (o, cls, detail) ->
-        let ast = Pta_cfront.Cparser.parse src in
-        let shrunk =
-          Shrink.minimize ~oracle:o ~cls ~max_steps:cfg.max_shrink_steps ast
-        in
-        let shrunk_src = Pta_cfront.Ast_print.program shrunk.Shrink.program in
-        let corpus_path =
-          Option.map
-            (fun dir ->
-              Corpus.save ~dir
-                {
-                  Corpus.oracle = o.Oracle.name;
-                  seed = case_seed;
-                  cls;
-                  verdict = Corpus.Fail;
-                  note =
-                    Printf.sprintf
-                      "campaign seed=%d case=%d; shrunk %d->%d loc in %d steps"
-                      cfg.seed case (Gen.loc src) (Gen.loc shrunk_src)
-                      shrunk.Shrink.steps;
-                  source = shrunk_src;
-                })
-            cfg.corpus_dir
-        in
-        failures :=
-          {
-            case;
-            case_seed;
-            oracle_name = o.Oracle.name;
-            cls;
-            detail;
-            shrunk_loc = Gen.loc shrunk_src;
-            shrink_steps = shrunk.Shrink.steps;
-            corpus_path;
-          }
-          :: !failures
-    done;
+    List.iter
+      (fun o ->
+        (match o.o_kind with
+        | Plain -> incr gen_cases
+        | Adversarial -> incr adversarial_cases
+        | Mutant -> incr mutant_cases);
+        total_loc := !total_loc + o.o_loc;
+        match o.o_verdict with
+        | `Ok -> ()
+        | `Rejected -> incr rejected
+        | `Fail f -> failures := f :: !failures)
+      outcomes;
     Ok
       {
         cfg;

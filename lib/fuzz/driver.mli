@@ -9,7 +9,12 @@
 
     Determinism contract (tested): the same [config] produces the same
     {!report} and the same {!report_to_string} bytes — reports carry no
-    wall-clock data, and all randomness flows from the campaign seed. *)
+    wall-clock data, and all randomness flows from the campaign seed.
+    The contract extends across parallelism: cases fan out over a
+    {!Pta_par.Pool} of [jobs] worker domains (each case re-derives its seed
+    from its index and runs against domain-local solver state), and the
+    join folds outcomes in case order, so every [jobs] count prints the
+    same bytes. *)
 
 type config = {
   runs : int;
@@ -44,8 +49,9 @@ type report = {
   failures : failure list;
 }
 
-val run : config -> (report, string) result
-(** [Error] only for an unknown oracle name. *)
+val run : ?jobs:int -> config -> (report, string) result
+(** [Error] only for an unknown oracle name. [jobs] (default 1) sizes the
+    worker-domain pool; it never changes the report, only the wall-clock. *)
 
 val pp_report : Format.formatter -> report -> unit
 val report_to_string : report -> string

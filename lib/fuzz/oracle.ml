@@ -260,13 +260,16 @@ let check_sched src =
 
 (* ---------- store: cold-vs-warm round trip through Pta_store ---------- *)
 
-let tmp_counter = ref 0
+(* Atomic, not a plain ref: parallel campaign workers mint tmp dirs
+   concurrently, and two cases sharing a directory would corrupt each
+   other's store round-trip. *)
+let tmp_counter = Atomic.make 0
 
 let fresh_tmp_dir () =
-  incr tmp_counter;
   Filename.concat
     (Filename.get_temp_dir_name ())
-    (Printf.sprintf "pta-fuzz-%d-%d" (Unix.getpid ()) !tmp_counter)
+    (Printf.sprintf "pta-fuzz-%d-%d" (Unix.getpid ())
+       (Atomic.fetch_and_add tmp_counter 1))
 
 let rec rm_rf path =
   match Unix.lstat path with
@@ -382,6 +385,82 @@ let check_store src =
         | None -> fail_exn "store" e)
       | o -> o)
 
+(* ---------- par: worker-domain vs caller-domain bit-equality ---------- *)
+
+(* The whole point of domain-local solver state is that WHERE a solve runs
+   must never leak into WHAT it computes. This oracle checks exactly that:
+   the full pipeline (build, SFS, VSFS, equivalence verdict) runs once on
+   the calling domain and once on a pool worker domain, and the two must
+   agree bit-for-bit — same points-to bitsets for every variable and
+   object, same SFS-vs-VSFS verdict. Everything crossing the pool boundary
+   is plain data ([Artifact.points_to] bitset arrays and a bool), never
+   [Ptset] ids, per the [Pta_par.Pool] ownership rule. *)
+
+let solve_both src =
+  let b = Pipeline.build_source src in
+  let sfs_r, _ = Pipeline.run_sfs b in
+  let vsfs_r, _ = Pipeline.run_vsfs b in
+  let svfg = Pipeline.fresh_svfg b in
+  let verdict =
+    Vsfs_core.Equiv.is_equal (Vsfs_core.Equiv.compare sfs_r vsfs_r svfg)
+  in
+  ( Pipeline.points_to_of_sfs b sfs_r,
+    Pipeline.points_to_of_vsfs b vsfs_r,
+    verdict )
+
+let points_to_mismatch what (a : Pta_store.Artifact.points_to)
+    (b : Pta_store.Artifact.points_to) =
+  let bad = ref None in
+  let scan part x y =
+    if Array.length x <> Array.length y then
+      bad := Some (Printf.sprintf "%s: %s arity differs" what part)
+    else
+      Array.iteri
+        (fun v s ->
+          if !bad = None && not (Pta_ds.Bitset.equal s y.(v)) then
+            bad := Some (Printf.sprintf "%s: %s set of var %d differs" what
+                           part v))
+        x
+  in
+  scan "top-level" a.Pta_store.Artifact.top b.Pta_store.Artifact.top;
+  scan "object" a.Pta_store.Artifact.obj b.Pta_store.Artifact.obj;
+  !bad
+
+let check_par src =
+  match solve_both src with
+  | exception e -> (
+    match rejected e with
+    | Some msg -> Rejected msg
+    | None -> fail_exn "build" e)
+  | seq_sfs, seq_vsfs, seq_verdict -> (
+    match Pta_par.Pool.run ~jobs:1 (fun () -> solve_both src) [ () ] with
+    | exception Pta_par.Pool.Task_error { exn; _ } -> fail_exn "par-domain" exn
+    | [ (par_sfs, par_vsfs, par_verdict) ] ->
+      if seq_verdict <> par_verdict then
+        Fail
+          {
+            cls = "par-verdict";
+            detail =
+              Printf.sprintf
+                "SFS-vs-VSFS equivalence verdict flipped across domains: \
+                 sequential %b, pool worker %b"
+                seq_verdict par_verdict;
+          }
+      else begin
+        match
+          ( points_to_mismatch "sfs" seq_sfs par_sfs,
+            points_to_mismatch "vsfs" seq_vsfs par_vsfs )
+        with
+        | None, None -> Pass
+        | Some d, _ | _, Some d ->
+          Fail
+            {
+              cls = "par-pt";
+              detail = "pool-worker solve differs from sequential solve: " ^ d;
+            }
+      end
+    | _ -> Fail { cls = "par-pt"; detail = "pool returned wrong arity" })
+
 (* ---------- the tower ---------- *)
 
 let all =
@@ -410,6 +489,11 @@ let all =
       name = "store";
       doc = "cold vs Pta_store warm-started pipeline bit-equality";
       check = check_store;
+    };
+    {
+      name = "par";
+      doc = "pool-worker-domain vs caller-domain solve bit-equality";
+      check = check_par;
     };
   ]
 

@@ -1,0 +1,133 @@
+(* Fixed-size domain pool over a bounded task queue.
+
+   One mutex guards the queue; [nonempty]/[nonfull] carry the two waiting
+   directions. Workers loop pop-run-repeat until [closed] and the queue is
+   drained, so [shutdown] never abandons accepted work. [map] tracks its own
+   completion state (results/errors arrays + a countdown), so several maps
+   could in principle share one pool; results are published to the caller
+   through the completion mutex, which is the synchronisation point that
+   makes the plain [results] array safe to read after the join. *)
+
+type t = {
+  jobs : int;
+  bound : int;
+  queue : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+exception Task_error of { index : int; exn : exn; backtrace : string }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { index; exn; _ } ->
+      Some
+        (Printf.sprintf "Pool.Task_error (task %d: %s)" index
+           (Printexc.to_string exn))
+    | _ -> None)
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.jobs
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.nonempty t.m
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.m (* closed: exit *)
+    else begin
+      let task = Queue.pop t.queue in
+      Condition.signal t.nonfull;
+      Mutex.unlock t.m;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?queue_bound ~jobs () =
+  let jobs = max jobs 1 in
+  let bound =
+    match queue_bound with Some b -> max b 1 | None -> max (2 * jobs) 4
+  in
+  let t =
+    {
+      jobs;
+      bound;
+      queue = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      closed = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t task =
+  Mutex.lock t.m;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.map: pool is shut down"
+  end;
+  while Queue.length t.queue >= t.bound do
+    Condition.wait t.nonfull t.m
+  done;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.m
+
+let map t f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let remaining = ref n in
+    let done_m = Mutex.create () in
+    let done_c = Condition.create () in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            (match f x with
+            | r -> results.(i) <- Some r
+            | exception e ->
+              errors.(i) <- Some (e, Printexc.get_backtrace ()));
+            Mutex.lock done_m;
+            decr remaining;
+            if !remaining = 0 then Condition.signal done_c;
+            Mutex.unlock done_m))
+      arr;
+    Mutex.lock done_m;
+    while !remaining > 0 do
+      Condition.wait done_c done_m
+    done;
+    Mutex.unlock done_m;
+    Array.iteri
+      (fun index -> function
+        | Some (exn, backtrace) -> raise (Task_error { index; exn; backtrace })
+        | None -> ())
+      errors;
+    Array.to_list (Array.map Option.get results)
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  let domains = t.domains in
+  t.closed <- true;
+  t.domains <- [];
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  List.iter Domain.join domains
+
+let with_pool ?queue_bound ~jobs f =
+  let t = create ?queue_bound ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run ~jobs f items = with_pool ~jobs (fun t -> map t f items)

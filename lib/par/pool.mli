@@ -1,0 +1,49 @@
+(** A fixed-size pool of worker domains with a bounded task queue.
+
+    The batch layers (bench suite, fuzz campaign, warm-store replay) are
+    embarrassingly parallel: many independent whole-program analyses with no
+    shared solver state. This pool is the one execution primitive they all
+    share — stdlib [Domain] + [Mutex]/[Condition] only, no dependencies.
+
+    Tasks always execute on worker domains, never on the caller's domain
+    (even at [jobs = 1]): every per-domain analysis state ([Pta_ds.Ptset]
+    intern pool, [Pta_ds.Stats] counters, [Pta_engine.Telemetry] sink) is
+    domain-local, so running tasks off the caller's domain guarantees the
+    caller's state is untouched by the batch and that [jobs = 1] and
+    [jobs = N] runs see identical per-task state lifecycles. Values crossing
+    the pool boundary must be plain data — in particular they must not hold
+    [Ptset.t] ids or closures over solver state, which are only meaningful
+    on the domain that interned them. *)
+
+type t
+
+exception Task_error of { index : int; exn : exn; backtrace : string }
+(** A worker task raised: [index] is the position of the offending item in
+    the [map] input (0-based), [exn] the original exception. When several
+    tasks fail, the lowest index is re-raised, deterministically. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : ?queue_bound:int -> jobs:int -> unit -> t
+(** Spawn [max jobs 1] worker domains. [queue_bound] (default
+    [2 * jobs], min 4) caps the task queue; submitters block when it is
+    full, bounding the closures (and their captured inputs) alive at once. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f items] runs [f] on every item on the pool's workers and
+    returns the results in input order. Blocks until all tasks finish; if
+    any task raised, re-raises the lowest-index failure as {!Task_error}
+    (after every task has completed, so no work is silently in flight).
+    @raise Invalid_argument if the pool was shut down. *)
+
+val shutdown : t -> unit
+(** Drain the queue, join every worker. Idempotent. *)
+
+val with_pool : ?queue_bound:int -> jobs:int -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown], exception-safe. *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot [with_pool] + [map]. *)

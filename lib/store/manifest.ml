@@ -36,8 +36,16 @@ let load path =
          with End_of_file -> ());
         List.rev !entries)
 
+(* Unique temp name per writer (pid + atomic counter) so two processes
+   updating the same manifest never stream into one inode; the final
+   [rename] is the atomic publication point. *)
+let tmp_counter = Atomic.make 0
+
 let save path entries =
-  let tmp = path ^ ".tmp" in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)

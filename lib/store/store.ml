@@ -35,6 +35,32 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Publication protocol for concurrent writers (parallel batch jobs share
+   one store): every writer streams into its own uniquely named temp file —
+   pid + atomic counter, so two domains (or two processes) never write the
+   same inode — and publishes the complete frame with one atomic [rename].
+   A reader therefore only ever opens a complete frame: either the old
+   entry, the new one, or a miss, never torn bytes. The manifest, unlike
+   the entries, is read-modify-write, so in-process writers additionally
+   serialise its updates on [manifest_lock] (cross-process manifest races
+   can still drop index lines, which [gc] reconstructs from the frames —
+   the frames themselves are the source of truth). *)
+let tmp_counter = Atomic.make 0
+
+let fresh_tmp path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_counter 1)
+
+let is_tmp_file f =
+  (* matches [fresh_tmp] output and the pre-atomic ".tmp" suffix *)
+  let rec contains i =
+    i + 4 <= String.length f && (String.sub f i 4 = ".tmp" || contains (i + 1))
+  in
+  contains 0
+
+let manifest_lock = Mutex.create ()
+let with_manifest_lock f = Mutex.protect manifest_lock f
+
 (* Parse and fully verify a frame; Codec.Corrupt on any mismatch. *)
 let parse_frame bytes =
   if
@@ -63,22 +89,23 @@ let save t ~stage ~key ?(label = "") payload =
   Codec.add_string b (Stdlib.Digest.string payload);
   Codec.add_string b payload;
   let path = entry_path t ~stage ~key in
-  let tmp = path ^ ".tmp" in
+  let tmp = fresh_tmp path in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> Buffer.output_buffer oc b);
   Sys.rename tmp path;
   Pta_ds.Stats.incr "store.writes";
-  Manifest.add (manifest t)
-    {
-      Manifest.stage;
-      key;
-      file = entry_file ~stage ~key;
-      bytes = Buffer.length b;
-      created = Unix.gettimeofday ();
-      label;
-    }
+  with_manifest_lock (fun () ->
+      Manifest.add (manifest t)
+        {
+          Manifest.stage;
+          key;
+          file = entry_file ~stage ~key;
+          bytes = Buffer.length b;
+          created = Unix.gettimeofday ();
+          label;
+        })
 
 let miss ~stage =
   Pta_ds.Stats.incr "store.misses";
@@ -99,8 +126,9 @@ let load t ~stage ~key =
          recompute rather than trust it *)
       Pta_ds.Stats.incr "store.corrupt";
       (try Sys.remove path with Sys_error _ -> ());
-      Manifest.remove (manifest t) (fun e ->
-          e.Manifest.stage = stage && e.Manifest.key = key);
+      with_manifest_lock (fun () ->
+          Manifest.remove (manifest t) (fun e ->
+              e.Manifest.stage = stage && e.Manifest.key = key));
       miss ~stage
 
 let ls t =
@@ -114,6 +142,13 @@ let entry_files t =
   |> List.sort compare
 
 let gc t ~kept ~removed =
+  (* stale temp files are abandoned writes (a crashed or killed writer
+     mid-publication); they were never visible to readers, reclaim them *)
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter is_tmp_file
+  |> List.iter (fun f ->
+         (try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ());
+         incr removed);
   let valid = Hashtbl.create 16 in
   List.iter
     (fun f ->
@@ -148,10 +183,12 @@ let gc t ~kept ~removed =
           :: acc)
       valid []
   in
-  Manifest.save (manifest t) (kept_entries @ recovered)
+  with_manifest_lock (fun () ->
+      Manifest.save (manifest t) (kept_entries @ recovered))
 
 let clear t =
   let files = entry_files t in
   List.iter (fun f -> try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ()) files;
-  (try Sys.remove (manifest t) with Sys_error _ -> ());
+  with_manifest_lock (fun () ->
+      try Sys.remove (manifest t) with Sys_error _ -> ());
   List.length files

@@ -9,8 +9,13 @@
     frame; any mismatch — truncation, bit rot, a different format version,
     a file renamed across keys — deletes the entry and reports a miss, so
     corruption degrades to recomputation, never to wrong results. Writes go
-    through a temp file and [rename], so a crash mid-write leaves either the
-    old entry or none.
+    through a uniquely named temp file (pid + counter, so concurrent
+    writers never share an inode) published by one atomic [rename]: a crash
+    mid-write leaves either the old entry or none, and a reader racing any
+    number of writers — parallel batch jobs share one store — only ever
+    opens a complete frame. In-process manifest updates serialise on an
+    internal lock; a cross-process manifest race can at worst drop index
+    lines, which {!gc} rebuilds from the frames.
 
     Keys come from {!key}: the hex digest of the stage name, the store
     {!format_version} and every input that determines the artifact (source
@@ -52,8 +57,9 @@ val ls : t -> Manifest.entry list
 
 val gc : t -> kept:int ref -> removed:int ref -> unit
 (** Verify every [*.bin] file in the store: delete corrupt or
-    version-skewed entries, drop dangling manifest lines, and re-index
-    valid files the manifest lost track of. *)
+    version-skewed entries, drop dangling manifest lines, re-index valid
+    files the manifest lost track of, and reclaim stale temp files left by
+    crashed writers. *)
 
 val clear : t -> int
 (** Delete every entry (and the manifest); returns how many files went. *)

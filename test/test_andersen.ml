@@ -312,6 +312,45 @@ let test_midsolve_collapse () =
                (Pta_andersen.Naive.pts slow v))))
     Pta_engine.Scheduler.all
 
+(* Pin the deferred-GEP flush order (see [flush_deferred_geps] in
+   lib/andersen/solver.ml). Field objects are numbered by first
+   materialisation, triples are consed during the complex-constraint walk
+   and flushed as-is — i.e. in REVERSE discovery order — and those ids end
+   up inside points-to bitsets, so every run that must be comparable
+   bit-for-bit (sequential vs pool worker, cold vs warm) depends on this
+   exact sequence. If this test breaks, the numbering of field objects
+   changed: that invalidates persisted store artifacts and any cross-run
+   bit-identity, so don't re-pin casually. *)
+let test_deferred_gep_order () =
+  let p = compile {|
+    global g;
+    func main() {
+      var q, r;
+      if (q == r) { q = malloc(); } else { q = malloc(); }
+      q->a = q;
+      g = q->b;
+      r = q;
+      r->c = g;
+    }
+  |} in
+  ignore (Pta_andersen.Solver.solve p);
+  let field_objs = ref [] in
+  Prog.iter_objects p (fun o ->
+      match Prog.obj_kind p o with
+      | Prog.FieldOf _ -> field_objs := Prog.name p o :: !field_objs
+      | _ -> ());
+  Alcotest.(check (list string))
+    "field objects materialise in reverse discovery order"
+    [
+      "main.heap2.f2";
+      "main.heap1.f2";
+      "main.heap2.f3";
+      "main.heap1.f3";
+      "main.heap2.f1";
+      "main.heap1.f1";
+    ]
+    (List.rev !field_objs)
+
 let prop_differential =
   QCheck2.Test.make ~name:"wave solver = naive solver on random programs"
     ~count:60
@@ -354,6 +393,8 @@ let () =
             test_no_fields_on_functions;
           Alcotest.test_case "deep deref chain" `Quick test_deep_deref_chain;
           Alcotest.test_case "field through call" `Quick test_field_through_call;
+          Alcotest.test_case "deferred GEP order" `Quick
+            test_deferred_gep_order;
         ] );
       ( "structure",
         [

@@ -27,7 +27,7 @@ let clean_src =
 let test_oracle_registry () =
   Alcotest.(check (list string))
     "tower order (cheap to expensive)"
-    [ "crash"; "andersen"; "equiv"; "sched"; "store" ]
+    [ "crash"; "andersen"; "equiv"; "sched"; "store"; "par" ]
     Oracle.names;
   List.iter
     (fun n -> Alcotest.(check bool) n true (Oracle.find n <> None))
@@ -235,14 +235,28 @@ let test_corpus_replays () =
       | Error msg -> Alcotest.failf "%s: %s" file msg)
     entries
 
+let test_par_oracle_on_corpus () =
+  (* the par oracle must agree with the recorded world view on every
+     persisted reproducer: worker-domain solves never flip a verdict *)
+  let par = Option.get (Oracle.find "par") in
+  let entries = Corpus.load_dir corpus_dir in
+  Alcotest.(check bool) "corpus is non-empty" true (entries <> []);
+  List.iter
+    (fun (file, e) ->
+      match par.Oracle.check e.Corpus.source with
+      | Oracle.Pass | Oracle.Rejected _ -> ()
+      | Oracle.Fail { cls; detail } ->
+        Alcotest.failf "%s: par oracle failed (%s): %s" file cls detail)
+    entries
+
 (* ---------- driver ---------- *)
 
 let test_driver_clean_and_deterministic () =
   let cfg = { Driver.default with runs = 8; seed = 5 } in
   let r1 = Result.get_ok (Driver.run cfg) in
-  let r2 = Result.get_ok (Driver.run cfg) in
+  let r2 = Result.get_ok (Driver.run ~jobs:4 cfg) in
   Alcotest.(check bool) "no failures on trunk" true (r1.Driver.failures = []);
-  Alcotest.(check string) "byte-identical reports"
+  Alcotest.(check string) "byte-identical reports across jobs counts"
     (Driver.report_to_string r1) (Driver.report_to_string r2);
   Alcotest.(check int) "all cases counted" 8
     (r1.Driver.gen_cases + r1.Driver.adversarial_cases
@@ -279,6 +293,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_corpus_roundtrip;
           Alcotest.test_case "replay" `Slow test_corpus_replays;
+          Alcotest.test_case "par oracle over corpus" `Slow
+            test_par_oracle_on_corpus;
         ] );
       ( "driver",
         [

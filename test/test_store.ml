@@ -176,6 +176,108 @@ let test_store_corrupt_detected () =
   Alcotest.(check int) "gc removed truncated" 1 !removed;
   Alcotest.(check int) "nothing kept" 0 !kept
 
+(* ---------- atomic publication: crash windows and concurrent access ---- *)
+
+let test_crash_window () =
+  (* A writer that dies between opening its temp file and the atomic rename
+     leaves a stale [*.tmp.<pid>.<n>] behind. Readers must never see it —
+     only complete, published frames are addressable — and gc reclaims it. *)
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  let key = Store.key ~stage:"blob" [ "crash" ] in
+  Store.save store ~stage:"blob" ~key "the published generation";
+  (* simulate a crashed writer: a torn frame under a fresh_tmp-style name *)
+  let tmp = Filename.concat dir ("blob-" ^ key ^ ".bin.tmp.99999.0") in
+  let oc = open_out_bin tmp in
+  output_string oc "PTAS\x02torn-partial-fra";
+  close_out oc;
+  Alcotest.(check (option string)) "reader sees only the published frame"
+    (Some "the published generation")
+    (Store.load store ~stage:"blob" ~key);
+  Alcotest.(check int) "ls ignores the orphan" 1 (List.length (Store.ls store));
+  let kept = ref 0 and removed = ref 0 in
+  Store.gc store ~kept ~removed;
+  Alcotest.(check int) "gc reclaims the orphan tmp" 1 !removed;
+  Alcotest.(check int) "published frame kept" 1 !kept;
+  Alcotest.(check bool) "tmp gone" false (Sys.file_exists tmp);
+  Alcotest.(check (option string)) "entry survives gc"
+    (Some "the published generation")
+    (Store.load store ~stage:"blob" ~key)
+
+let test_save_leaves_no_tmp () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  for i = 1 to 10 do
+    Store.save store ~stage:"blob"
+      ~key:(Store.key ~stage:"blob" [ string_of_int i ])
+      (String.make 1000 'x')
+  done;
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           let rec has_tmp i =
+             i + 4 <= String.length f
+             && (String.sub f i 4 = ".tmp" || has_tmp (i + 1))
+           in
+           has_tmp 0)
+  in
+  Alcotest.(check (list string)) "no temp files left behind" [] leftovers
+
+let test_concurrent_writers_never_torn () =
+  (* Parallel jobs hammer ONE stage/key with distinct recognisable payloads
+     while readers poll it: every load must return some writer's complete
+     payload (atomic rename = old frame or new frame, never a mix), and no
+     reader may ever trip the corruption path. *)
+  let dir = fresh_dir () in
+  ignore (Store.open_ dir) (* create the directory up front *);
+  let key = Store.key ~stage:"race" [ "shared" ] in
+  let payload_of i = String.make 8192 (Char.chr (Char.code 'a' + i)) in
+  let outcomes =
+    Pta_par.Pool.run ~jobs:4
+      (fun i ->
+        Pta_ds.Stats.reset_all ();
+        let store = Store.open_ dir in
+        if i < 4 then begin
+          (* writer: republish the same key 25 times *)
+          for _ = 1 to 25 do
+            Store.save store ~stage:"race" ~key (payload_of i)
+          done;
+          (`Writer, 0)
+        end
+        else begin
+          (* reader: every observed value must be a complete payload *)
+          let bad = ref 0 in
+          for _ = 1 to 200 do
+            match Store.load store ~stage:"race" ~key with
+            | None -> ()
+            | Some p ->
+              let ok =
+                String.length p = 8192
+                && String.for_all (fun c -> c = p.[0]) p
+              in
+              if not ok then incr bad
+          done;
+          (`Reader, !bad + Pta_ds.Stats.get "store.corrupt")
+        end)
+      (List.init 8 Fun.id)
+  in
+  List.iter
+    (fun (role, bad) ->
+      match role with
+      | `Writer -> ()
+      | `Reader ->
+        Alcotest.(check int) "reader never saw a torn or corrupt frame" 0 bad)
+    outcomes;
+  (* afterwards the key holds exactly one writer's final payload *)
+  (match Store.load (Store.open_ dir) ~stage:"race" ~key with
+  | None -> Alcotest.fail "key empty after the race"
+  | Some p ->
+    Alcotest.(check bool) "final frame complete" true
+      (String.length p = 8192 && String.for_all (fun c -> c = p.[0]) p));
+  let kept = ref 0 and removed = ref 0 in
+  Store.gc (Store.open_ dir) ~kept ~removed;
+  Alcotest.(check int) "one valid frame kept" 1 !kept
+
 (* ---------- acceptance (a): results round-trip through the store ------- *)
 
 let test_results_roundtrip () =
@@ -286,6 +388,11 @@ let () =
           Alcotest.test_case "framing" `Quick test_store_frame;
           Alcotest.test_case "corrupt detection" `Quick
             test_store_corrupt_detected;
+          Alcotest.test_case "crash window" `Quick test_crash_window;
+          Alcotest.test_case "save leaves no tmp" `Quick
+            test_save_leaves_no_tmp;
+          Alcotest.test_case "concurrent writers never torn" `Quick
+            test_concurrent_writers_never_torn;
         ] );
       ( "pipeline",
         [
