@@ -15,6 +15,10 @@
 #            --jobs 4 and require identical output: byte-identical fuzz
 #            reports, and bench JSON identical after zeroing the timing
 #            fields (seconds, wall_seconds, ...) that legitimately move
+#   serve-smoke — start a resident daemon, require its report to match a
+#            batch `analyze` run bit-for-bit, append one function to the
+#            source, reload, and require the re-analysis to splice (reused
+#            functions > 0) while the report still matches the batch run
 #   ci     — all of the above
 
 DUNE ?= dune
@@ -22,13 +26,15 @@ SMOKE_DIR := $(shell mktemp -d /tmp/pta-ci-cache.XXXXXX)
 BENCH_JSON := $(shell mktemp /tmp/pta-ci-bench.XXXXXX.json)
 ENGINE_DIR := $(shell mktemp -d /tmp/pta-ci-engine.XXXXXX)
 PAR_DIR := $(shell mktemp -d /tmp/pta-ci-par.XXXXXX)
+SERVE_DIR := $(shell mktemp -d /tmp/pta-ci-serve.XXXXXX)
 SCHEDULERS := fifo lifo topo lrf
 # every field here is wall-clock-derived; everything else must match exactly
 PAR_TIMING_SED := s/"(seconds|pre_seconds|wall_seconds|andersen_s|time_ratio|jobs)": *[0-9.eE+-]+/"\1": 0/g
 
-.PHONY: ci build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke clean
+.PHONY: ci build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke \
+	serve-smoke clean
 
-ci: build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke
+ci: build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke serve-smoke
 
 build:
 	$(DUNE) build @all
@@ -92,6 +98,39 @@ par-smoke: build
 	cmp $(PAR_DIR)/fuzz-j1.out $(PAR_DIR)/fuzz-j4.out
 	rm -rf $(PAR_DIR)
 	@echo "== par smoke OK =="
+
+# The daemon runs for the whole recipe, so everything here calls the built
+# binary directly: a `dune exec` alongside a long-lived `dune exec` child
+# can deadlock on dune's project lock.
+VSFS_BIN := ./_build/default/bin/vsfs_cli.exe
+
+serve-smoke: build
+	@echo "== serve smoke (daemon vs batch, incremental reload; dir: $(SERVE_DIR)) =="
+	@set -e; \
+	$(VSFS_BIN) gen --bench du --scale 0.2 -o $(SERVE_DIR)/du.c; \
+	$(VSFS_BIN) analyze $(SERVE_DIR)/du.c --analysis sfs \
+	  | grep '^pt(' > $(SERVE_DIR)/batch.out; \
+	$(VSFS_BIN) serve $(SERVE_DIR)/du.c \
+	  --socket $(SERVE_DIR)/d.sock --cache-dir $(SERVE_DIR)/store \
+	  > $(SERVE_DIR)/daemon.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	$(VSFS_BIN) query --socket $(SERVE_DIR)/d.sock \
+	  --retries 600 report > $(SERVE_DIR)/daemon.out; \
+	cmp $(SERVE_DIR)/batch.out $(SERVE_DIR)/daemon.out; \
+	printf '\nfunc fresh_edit(q) { var t; t = *q; return; }\n' >> $(SERVE_DIR)/du.c; \
+	$(VSFS_BIN) analyze $(SERVE_DIR)/du.c --analysis sfs \
+	  | grep '^pt(' > $(SERVE_DIR)/batch2.out; \
+	$(VSFS_BIN) query --socket $(SERVE_DIR)/d.sock reload \
+	  > $(SERVE_DIR)/reload.out; \
+	cat $(SERVE_DIR)/reload.out; \
+	grep -Eq 'reused=[1-9]' $(SERVE_DIR)/reload.out; \
+	$(VSFS_BIN) query --socket $(SERVE_DIR)/d.sock report \
+	  > $(SERVE_DIR)/daemon2.out; \
+	cmp $(SERVE_DIR)/batch2.out $(SERVE_DIR)/daemon2.out; \
+	$(VSFS_BIN) query --socket $(SERVE_DIR)/d.sock shutdown; \
+	wait $$pid
+	rm -rf $(SERVE_DIR)
+	@echo "== serve smoke OK =="
 
 clean:
 	$(DUNE) clean

@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- tableIII [scale] [--json out.json]
      dune exec bench/main.exe -- ablations [scale]
      dune exec bench/main.exe -- warm [scale]
+     dune exec bench/main.exe -- serve [scale]
      dune exec bench/main.exe -- micro
      dune exec bench/main.exe -- all [scale]
 
@@ -476,6 +477,115 @@ let warm ?(scale = 1.0) ?(jobs = 1) () =
   pf "(store: %s)@.@." dir
 
 (* ------------------------------------------------------------------ *)
+(* Serve: daemon cold load vs function-level incremental reload.       *)
+(* ------------------------------------------------------------------ *)
+
+module SP = Pta_serve.Protocol
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* One benchmark: start a session cold against an empty store, append one
+   fresh function to the source, reload, and compare engine pops. The cold
+   and reload paths are the same code ([Incr.run_sfs_spliced]) — only the
+   store contents differ — so the pop ratio is purely the splicing win. *)
+let serve_entry pool tmp_root (e : Suite.entry) =
+  Pta_ds.Ptset.reset ();
+  let dir = Filename.concat tmp_root e.Suite.name in
+  Unix.mkdir dir 0o700;
+  let file = Filename.concat dir "prog.c" in
+  let write s =
+    let oc = open_out file in
+    output_string oc s;
+    close_out oc
+  in
+  let src = Gen.source e.Suite.cfg in
+  write src;
+  let store = Pta_store.Store.open_ (Filename.concat dir "store") in
+  let session, t_cold =
+    Pipeline.time (fun () ->
+        Pta_serve.Session.create ~store ~pool ~with_vsfs:false file)
+  in
+  match session with
+  | Error msg ->
+    Printf.eprintf "  [skip] %-14s %s\n%!" e.Suite.name msg;
+    None
+  | Ok s ->
+    let cold_pops =
+      match List.assoc_opt "first_pops" (Pta_serve.Session.stats s) with
+      | Some v -> int_of_string v
+      | None -> 0
+    in
+    write (src ^ "\nfunc fresh_edit(q) { var t; t = *q; return; }\n");
+    let r, t_reload =
+      Pipeline.time (fun () -> Pta_serve.Session.reload s ())
+    in
+    (match r with
+    | Error msg ->
+      Printf.eprintf "  [fail] %-14s reload: %s\n%!" e.Suite.name msg;
+      None
+    | Ok i ->
+      let pop_ratio = float cold_pops /. float (max i.SP.r_pops 1) in
+      let t_ratio = t_cold /. max t_reload 1e-9 in
+      let incremental = i.SP.r_reused > 0 && i.SP.r_pops < cold_pops in
+      Printf.eprintf
+        "  [done] %-14s cold=%.2fs (%d pops) reload=%.3fs (%d pops)%s\n%!"
+        e.Suite.name t_cold cold_pops t_reload i.SP.r_pops
+        (if incremental then "" else "  NOT INCREMENTAL!");
+      Some
+        ( [
+            e.Suite.name;
+            Printf.sprintf "%.2f" t_cold;
+            string_of_int cold_pops;
+            Printf.sprintf "%.3f" t_reload;
+            string_of_int i.SP.r_pops;
+            Printf.sprintf "%d/%d" i.SP.r_reused i.SP.r_total;
+            Printf.sprintf "%.1fx" pop_ratio;
+            (if incremental then "yes" else "NO!");
+          ],
+          pop_ratio,
+          t_ratio ))
+
+let serve_bench ?(scale = 1.0) () =
+  pf "== Serve: cold load vs incremental reload (scale %.2f) ==@.@." scale;
+  pf "cold   = session start against an empty store: lower + Andersen + SVFG@.";
+  pf "         + per-function digests + full (seeded) SFS solve@.";
+  pf "reload = one fresh function appended to the source, then reload: only@.";
+  pf "         functions whose dependency-closure digest misses the store@.";
+  pf "         are re-solved, the rest are spliced back from their artifacts@.@.";
+  let tmp_root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pta-serve-bench-%d" (Unix.getpid ()))
+  in
+  rm_rf tmp_root;
+  Unix.mkdir tmp_root 0o700;
+  let results =
+    Fun.protect
+      ~finally:(fun () -> rm_rf tmp_root)
+      (fun () ->
+        Pta_par.Pool.with_pool ~jobs:1 (fun pool ->
+            List.filter_map
+              (serve_entry pool tmp_root)
+              (Suite.benchmarks ~scale ())))
+  in
+  T.render Format.std_formatter
+    ~header:
+      [ "Bench."; "Cold"; "Cold pops"; "Reload"; "Reload pops"; "Reused";
+        "Pop diff."; "Incr." ]
+    ~align:[ T.L; T.R; T.R; T.R; T.R; T.R; T.R; T.L ]
+    (List.map (fun (row, _, _) -> row) results);
+  pf "@.geometric mean pop reduction:  %.2fx@."
+    (T.geomean (List.map (fun (_, p, _) -> p) results));
+  pf "geometric mean time speedup:   %.2fx@.@."
+    (T.geomean (List.map (fun (_, _, t) -> t) results))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -582,7 +692,7 @@ let () =
   let has cmd = List.mem cmd argv in
   let default = not (List.exists (fun c -> has c)
                        [ "tableI"; "tableII"; "tableIII"; "ablations"; "warm";
-                         "micro"; "all" ]) in
+                         "serve"; "micro"; "all" ]) in
   (* bare invocation = everything, so a tee'd run records the full
      reproduction *)
   if has "tableI" || has "all" || default then table1 ();
@@ -590,4 +700,5 @@ let () =
   if has "tableIII" || has "all" || default then table3 ~scale ~jobs ?json ();
   if has "ablations" || has "all" || default then ablations ~scale ();
   if has "warm" || has "all" || default then warm ~scale ~jobs ();
+  if has "serve" || has "all" || default then serve_bench ~scale ();
   if has "micro" || has "all" || default then micro ()

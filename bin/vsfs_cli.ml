@@ -7,6 +7,10 @@
      vsfs fuzz [--runs N] [--seed S] [--max-shrink-steps K]
                [--oracle NAME] [--corpus-dir DIR] [--jobs N]
      vsfs cache (ls|gc|clear) --cache-dir DIR
+     vsfs serve FILE --socket PATH [--cache-dir DIR] [--jobs N] [--no-vsfs]
+     vsfs query --socket PATH (points-to X | may-alias X Y | null X |
+                               callees X | report | vars | stats |
+                               reload [FILE] | shutdown)  [--stdin]
      vsfs bench ...          (hint to use bench/main.exe)
 
    FILE is mini-C (.c/.mc) or textual IR (.ir, see Pta_ir.Parser). *)
@@ -406,6 +410,260 @@ let cache_cmd =
       sub "clear" "Delete every entry and the manifest." cache_clear;
     ]
 
+(* ---------------- serve / query ---------------- *)
+
+module Protocol = Pta_serve.Protocol
+
+let fresh_tmp_dir () =
+  let rec go n =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "vsfs-serve-%d-%d" (Unix.getpid ()) n)
+    in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (n + 1)
+  in
+  go 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let serve file socket cache_dir jobs no_vsfs =
+  let dir, cleanup =
+    match cache_dir with
+    | Some d -> (d, fun () -> ())
+    | None ->
+      (* no cache dir given: a private throwaway store, so the daemon still
+         gets function-level splicing across its own reloads *)
+      let d = fresh_tmp_dir () in
+      (d, fun () -> rm_rf d)
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let store = open_store dir in
+      Pta_par.Pool.with_pool ~jobs (fun pool ->
+          match
+            Pta_serve.Session.create ~store ~pool ~with_vsfs:(not no_vsfs) file
+          with
+          | Error e ->
+            Format.eprintf "error: %s@." e;
+            1
+          | Ok session ->
+            List.iter
+              (fun (k, v) -> Format.printf "serve: %s = %s@." k v)
+              (Pta_serve.Session.stats session);
+            Format.printf "serve: listening on %s@." socket;
+            Pta_serve.Server.run ~socket session;
+            Format.printf "serve: shut down@.";
+            0))
+
+let parse_one_query words =
+  match words with
+  | [ "points-to"; n ] -> Ok (Protocol.Points_to n)
+  | [ "may-alias"; a; b ] -> Ok (Protocol.May_alias (a, b))
+  | [ "null"; n ] -> Ok (Protocol.Points_to_null n)
+  | [ "callees"; n ] -> Ok (Protocol.Callees n)
+  | _ ->
+    Error
+      (Printf.sprintf
+         "cannot parse query %S (expected: points-to X | may-alias X Y | \
+          null X | callees X)"
+         (String.concat " " words))
+
+let print_answer q a =
+  match (q, a) with
+  | Protocol.Points_to n, Protocol.Set l ->
+    Format.printf "pt(%s) = {%s}@." n (String.concat ", " l)
+  | Protocol.Callees n, Protocol.Set l ->
+    Format.printf "callees(%s) = {%s}@." n (String.concat ", " l)
+  | Protocol.May_alias (x, y), Protocol.Bool b ->
+    Format.printf "may-alias(%s, %s) = %b@." x y b
+  | Protocol.Points_to_null n, Protocol.Bool b ->
+    Format.printf "null(%s) = %b@." n b
+  | _, Protocol.Unknown m -> Format.printf "%s: unknown variable@." m
+  | _ -> Format.printf "unexpected answer shape@."
+
+let split_words line =
+  List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+
+(* Several queries can ride one command line: each query keyword starts a
+   new group, so [points-to p may-alias p q] is two queries in one frame. *)
+let group_queries words =
+  let keyword w =
+    List.mem w [ "points-to"; "may-alias"; "null"; "callees" ]
+  in
+  let groups =
+    List.fold_left
+      (fun acc w ->
+        match acc with
+        | cur :: rest when not (keyword w) -> (w :: cur) :: rest
+        | _ -> [ w ] :: acc)
+      [] words
+  in
+  let rec parse_all acc = function
+    | [] -> Ok (List.rev acc)
+    | g :: rest -> (
+      match parse_one_query (List.rev g) with
+      | Ok q -> parse_all (q :: acc) rest
+      | Error e -> Error e)
+  in
+  parse_all [] (List.rev groups)
+
+let read_stdin_queries () =
+  let rec go acc =
+    match input_line stdin with
+    | line -> (
+      match split_words line with
+      | [] -> go acc
+      | w -> (
+        match parse_one_query w with
+        | Ok q -> go (q :: acc)
+        | Error e -> Error e))
+    | exception End_of_file -> Ok (List.rev acc)
+  in
+  go []
+
+let query socket retries use_stdin words =
+  let intent =
+    if use_stdin then
+      match read_stdin_queries () with
+      | Ok qs -> Ok (`Queries qs)
+      | Error e -> Error e
+    else
+      match words with
+      | [ "stats" ] -> Ok `Stats
+      | [ "report" ] -> Ok `Report
+      | [ "vars" ] -> Ok `Vars
+      | [ "reload" ] -> Ok (`Reload None)
+      | [ "reload"; f ] -> Ok (`Reload (Some f))
+      | [ "shutdown" ] -> Ok `Shutdown
+      | [] -> Error "no query given (try: vsfs query --socket S points-to X)"
+      | w -> (
+        match group_queries w with
+        | Ok qs -> Ok (`Queries qs)
+        | Error e -> Error e)
+  in
+  match intent with
+  | Error e ->
+    Format.eprintf "error: %s@." e;
+    1
+  | Ok intent -> (
+    let request =
+      match intent with
+      | `Queries qs -> Protocol.Query qs
+      | `Vars -> Protocol.Vars
+      | `Report -> Protocol.Report
+      | `Stats -> Protocol.Stats
+      | `Reload p -> Protocol.Reload p
+      | `Shutdown -> Protocol.Shutdown
+    in
+    try
+      Pta_serve.Client.with_connection ~retries socket (fun fd ->
+          match (intent, Pta_serve.Client.request fd request) with
+          | `Queries qs, Protocol.Answers ans
+            when List.length ans = List.length qs ->
+            List.iter2 print_answer qs ans;
+            0
+          | `Vars, Protocol.Names ns ->
+            List.iter print_endline ns;
+            0
+          | `Report, Protocol.Report_r rows ->
+            List.iter
+              (fun (n, l) ->
+                Format.printf "pt(%s) = {%s}@." n (String.concat ", " l))
+              rows;
+            0
+          | `Stats, Protocol.Stats_r kvs ->
+            List.iter (fun (k, v) -> Format.printf "%s = %s@." k v) kvs;
+            0
+          | `Reload _, Protocol.Reloaded i ->
+            Format.printf
+              "reload: funcs=%d reused=%d dirty=%d scheduled=%d pops=%d \
+               spliceable=%b warm_build=%b@."
+              i.Protocol.r_total i.Protocol.r_reused i.Protocol.r_dirty
+              i.Protocol.r_scheduled i.Protocol.r_pops i.Protocol.r_spliceable
+              i.Protocol.r_warm_build;
+            0
+          | `Shutdown, Protocol.Shutting_down ->
+            Format.printf "shutdown: ok@.";
+            0
+          | _, Protocol.Error m ->
+            Format.eprintf "error: %s@." m;
+            1
+          | _ ->
+            Format.eprintf "error: unexpected reply from daemon@.";
+            1)
+    with
+    | Unix.Unix_error (e, _, _) ->
+      Format.eprintf "error: cannot reach daemon at %s: %s@." socket
+        (Unix.error_message e);
+      1
+    | Pta_store.Codec.Corrupt m ->
+      Format.eprintf "error: %s@." m;
+      1)
+
+let serve_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket to listen on (created; unlinked on exit).")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent analysis store backing incremental reloads. \
+                 Defaults to a private temporary store deleted on exit.")
+  in
+  let jobs =
+    Arg.(value
+         & opt int (Pta_par.Pool.default_jobs ())
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for batched query fan-out.")
+  in
+  let no_vsfs =
+    Arg.(value & flag & info [ "no-vsfs" ]
+           ~doc:"Skip the resident VSFS solve (and its standing SFS \
+                 cross-check) on load and reload.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Start a resident analysis daemon: load and solve FILE once, then \
+          answer points-to queries over a Unix socket. $(b,reload) requests \
+          re-digest per function and re-solve only the functions whose \
+          digests changed.")
+    Term.(const serve $ file $ socket $ cache_dir $ jobs $ no_vsfs)
+
+let query_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"The daemon's Unix domain socket.")
+  in
+  let retries =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry the connection N times (0.1s apart) while the socket \
+                 is absent or refusing — useful right after starting the \
+                 daemon.")
+  in
+  let use_stdin =
+    Arg.(value & flag & info [ "stdin" ]
+           ~doc:"Read one query per line from stdin and send them as a \
+                 single batched request.")
+  in
+  let words =
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY"
+           ~doc:"points-to X | may-alias X Y | null X | callees X | report \
+                 | vars | stats | reload [FILE] | shutdown")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query a running $(b,vsfs serve) daemon")
+    Term.(const query $ socket $ retries $ use_stdin $ words)
+
 let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Reproduce the paper's tables")
     Term.(
@@ -421,6 +679,7 @@ let main_cmd =
        ~doc:
          "Object versioning for flow-sensitive pointer analysis (CGO 2021 \
           reproduction)")
-    [ analyze_cmd; gen_cmd; fuzz_cmd; cache_cmd; bench_cmd ]
+    [ analyze_cmd; gen_cmd; fuzz_cmd; cache_cmd; serve_cmd; query_cmd;
+      bench_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -81,8 +81,25 @@ let run_function prog (fn : Prog.func) =
     let phis : (int, phi) Hashtbl.t = Hashtbl.create 16 in
     (* node -> phi *)
     let chain_start : (int, phi list) Hashtbl.t = Hashtbl.create 16 in
-    Hashtbl.iter
-      (fun j objs ->
+    (* Phi creation order fixes the fresh [.m2rN] names, which end up in the
+       printed IR that the incremental pipeline digests — so it must be a
+       function of this function's content alone. Hashtbl order over var ids
+       is not: ids are program-wide, and an edit elsewhere shifts them. Walk
+       joins in node order and slots in allocation-site order instead. *)
+    let join_nodes =
+      List.sort Int.compare
+        (Hashtbl.fold (fun j _ acc -> j :: acc) placements [])
+    in
+    List.iter
+      (fun j ->
+        let objs =
+          List.sort
+            (fun a b ->
+              Int.compare
+                (Hashtbl.find by_obj a).alloc_node
+                (Hashtbl.find by_obj b).alloc_node)
+            (Hashtbl.find placements j)
+        in
         let group =
           List.map
             (fun o ->
@@ -113,7 +130,7 @@ let run_function prog (fn : Prog.func) =
         in
         link group;
         Hashtbl.replace chain_start first group)
-      placements;
+      join_nodes;
     (* Renaming over the dominator tree of the spliced CFG. *)
     let dom = Dom.compute cfg ~entry:fn.Prog.entry_inst in
     let children = Dom.dom_tree_children dom in

@@ -3,6 +3,7 @@ open Pta_ir
 module Svfg = Pta_svfg.Svfg
 
 let points_to r p o = Bitset.mem (Vsfs.pt r p) o
+let points_to_set r p = Vsfs.pt_set r p
 let may_alias r p q = Bitset.intersects (Vsfs.pt r p) (Vsfs.pt r q)
 let pt_size r p = Bitset.cardinal (Vsfs.pt r p)
 

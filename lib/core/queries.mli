@@ -7,6 +7,13 @@ open Pta_ir
 val points_to : Vsfs.result -> Inst.var -> Inst.var -> bool
 (** [points_to r p o] — may [p] point to object [o]? *)
 
+val points_to_set : Vsfs.result -> Inst.var -> Pta_ds.Ptset.t
+(** The whole interned points-to set of a top-level variable in one call —
+    what a resident query server wants, instead of N {!points_to} probes.
+    Interned: set-equality between two answers is O(1)
+    ({!Pta_ds.Ptset.equal}), and the set shares structure with the solver's
+    own state (no copy). Domain-local, like every [Ptset.t]. *)
+
 val may_alias : Vsfs.result -> Inst.var -> Inst.var -> bool
 (** Do the two pointers' points-to sets intersect? Top-level variables only
     (address-taken objects alias iff equal, after field collapsing). *)

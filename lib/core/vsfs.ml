@@ -183,6 +183,7 @@ let solve_budgeted ?strategy ?strong_updates ?versioning ~budget svfg =
 let resume ~budget p = continue_ (Some budget) p
 
 let pt t v = Solver_common.pt_of t.c v
+let pt_set t v = Solver_common.pt_id t.c v
 let pt_version t o v = Option.map Ptset.view (ptk_opt t o v)
 
 let consumed_pt t n o =

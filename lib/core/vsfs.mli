@@ -45,6 +45,12 @@ val resume : budget:Pta_engine.Engine.budget -> paused -> outcome
 (** Each resume grants a fresh budget allowance. *)
 
 val pt : result -> Inst.var -> Pta_ds.Bitset.t
+
+val pt_set : result -> Inst.var -> Pta_ds.Ptset.t
+(** The interned points-to set itself (no copy; id-comparable with
+    {!Pta_ds.Ptset.equal} in O(1)). Domain-local like every [Ptset.t] — do
+    not ship across {!Pta_par.Pool} boundaries. *)
+
 val pt_version : result -> Inst.var -> Version.t -> Pta_ds.Bitset.t option
 (** pt_κ(o), if materialised. *)
 

@@ -461,6 +461,116 @@ let check_par src =
       end
     | _ -> Fail { cls = "par-pt"; detail = "pool returned wrong arity" })
 
+(* ---------- serve: daemon session vs cold batch bit-equality ---------- *)
+
+(* The resident daemon must be semantically invisible: after any sequence
+   of loads and reloads — including a reload that re-solves only part of
+   the program by splicing stored per-function results — every answer must
+   bit-match a cold batch solve of the source the daemon currently serves.
+   The oracle drives a real [Pta_serve.Session] (in process; the wire
+   framing has its own tests) through a seeded mutate-and-reload step,
+   then replays a full query battery against a second session solving the
+   final source cold in a separate store. A final reload of the identical
+   source checks answer stability under maximal reuse. *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc s)
+
+let check_serve src =
+  let module Session = Pta_serve.Session in
+  let module P = Pta_serve.Protocol in
+  let dir1 = fresh_tmp_dir () and dir2 = fresh_tmp_dir () in
+  let file = fresh_tmp_dir () ^ ".c" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try rm_rf dir1 with _ -> ());
+      (try rm_rf dir2 with _ -> ());
+      try Sys.remove file with _ -> ())
+    (fun () ->
+      write_file file src;
+      let store1 = Pta_store.Store.open_ dir1 in
+      let store2 = Pta_store.Store.open_ dir2 in
+      Pta_par.Pool.with_pool ~jobs:1 (fun pool ->
+          match Session.create ~store:store1 ~pool ~with_vsfs:false file with
+          | Error msg -> Rejected msg
+          | Ok warm -> (
+            let go () =
+              (* deterministic in the case source, like the campaign's
+                 per-case seeding *)
+              let seed = Hashtbl.hash src land 0x3FFF_FFFF in
+              let mutant =
+                match Cparser.parse src with
+                | ast ->
+                  Some (Pta_cfront.Ast_print.program (Mutate.program ~seed ast))
+                | exception _ -> None
+              in
+              (match mutant with
+              | Some m -> (
+                write_file file m;
+                match Session.reload warm () with
+                | Ok _ -> ()
+                | Error _ ->
+                  (* invalid mutant: old state must survive; revert and
+                     take the reload-identical path instead *)
+                  write_file file src;
+                  (match Session.reload warm () with
+                  | Ok _ -> ()
+                  | Error e -> failwith ("reload of original source failed: " ^ e)))
+              | None -> ());
+              match Session.create ~store:store2 ~pool ~with_vsfs:false file with
+              | Error e -> failwith ("cold session on served source failed: " ^ e)
+              | Ok cold ->
+                let vars = Session.var_names cold in
+                let battery =
+                  List.concat_map
+                    (fun n ->
+                      [ P.Points_to n; P.Points_to_null n; P.Callees n ])
+                    vars
+                  @ (match vars with
+                    | [] | [ _ ] -> []
+                    | first :: rest ->
+                      List.map2
+                        (fun a b -> P.May_alias (a, b))
+                        (first :: rest)
+                        (rest @ [ first ]))
+                in
+                let a_warm = Session.answers warm battery in
+                let a_cold = Session.answers cold battery in
+                if a_warm <> a_cold then
+                  Fail
+                    {
+                      cls = "serve-divergence";
+                      detail =
+                        Printf.sprintf
+                          "daemon session answers differ from a cold batch \
+                           solve of the served source (%d queries)"
+                          (List.length battery);
+                    }
+                else begin
+                  (* reload-identical: answers must be stable under reuse *)
+                  match Session.reload warm () with
+                  | Error e -> failwith ("reload-identical failed: " ^ e)
+                  | Ok _ ->
+                    if Session.answers warm battery <> a_cold then
+                      Fail
+                        {
+                          cls = "serve-unstable";
+                          detail =
+                            "answers changed across a reload of identical \
+                             source";
+                        }
+                    else Pass
+                end
+            in
+            match go () with
+            | exception e -> (
+              match rejected e with
+              | Some msg -> Rejected msg
+              | None -> fail_exn "serve" e)
+            | o -> o)))
+
 (* ---------- the tower ---------- *)
 
 let all =
@@ -494,6 +604,11 @@ let all =
       name = "par";
       doc = "pool-worker-domain vs caller-domain solve bit-equality";
       check = check_par;
+    };
+    {
+      name = "serve";
+      doc = "daemon session = cold batch solve across mutate-and-reload";
+      check = check_serve;
     };
   ]
 

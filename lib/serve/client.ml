@@ -1,0 +1,29 @@
+module Codec = Pta_store.Codec
+
+let connect ?(retries = 0) ?(retry_delay = 0.1) socket =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempt < retries ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf retry_delay;
+      go (attempt + 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go 0
+
+let request fd req =
+  Protocol.write_frame fd (Protocol.encode_request req);
+  match Protocol.read_frame fd with
+  | Some body -> Protocol.decode_reply body
+  | None -> raise (Codec.Corrupt "server closed the connection without a reply")
+
+let with_connection ?retries ?retry_delay socket f =
+  let fd = connect ?retries ?retry_delay socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)

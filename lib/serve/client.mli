@@ -1,0 +1,18 @@
+(** Client side of the daemon protocol: connect, send one request, read one
+    reply. *)
+
+val connect :
+  ?retries:int -> ?retry_delay:float -> string -> Unix.file_descr
+(** Connect to the daemon's socket. [retries] (default 0) extra attempts
+    are made [retry_delay] (default 0.1s) apart while the socket is absent
+    or refusing — the window in which a freshly started daemon is still
+    solving its program. @raise Unix.Unix_error once attempts run out. *)
+
+val request : Unix.file_descr -> Protocol.request -> Protocol.reply
+(** Send one request, wait for its reply. @raise Pta_store.Codec.Corrupt on
+    a malformed or missing reply. *)
+
+val with_connection :
+  ?retries:int -> ?retry_delay:float -> string ->
+  (Unix.file_descr -> 'a) -> 'a
+(** [connect] / run / close, exception-safe. *)

@@ -1,0 +1,73 @@
+module Codec = Pta_store.Codec
+
+(* Per-request dispatch. Never raises: failures become [Error] replies. *)
+let handle session req =
+  match req with
+  | Protocol.Query qs -> Protocol.Answers (Session.answers session qs)
+  | Protocol.Vars -> Protocol.Names (Session.var_names session)
+  | Protocol.Report -> Protocol.Report_r (Session.report session)
+  | Protocol.Stats -> Protocol.Stats_r (Session.stats session)
+  | Protocol.Reload path -> (
+    match Session.reload session ?path () with
+    | Ok info -> Protocol.Reloaded info
+    | Error msg -> Protocol.Error ("reload failed: " ^ msg))
+  | Protocol.Shutdown -> Protocol.Shutting_down
+
+let send fd reply = Protocol.write_frame fd (Protocol.encode_reply reply)
+
+(* Serve one connection until the peer closes, a frame is malformed, or a
+   shutdown request arrives. Returns [true] to keep accepting. *)
+let serve_connection session fd =
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | None -> true
+    | Some body -> (
+      match Protocol.decode_request body with
+      | exception Codec.Corrupt msg ->
+        (* a broken client must not take the daemon down: answer once,
+           drop the connection, keep serving everyone else *)
+        send fd (Protocol.Error ("malformed request: " ^ msg));
+        true
+      | Protocol.Shutdown ->
+        send fd Protocol.Shutting_down;
+        false
+      | req ->
+        let reply =
+          try handle session req
+          with e -> Protocol.Error (Printexc.to_string e)
+        in
+        send fd reply;
+        loop ())
+  in
+  try loop () with
+  | Codec.Corrupt _ -> true
+  | Unix.Unix_error _ | Sys_error _ -> true
+
+let run ~socket session =
+  (* a leftover socket file from a crashed daemon would make [bind] fail;
+     the daemon owns its path, so reclaim it *)
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  (* a client vanishing mid-reply must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_UNIX socket);
+      Unix.listen fd 16;
+      let rec accept_loop () =
+        match Unix.accept fd with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | conn, _ ->
+          let continue =
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close conn with Unix.Unix_error _ -> ())
+              (fun () -> serve_connection session conn)
+          in
+          if continue then accept_loop ()
+      in
+      accept_loop ())

@@ -1,0 +1,17 @@
+(** The daemon's accept loop: one Unix domain socket, one connection served
+    at a time (requests on one connection are answered in order).
+
+    Robustness contract: a malformed frame gets an [Error] reply and its
+    connection dropped; a client disappearing mid-reply is ignored (SIGPIPE
+    is disabled); only a well-formed [Shutdown] request — after its
+    [Shutting_down] reply is sent — ends the loop. The socket file is
+    reclaimed on startup (a crashed predecessor's leftover) and unlinked on
+    the way out. *)
+
+val run : socket:string -> Session.t -> unit
+(** Serve until a [Shutdown] request. @raise Unix.Unix_error if the socket
+    cannot be bound. *)
+
+val serve_connection : Session.t -> Unix.file_descr -> bool
+(** One connection's request loop (exposed for tests); [false] iff a
+    shutdown was requested. *)

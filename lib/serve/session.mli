@@ -1,0 +1,50 @@
+(** The daemon's resident analysis state.
+
+    A session owns one analysed program: the lowered IR, a name table, the
+    flow-sensitive points-to snapshot (plain bitset arrays, safe to share
+    read-only with the worker pool) and — unless created with
+    [~with_vsfs:false] — the hot {!Vsfs_core.Vsfs.result} of the paper's
+    solver, cross-checked bit-for-bit against the spliced SFS answers on
+    every (re)load.
+
+    Loading and reloading share one code path built on
+    {!Pta_workload.Incr.run_sfs_spliced}: the store decides what is reused,
+    so a daemon restarted against a warm cache splices exactly like an
+    in-place reload. A failed (re)load reports its error and leaves the
+    previous state — and every query answer — untouched. *)
+
+type t
+
+val create :
+  store:Pta_store.Store.t ->
+  pool:Pta_par.Pool.t ->
+  with_vsfs:bool ->
+  string ->
+  (t, string) result
+(** Load and solve the file (mini-C, or textual IR for [.ir]). The pool is
+    borrowed, not owned: callers create/shut it down. *)
+
+val reload : t -> ?path:string -> unit -> (Protocol.reload_info, string) result
+(** Re-read and re-analyse the current file (or switch to [path]),
+    re-solving only functions whose dependency-closure digests miss the
+    store. *)
+
+val answers : t -> Protocol.query list -> Protocol.answer list
+(** Answer a batch, preserving order. Batches larger than an internal
+    threshold fan out across the domain pool; the reply is identical either
+    way. *)
+
+val var_names : t -> string list
+(** Every queryable variable/object name, in variable order (duplicated
+    names resolve to the last occurrence, like the CLI). *)
+
+val report : t -> (string * string list) list
+(** Non-empty contents of global objects, in variable order — the same
+    rows [vsfs analyze]'s default report prints. *)
+
+val stats : t -> (string * string) list
+val path : t -> string
+
+val vsfs : t -> Vsfs_core.Vsfs.result option
+(** The resident VSFS result ([None] with [~with_vsfs:false]). Its interned
+    set ids are domain-local: in-process use only. *)

@@ -60,9 +60,16 @@ let out_for_id t n o =
     out_id t n o
   | _ -> in_id t n o
 
+type seed = {
+  seed_pt : (Inst.var * Bitset.t) list;
+  seed_ins : (int * Inst.var * Bitset.t) list;
+  seed_outs : (int * Inst.var * Bitset.t) list;
+  schedule : int list;
+}
+
 (* Build the solver state and its engine, seed every node, but do not run:
    [solve] drives it to fixpoint, [solve_budgeted]/[resume] in slices. *)
-let start ?(strategy = `Fifo) ?strong_updates svfg =
+let start ?(strategy = `Fifo) ?strong_updates ?seed svfg =
   let tel =
     Telemetry.phase ~name:"sfs.solve" ~scheduler:(Scheduler.name strategy) ()
   in
@@ -183,9 +190,29 @@ let start ?(strategy = `Fifo) ?strong_updates svfg =
       ~scheduler:(Solver_common.scheduler strategy svfg)
       ~process ()
   in
-  for n = 0 to Svfg.n_nodes svfg - 1 do
-    Engine.push eng n
-  done;
+  (match seed with
+  | None ->
+    for n = 0 to Svfg.n_nodes svfg - 1 do
+      Engine.push eng n
+    done
+  | Some s ->
+    (* Install the reused facts, then queue only the nodes the caller
+       computed as potentially out of date. Seeds must be exact final values
+       (for reused nodes) or sound initial values (boundary injections into
+       re-solved nodes): the monotone engine then converges to the same
+       fixpoint a whole-program run would, doing only the queued work. *)
+    List.iter
+      (fun (v, set) ->
+        ignore (Solver_common.union_pt c v (Ptset.of_bitset set)))
+      s.seed_pt;
+    List.iter
+      (fun (n, o, set) -> ignore (union_in t n o (Ptset.of_bitset set)))
+      s.seed_ins;
+    List.iter
+      (fun (n, o, set) ->
+        Hashtbl.replace t.outs (key n o) (Ptset.of_bitset set))
+      s.seed_outs;
+    List.iter (Engine.push eng) s.schedule);
   { res = t; eng }
 
 let continue_ budget p =
@@ -198,6 +225,11 @@ let solve ?strategy ?strong_updates svfg =
   | Done r -> r
   | Paused _ -> assert false (* no budget: run only returns at fixpoint *)
 
+let solve_seeded ?strategy ?strong_updates ~seed svfg =
+  match continue_ None (start ?strategy ?strong_updates ~seed svfg) with
+  | Done r -> r
+  | Paused _ -> assert false
+
 let solve_budgeted ?strategy ?strong_updates ~budget svfg =
   continue_ (Some budget) (start ?strategy ?strong_updates svfg)
 
@@ -206,6 +238,22 @@ let resume ~budget p = continue_ (Some budget) p
 let pt t v = Solver_common.pt_of t.c v
 let in_set t n o = Option.map Ptset.view (Hashtbl.find_opt t.ins (key n o))
 let out_set t n o = Option.map Ptset.view (Hashtbl.find_opt t.outs (key n o))
+
+(* Deterministic sweep over the materialised non-empty entries (sorted by
+   packed key, i.e. by (node, object)) — what the per-function result
+   artifacts are built from. *)
+let iter_nonempty tbl f =
+  let keys =
+    Hashtbl.fold (fun k id acc -> if Ptset.is_empty id then acc else k :: acc)
+      tbl []
+  in
+  let mask = (1 lsl 31) - 1 in
+  List.iter
+    (fun k -> f (k lsr 31) (k land mask) (Ptset.view (Hashtbl.find tbl k)))
+    (List.sort compare keys)
+
+let iter_ins t f = iter_nonempty t.ins f
+let iter_outs t f = iter_nonempty t.outs f
 
 (* Flow-insensitive collapse of an object's contents over all program
    points. *)

@@ -43,6 +43,43 @@ val solve_budgeted :
 val resume : budget:Pta_engine.Engine.budget -> paused -> outcome
 (** Each resume grants a fresh budget allowance. *)
 
+(* Seeded (partial) solves ------------------------------------------------ *)
+
+type seed = {
+  seed_pt : (Inst.var * Pta_ds.Bitset.t) list;
+      (** exact final points-to sets of top-level variables whose every
+          producer is being reused *)
+  seed_ins : (int * Inst.var * Pta_ds.Bitset.t) list;
+      (** [(node, object, set)] IN entries: exact values for reused nodes,
+          plus boundary injections — the values reused predecessors would
+          have propagated into re-solved nodes *)
+  seed_outs : (int * Inst.var * Pta_ds.Bitset.t) list;
+      (** OUT entries of reused store nodes *)
+  schedule : int list;
+      (** the only nodes queued initially: everything being re-solved plus
+          the boundary nodes of the reused region (call sites with a
+          re-solved potential callee, producers of unseeded variables) *)
+}
+
+val solve_seeded :
+  ?strategy:Pta_engine.Scheduler.strategy ->
+  ?strong_updates:bool ->
+  seed:seed ->
+  Pta_svfg.Svfg.t ->
+  result
+(** Run to fixpoint from pre-installed facts instead of an empty state,
+    queueing only [seed.schedule]. With sound seeds (see {!seed}) the result
+    is bit-identical to {!solve} on the same graph; the caller
+    ({!Pta_workload.Incr}) is responsible for seed soundness. An empty
+    schedule returns immediately (0 engine steps). *)
+
+val iter_ins : result -> (int -> Inst.var -> Pta_ds.Bitset.t -> unit) -> unit
+(** Every materialised non-empty IN entry as [(node, object, set)], in
+    deterministic (node, object) order. The sets are read-only views. *)
+
+val iter_outs : result -> (int -> Inst.var -> Pta_ds.Bitset.t -> unit) -> unit
+(** Same for the OUT entries of store nodes. *)
+
 val pt : result -> Inst.var -> Pta_ds.Bitset.t
 (** Final points-to set of a top-level variable. *)
 

@@ -14,6 +14,12 @@ type entry = {
   bytes : int;  (** payload + frame size on disk *)
   created : float;  (** Unix time of the write *)
   label : string;  (** human hint (source file / benchmark name); may be "" *)
+  funcs : (string * string) list;
+      (** per-function digest entries [(function name, digest)] — the
+          function-level index a resident daemon invalidates against;
+          usually [[]] (whole-program entries). Serialized as an optional
+          seventh TSV column ("name=digest,..."), so pre-serve manifests
+          still parse. *)
 }
 
 val load : string -> entry list

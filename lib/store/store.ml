@@ -59,7 +59,38 @@ let is_tmp_file f =
   contains 0
 
 let manifest_lock = Mutex.create ()
-let with_manifest_lock f = Mutex.protect manifest_lock f
+let lock_name = "MANIFEST.lock"
+
+(* Manifest updates are read-modify-write, so they need mutual exclusion at
+   two granularities: [manifest_lock] serialises threads of this process,
+   and an advisory [lockf] region on a sidecar lock file serialises
+   processes — a resident daemon ([vsfs serve]) and a concurrent
+   [vsfs cache gc] must not interleave their load/filter/save cycles, or
+   one overwrites the other's index lines. The lock file is separate from
+   the manifest itself because {!Manifest.save} publishes by [rename],
+   which would silently swap the locked inode out from under the region.
+   Lock acquisition failing for environmental reasons (e.g. a filesystem
+   without lock support) degrades to the old in-process-only behaviour
+   rather than failing the operation: the manifest is advisory, frames are
+   the source of truth. *)
+let with_process_lock t f =
+  let lock_path = Filename.concat t.dir lock_name in
+  match Unix.openfile lock_path [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.lockf fd Unix.F_LOCK 0 with
+        | exception Unix.Unix_error _ -> f ()
+        | () ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+            f)
+
+let with_manifest_lock t f =
+  Mutex.protect manifest_lock (fun () -> with_process_lock t f)
 
 (* Parse and fully verify a frame; Codec.Corrupt on any mismatch. *)
 let parse_frame bytes =
@@ -80,7 +111,7 @@ let parse_frame bytes =
     raise (Codec.Corrupt "payload checksum mismatch");
   (stage, key, payload)
 
-let save t ~stage ~key ?(label = "") payload =
+let save t ~stage ~key ?(label = "") ?(funcs = []) payload =
   let b = Buffer.create (String.length payload + 128) in
   Buffer.add_string b magic;
   Codec.add_uint b format_version;
@@ -96,7 +127,7 @@ let save t ~stage ~key ?(label = "") payload =
     (fun () -> Buffer.output_buffer oc b);
   Sys.rename tmp path;
   Pta_ds.Stats.incr "store.writes";
-  with_manifest_lock (fun () ->
+  with_manifest_lock t (fun () ->
       Manifest.add (manifest t)
         {
           Manifest.stage;
@@ -105,6 +136,7 @@ let save t ~stage ~key ?(label = "") payload =
           bytes = Buffer.length b;
           created = Unix.gettimeofday ();
           label;
+          funcs;
         })
 
 let miss ~stage =
@@ -126,10 +158,29 @@ let load t ~stage ~key =
          recompute rather than trust it *)
       Pta_ds.Stats.incr "store.corrupt";
       (try Sys.remove path with Sys_error _ -> ());
-      with_manifest_lock (fun () ->
+      with_manifest_lock t (fun () ->
           Manifest.remove (manifest t) (fun e ->
               e.Manifest.stage = stage && e.Manifest.key = key));
       miss ~stage
+
+let reindex t ~stage ~key ~funcs =
+  with_manifest_lock t (fun () ->
+      let entries = Manifest.load (manifest t) in
+      let changed = ref false in
+      let entries =
+        List.map
+          (fun e ->
+            if
+              e.Manifest.stage = stage && e.Manifest.key = key
+              && e.Manifest.funcs <> funcs
+            then begin
+              changed := true;
+              { e with Manifest.funcs }
+            end
+            else e)
+          entries
+      in
+      if !changed then Manifest.save (manifest t) entries)
 
 let ls t =
   List.sort
@@ -141,14 +192,27 @@ let entry_files t =
   |> List.filter (fun f -> Filename.check_suffix f ".bin")
   |> List.sort compare
 
+(* Temp files younger than this are possibly a *live* writer's in-flight
+   frame (a resident daemon saving while another process runs gc); only
+   older ones are safely attributable to a crashed writer. *)
+let tmp_reclaim_age = 60.
+
 let gc t ~kept ~removed =
   (* stale temp files are abandoned writes (a crashed or killed writer
-     mid-publication); they were never visible to readers, reclaim them *)
+     mid-publication); they were never visible to readers, reclaim them —
+     but never a fresh one some live process is still streaming into *)
+  let now = Unix.gettimeofday () in
   Sys.readdir t.dir |> Array.to_list
   |> List.filter is_tmp_file
   |> List.iter (fun f ->
-         (try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ());
-         incr removed);
+         let path = Filename.concat t.dir f in
+         match Unix.stat path with
+         | exception Unix.Unix_error _ -> ()
+         | st ->
+           if now -. st.Unix.st_mtime > tmp_reclaim_age then begin
+             (try Sys.remove path with Sys_error _ -> ());
+             incr removed
+           end);
   let valid = Hashtbl.create 16 in
   List.iter
     (fun f ->
@@ -179,16 +243,17 @@ let gc t ~kept ~removed =
             bytes = (Unix.stat (Filename.concat t.dir f)).Unix.st_size;
             created = (Unix.stat (Filename.concat t.dir f)).Unix.st_mtime;
             label = "";
+            funcs = [];
           }
           :: acc)
       valid []
   in
-  with_manifest_lock (fun () ->
+  with_manifest_lock t (fun () ->
       Manifest.save (manifest t) (kept_entries @ recovered))
 
 let clear t =
   let files = entry_files t in
   List.iter (fun f -> try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ()) files;
-  with_manifest_lock (fun () ->
+  with_manifest_lock t (fun () ->
       try Sys.remove (manifest t) with Sys_error _ -> ());
   List.length files

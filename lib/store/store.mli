@@ -25,7 +25,15 @@
     All operations bump {!Pta_ds.Stats} counters ([store.hits],
     [store.misses], [store.corrupt], [store.writes], and per-stage
     [store.hit.<stage>] / [store.miss.<stage>]) so [--stats] output shows
-    cache behaviour. *)
+    cache behaviour.
+
+    Cross-process safety: manifest updates additionally take an advisory
+    [lockf] region on [MANIFEST.lock], so a resident [vsfs serve] daemon
+    and a concurrent [vsfs cache gc] (or another daemon) sharing one store
+    cannot interleave read-modify-write cycles and drop each other's index
+    lines; [gc] also leaves temp files younger than a minute alone, since
+    they may be a live writer's in-flight frame rather than a crashed
+    one's. *)
 
 val format_version : int
 (** Bump on any change to {!Codec} or {!Artifact} encodings; old entries
@@ -43,10 +51,20 @@ val key : stage:string -> string list -> string
 (** [key ~stage inputs] — the content address: digest of the format
     version, the stage name and the inputs, in that order. *)
 
-val save : t -> stage:string -> key:string -> ?label:string -> string -> unit
+val save :
+  t -> stage:string -> key:string -> ?label:string ->
+  ?funcs:(string * string) list -> string -> unit
 (** Atomically write the payload under [(stage, key)], replacing any
     previous entry, and index it in the manifest. [label] is a human hint
-    shown by [cache ls]. *)
+    shown by [cache ls]; [funcs] attaches per-function digest entries
+    [(name, digest)] to the manifest line — the function-level invalidation
+    index [vsfs serve] reloads against. *)
+
+val reindex :
+  t -> stage:string -> key:string -> funcs:(string * string) list -> unit
+(** Replace the per-function digest entries on an already-indexed entry's
+    manifest line without rewriting the entry file. No-op if the [(stage,
+    key)] pair is not indexed or already carries exactly [funcs]. *)
 
 val load : t -> stage:string -> key:string -> string option
 (** The verified payload, or [None] if absent, corrupt or version-skewed

@@ -198,6 +198,16 @@ let run_vsfs_cached ~store ?(label = "") ?strategy b =
   in
   (r, vsfs_run r ver seconds)
 
+(* The function-level incremental path (Incr) re-keys its per-function
+   artifacts by closure digest on every (re)load; this records the current
+   function -> digest map on the program's own manifest line, so the
+   store's index shows which per-function entries belong to which program
+   version (and a future gc can sweep orphans by it). *)
+let record_funcs ~store b funcs =
+  Store.reindex store ~stage:"prog"
+    ~key:(Store.key ~stage:"prog" [ b.src_digest ])
+    ~funcs
+
 (* Machine-readable run record, shared by [bench --json] and its round-trip
    test so the schema lives in exactly one place. *)
 let json_of_run (r : solver_run) =

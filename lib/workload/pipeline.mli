@@ -66,6 +66,17 @@ type solver_run = {
       (** the solve phase's engine counters (pushes/pops/steps/grew/wall) *)
 }
 
+val sfs_run : Pta_sfs.Sfs.result -> float -> solver_run
+(** The run record of an already-computed SFS result that took [seconds] —
+    for solves driven outside this module (the {!Incr} spliced path). *)
+
+val record_funcs :
+  store:Pta_store.Store.t -> built -> (string * string) list -> unit
+(** Attach [(function name, closure digest)] entries to the program's
+    ["prog"] manifest line ({!Pta_store.Store.reindex}) — the store-level
+    view of the function-level invalidation index. No-op when the program
+    was never cached in [store]. *)
+
 val run_sfs :
   ?strategy:Pta_engine.Scheduler.strategy -> built ->
   Pta_sfs.Sfs.result * solver_run

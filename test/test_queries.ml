@@ -99,6 +99,39 @@ let test_devirtualise () =
   Alcotest.(check (list string)) "targets" [ "first"; "second" ]
     (List.sort String.compare fnames)
 
+let test_points_to_set () =
+  (* Parameters keep their source names through mem2reg, so query through a
+     callee taking the values of interest. *)
+  let p, _, r = analyse {|
+    func take(s, t, u) { return; }
+    func main() {
+      var a, b, both;
+      a = malloc();
+      b = malloc();
+      both = a;
+      if (a == b) { both = b; }
+      take(a, b, both);
+    }
+  |} in
+  let names v =
+    List.sort String.compare
+      (List.map (Prog.name p) (Pta_ds.Ptset.elements v))
+  in
+  Alcotest.(check (list string)) "both" [ "main.heap1"; "main.heap2" ]
+    (names (Vsfs_core.Queries.points_to_set r (var p "u")));
+  Alcotest.(check (list string)) "a" [ "main.heap1" ]
+    (names (Vsfs_core.Queries.points_to_set r (var p "s")));
+  (* the returned set agrees with the membership predicate *)
+  let set = Vsfs_core.Queries.points_to_set r (var p "u") in
+  Pta_ds.Ptset.iter
+    (fun o ->
+      Alcotest.(check bool) "member" true
+        (Vsfs_core.Queries.points_to r (var p "u") o))
+    set;
+  Alcotest.(check int) "cardinal = pt_size"
+    (Vsfs_core.Queries.pt_size r (var p "u"))
+    (Pta_ds.Ptset.cardinal set)
+
 let test_points_to_null () =
   let p, _, r = analyse {|
     func taint(y) { *y = y; }
@@ -170,6 +203,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_alias_basic;
           Alcotest.test_case "loaded values" `Quick test_loaded_values;
           Alcotest.test_case "devirtualise" `Quick test_devirtualise;
+          Alcotest.test_case "points_to_set" `Quick test_points_to_set;
           Alcotest.test_case "null" `Quick test_points_to_null;
         ] );
       ( "fuzz",

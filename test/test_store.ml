@@ -195,6 +195,14 @@ let test_crash_window () =
     (Some "the published generation")
     (Store.load store ~stage:"blob" ~key);
   Alcotest.(check int) "ls ignores the orphan" 1 (List.length (Store.ls store));
+  (* a young temp file could be a *live* writer's, so gc must spare it ... *)
+  let kept = ref 0 and removed = ref 0 in
+  Store.gc store ~kept ~removed;
+  Alcotest.(check bool) "fresh tmp spared (may be a live writer)" true
+    (Sys.file_exists tmp);
+  (* ... and reclaim it only once it is old enough to be a crash leftover *)
+  let old = Unix.gettimeofday () -. 3600. in
+  Unix.utimes tmp old old;
   let kept = ref 0 and removed = ref 0 in
   Store.gc store ~kept ~removed;
   Alcotest.(check int) "gc reclaims the orphan tmp" 1 !removed;
@@ -222,6 +230,70 @@ let test_save_leaves_no_tmp () =
            has_tmp 0)
   in
   Alcotest.(check (list string)) "no temp files left behind" [] leftovers
+
+(* Two *processes* (not domains) hammering one store: the advisory file
+   lock on the manifest must keep a resident daemon's saves and a
+   concurrent [vsfs cache gc] from corrupting each other. Runs before any
+   test that spawns a domain — [Unix.fork] is forbidden afterwards. *)
+let test_two_process_locking () =
+  let dir = fresh_dir () in
+  ignore (Store.open_ dir);
+  let n = 25 in
+  let child which =
+    let code =
+      try
+        let store = Store.open_ dir in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          let stage = "p" ^ string_of_int which in
+          Store.save store ~stage
+            ~key:(Store.key ~stage [ string_of_int i ])
+            ~label:(Printf.sprintf "proc%d-%d" which i)
+            (Printf.sprintf "payload %d %d" which i);
+          if which = 1 && i mod 5 = 0 then begin
+            (* the concurrent maintenance role: gc must never reap a live
+               entry the other process just published *)
+            let kept = ref 0 and removed = ref 0 in
+            Store.gc store ~kept ~removed;
+            if !removed > 0 then ok := false
+          end
+        done;
+        if !ok then 0 else 2
+      with _ -> 1
+    in
+    Unix._exit code
+  in
+  let spawn which =
+    match Unix.fork () with 0 -> child which | pid -> pid
+  in
+  let p0 = spawn 0 in
+  let p1 = spawn 1 in
+  List.iter
+    (fun (pid, what) ->
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) (what ^ " exited cleanly") true
+        (status = Unix.WEXITED 0))
+    [ (p0, "writer process"); (p1, "writer+gc process") ];
+  let store = Store.open_ dir in
+  Alcotest.(check int) "every save survived" (2 * n)
+    (List.length (Store.ls store));
+  let kept = ref 0 and removed = ref 0 in
+  Store.gc store ~kept ~removed;
+  Alcotest.(check int) "all entries verify" (2 * n) !kept;
+  Alcotest.(check int) "nothing corrupt" 0 !removed;
+  for which = 0 to 1 do
+    for i = 0 to n - 1 do
+      let stage = "p" ^ string_of_int which in
+      match
+        Store.load store ~stage ~key:(Store.key ~stage [ string_of_int i ])
+      with
+      | Some p ->
+        Alcotest.(check string) "payload intact"
+          (Printf.sprintf "payload %d %d" which i)
+          p
+      | None -> Alcotest.failf "entry %d/%d missing from the manifest" which i
+    done
+  done
 
 let test_concurrent_writers_never_torn () =
   (* Parallel jobs hammer ONE stage/key with distinct recognisable payloads
@@ -391,6 +463,8 @@ let () =
           Alcotest.test_case "crash window" `Quick test_crash_window;
           Alcotest.test_case "save leaves no tmp" `Quick
             test_save_leaves_no_tmp;
+          Alcotest.test_case "two processes share one manifest" `Quick
+            test_two_process_locking;
           Alcotest.test_case "concurrent writers never torn" `Quick
             test_concurrent_writers_never_torn;
         ] );
