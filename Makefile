@@ -19,11 +19,16 @@
 #            batch `analyze` run bit-for-bit, append one function to the
 #            source, reload, and require the re-analysis to splice (reused
 #            functions > 0) while the report still matches the batch run
+#   hiset-smoke — small-scale mega-workload run under both set
+#            representations; the bench exits non-zero unless flat and
+#            hier reach bit-identical fixpoints, and the JSON must record
+#            bit_identical plus the hierarchical sharing counters
 #   ci     — all of the above
 
 DUNE ?= dune
 SMOKE_DIR := $(shell mktemp -d /tmp/pta-ci-cache.XXXXXX)
 BENCH_JSON := $(shell mktemp /tmp/pta-ci-bench.XXXXXX.json)
+HISET_JSON := $(shell mktemp /tmp/pta-ci-hiset.XXXXXX.json)
 ENGINE_DIR := $(shell mktemp -d /tmp/pta-ci-engine.XXXXXX)
 PAR_DIR := $(shell mktemp -d /tmp/pta-ci-par.XXXXXX)
 SERVE_DIR := $(shell mktemp -d /tmp/pta-ci-serve.XXXXXX)
@@ -32,9 +37,10 @@ SCHEDULERS := fifo lifo topo lrf
 PAR_TIMING_SED := s/"(seconds|pre_seconds|wall_seconds|andersen_s|time_ratio|jobs)": *[0-9.eE+-]+/"\1": 0/g
 
 .PHONY: ci build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke \
-	serve-smoke clean
+	serve-smoke hiset-smoke clean
 
-ci: build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke serve-smoke
+ci: build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke \
+	serve-smoke hiset-smoke
 
 build:
 	$(DUNE) build @all
@@ -131,6 +137,16 @@ serve-smoke: build
 	wait $$pid
 	rm -rf $(SERVE_DIR)
 	@echo "== serve smoke OK =="
+
+hiset-smoke: build
+	@echo "== hiset smoke (flat vs hier on the mega workload; json: $(HISET_JSON)) =="
+	$(DUNE) exec bench/main.exe -- sets 0.02 --json $(HISET_JSON) > /dev/null
+	grep -q '"bit_identical": true' $(HISET_JSON)
+	grep -q '"representation": "hier"' $(HISET_JSON)
+	grep -q '"blocks_shared"' $(HISET_JSON)
+	grep -q '"summary_skips"' $(HISET_JSON)
+	rm -f $(HISET_JSON)
+	@echo "== hiset smoke OK =="
 
 clean:
 	$(DUNE) clean

@@ -9,10 +9,11 @@ type slot = { h : Inst.var; o : Inst.var; alloc_node : int }
    renaming and the final instruction materialised afterwards. *)
 type phi = { node : int; lhs : Inst.var; slot_obj : Inst.var; mutable ops : Inst.var list }
 
-let candidates prog fn =
-  (* Objects with more than one allocation site anywhere are not promotable
-     (two handles would alias). The frontend never produces those for locals,
-     but builder-constructed programs can. *)
+(* Objects with more than one allocation site anywhere are not promotable
+   (two handles would alias). The frontend never produces those for locals,
+   but builder-constructed programs can. Computed once per program — doing
+   it per function would make the whole pass quadratic in program size. *)
+let global_alloc_count prog =
   let alloc_count = Hashtbl.create 64 in
   Prog.iter_funcs prog (fun f ->
       for i = 0 to Prog.n_insts f - 1 do
@@ -22,6 +23,9 @@ let candidates prog fn =
             (1 + Option.value ~default:0 (Hashtbl.find_opt alloc_count obj))
         | _ -> ()
       done);
+  alloc_count
+
+let candidates prog ~alloc_count fn =
   let slots = Hashtbl.create 16 in
   (* handle var -> slot *)
   for i = 0 to Prog.n_insts fn - 1 do
@@ -43,8 +47,8 @@ let candidates prog fn =
   done;
   slots
 
-let run_function prog (fn : Prog.func) =
-  let slots = candidates prog fn in
+let run_function prog ~alloc_count (fn : Prog.func) =
+  let slots = candidates prog ~alloc_count fn in
   if Hashtbl.length slots > 0 then begin
     let cfg = fn.Prog.cfg in
     let by_obj = Hashtbl.create 16 in
@@ -202,7 +206,9 @@ let run_function prog (fn : Prog.func) =
     Hashtbl.iter (fun _ s -> Prog.mark_dead prog s.o) slots
   end
 
-let run prog = Prog.iter_funcs prog (fun fn -> run_function prog fn)
+let run prog =
+  let alloc_count = global_alloc_count prog in
+  Prog.iter_funcs prog (fun fn -> run_function prog ~alloc_count fn)
 
 let promoted_count prog =
   let n = ref 0 in

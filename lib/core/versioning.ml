@@ -5,7 +5,8 @@ module Svfg = Pta_svfg.Svfg
 type t = {
   svfg : Svfg.t;
   vt : Version.table;
-  (* all keys are packed as [a lsl 31 lor b] to avoid tuple allocation *)
+  (* all keys are packed as [a lsl 31 lor b] to avoid tuple allocation;
+     the width is checked, mirroring [Ptset.pack] *)
   consume : (int, Version.t) Hashtbl.t;  (* (node, obj) -> C *)
   store_yield : (int, Version.t) Hashtbl.t;  (* store prelabels *)
   delta : Bitset.t;
@@ -15,7 +16,10 @@ type t = {
   mutable duration : float;
 }
 
-let key a b = (a lsl 31) lor b
+let key a b =
+  if a < 0 || b < 0 || a >= Ptset.key_limit || b >= Ptset.key_limit then
+    invalid_arg "Versioning: node or object exceeds the 31-bit packed-key range";
+  (a lsl Ptset.key_bits) lor b
 
 let table t = t.vt
 let svfg t = t.svfg

@@ -42,6 +42,12 @@ val yield : t -> int -> Inst.var -> Version.t
 
 val is_delta : t -> int -> bool
 
+val key : int -> int -> int
+(** The packed [(a lsl key_bits) lor b] key behind every (node, object)
+    table, mirroring {!Pta_ds.Ptset.key_limit}: operands at or beyond the
+    31-bit half-width raise [Invalid_argument] instead of silently
+    colliding. Exposed for the overflow regression test. *)
+
 val add_dynamic_edge : t -> int -> Inst.var -> int -> (Version.t * Version.t) option
 (** Registers the version reliance of an interprocedural edge discovered by
     on-the-fly call-graph resolution. Returns [Some (y, c)] when propagation

@@ -1,0 +1,948 @@
+(* Two-level hierarchical bitset with hash-consed, physically shared blocks.
+
+   The flat [Bitset] stores one (word-index, word) pair per occupied 63-bit
+   word, so every union/diff walks — and every distinct set materialises —
+   O(universe / 63) words. At ~10^6 objects that drowns: a thousand sets
+   that differ from a common core by a handful of elements each cost a
+   thousand full copies.
+
+   Here a set is three levels deep:
+
+     element --> word (63 bits) --> block (16 words) --> group (63 blocks)
+
+   - A *block* covers 16 consecutive word indices (1008 elements). Its
+     content is a packed int array [|mask; w0; ...|]: bit i of [mask] says
+     word i of the span is present, followed by the non-zero words in
+     ascending position. Blocks are hash-consed in a domain-local pool, so
+     a block id is an int and *identical 1008-element spans are stored once
+     across every set on the domain* — block-level structure sharing, one
+     level below [Ptset]'s whole-set interning.
+   - A *group* covers 63 consecutive blocks (63504 elements) and owns one
+     summary word: bit j set iff block j of the group is present.
+   - A set is four immutable arrays: sorted group indices, their summary
+     words, the concatenated block ids (in group/summary-bit order) and a
+     prefix-offset table. Set operations merge at the group level first —
+     a group present in only one operand is copied wholesale (block ids are
+     shared, nothing is walked; counted as ["hiset.summary_skips"]) — and
+     only where both operands own the same block with *different* ids does
+     any word-level work happen, through memoized block operations
+     (["hiset.block_union_hits"/"block_union_misses"], same for diff/inter).
+     Equal block ids short-circuit by physical identity
+     (["hiset.block_reused"]).
+
+   Like [Ptset] ids, block ids are domain-local: a [t] must never cross
+   domains (convert via {!to_bitset}). [Ptset.reset] resets this pool in
+   the same breath, keeping the two generations in lock-step. *)
+
+let bpw = Sys.int_size (* bits per word; 63 on 64-bit platforms *)
+let block_words = 16 (* words per block *)
+let block_bits = bpw * block_words (* 1008 *)
+let group_blocks = bpw (* blocks per group = summary word width *)
+let group_bits = block_bits * group_blocks (* 63504 *)
+
+let popcount word =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 word
+
+(* ---------- the domain-local block pool ---------- *)
+
+module BPool = Hashcons.Make (struct
+  type t = int array
+
+  let equal (a : int array) b = a = b
+
+  let hash a =
+    let h = ref 5381 in
+    Array.iter (fun w -> h := (!h * 33) + (w land max_int)) a;
+    !h land max_int
+end)
+
+type pool = {
+  blocks : BPool.t;
+  bunion_memo : (int, int) Hashtbl.t;
+  bdiff_memo : (int, int) Hashtbl.t;
+  binter_memo : (int, int) Hashtbl.t;
+}
+
+let fresh_pool () =
+  {
+    blocks = BPool.create 1024;
+    bunion_memo = Hashtbl.create 1024;
+    bdiff_memo = Hashtbl.create 256;
+    binter_memo = Hashtbl.create 64;
+  }
+
+let dls_pool = Domain.DLS.new_key fresh_pool
+let pool () = Domain.DLS.get dls_pool
+let reset_pool () = Domain.DLS.set dls_pool (fresh_pool ())
+
+let intern_block arr =
+  let p = pool () in
+  match BPool.find_opt p.blocks arr with
+  | Some id -> id
+  | None ->
+    Stats.incr "hiset.blocks_interned";
+    BPool.intern p.blocks arr
+
+let block arr_id = BPool.get (pool ()).blocks arr_id
+let n_blocks () = BPool.count (pool ()).blocks
+
+let block_heap_words id = Array.length (block id) + 1
+
+let pool_block_words () =
+  let total = ref 0 in
+  BPool.iter (fun _ a -> total := !total + Array.length a + 1) (pool ()).blocks;
+  !total
+
+(* Block ids are dense pool indices, so they stay far below 2^31 for any
+   pool that fits in memory — but the memo keys pack two of them into one
+   int, so the width is *checked*, mirroring [Ptset.pack]. *)
+let bkey_bits = 31
+let bkey_limit = 1 lsl bkey_bits
+
+let bkey a b =
+  if a < 0 || b < 0 || a >= bkey_limit || b >= bkey_limit then
+    invalid_arg "Hibitset: block id exceeds the 31-bit packed-key range";
+  (a lsl bkey_bits) lor b
+
+(* ---------- block-level operations (memoized; -1 = empty result) ---------- *)
+
+let bunion_arrays a b =
+  let ma = a.(0) and mb = b.(0) in
+  let m = ma lor mb in
+  let r = Array.make (popcount m + 1) 0 in
+  r.(0) <- m;
+  let ia = ref 1 and ib = ref 1 and k = ref 1 in
+  let rest = ref m in
+  while !rest <> 0 do
+    let bit = !rest land - !rest in
+    rest := !rest land (!rest - 1);
+    let va =
+      if ma land bit <> 0 then begin
+        let v = a.(!ia) in
+        incr ia;
+        v
+      end
+      else 0
+    and vb =
+      if mb land bit <> 0 then begin
+        let v = b.(!ib) in
+        incr ib;
+        v
+      end
+      else 0
+    in
+    r.(!k) <- va lor vb;
+    incr k
+  done;
+  r
+
+let bunion ida idb =
+  if ida = idb then begin
+    Stats.incr "hiset.block_reused";
+    ida
+  end
+  else begin
+    let p = pool () in
+    let key = bkey (min ida idb) (max ida idb) in
+    match Hashtbl.find_opt p.bunion_memo key with
+    | Some r ->
+      Stats.incr "hiset.block_union_hits";
+      r
+    | None ->
+      Stats.incr "hiset.block_union_misses";
+      let r = intern_block (bunion_arrays (block ida) (block idb)) in
+      Hashtbl.add p.bunion_memo key r;
+      r
+  end
+
+(* a minus b over the common span; both arguments are full block arrays *)
+let bdiff_arrays a b =
+  let ma = a.(0) and mb = b.(0) in
+  let tmp = Array.make block_words 0 in
+  let m = ref 0 in
+  let ia = ref 1 and ib = ref 1 and n = ref 0 in
+  let rest = ref (ma lor mb) in
+  while !rest <> 0 do
+    let bit = !rest land - !rest in
+    rest := !rest land (!rest - 1);
+    let va =
+      if ma land bit <> 0 then begin
+        let v = a.(!ia) in
+        incr ia;
+        v
+      end
+      else 0
+    and vb =
+      if mb land bit <> 0 then begin
+        let v = b.(!ib) in
+        incr ib;
+        v
+      end
+      else 0
+    in
+    let w = va land lnot vb in
+    if w <> 0 then begin
+      tmp.(!n) <- w;
+      incr n;
+      m := !m lor bit
+    end
+  done;
+  if !n = 0 then None
+  else begin
+    let r = Array.make (!n + 1) 0 in
+    r.(0) <- !m;
+    Array.blit tmp 0 r 1 !n;
+    Some r
+  end
+
+let bdiff ida idb =
+  if ida = idb then begin
+    Stats.incr "hiset.block_reused";
+    -1
+  end
+  else begin
+    let p = pool () in
+    let key = bkey ida idb in
+    match Hashtbl.find_opt p.bdiff_memo key with
+    | Some r ->
+      Stats.incr "hiset.block_diff_hits";
+      r
+    | None ->
+      Stats.incr "hiset.block_diff_misses";
+      let r =
+        match bdiff_arrays (block ida) (block idb) with
+        | None -> -1
+        | Some arr -> intern_block arr
+      in
+      Hashtbl.add p.bdiff_memo key r;
+      r
+  end
+
+let binter_arrays a b =
+  let ma = a.(0) and mb = b.(0) in
+  let tmp = Array.make block_words 0 in
+  let m = ref 0 in
+  let ia = ref 1 and ib = ref 1 and n = ref 0 in
+  let rest = ref (ma lor mb) in
+  while !rest <> 0 do
+    let bit = !rest land - !rest in
+    rest := !rest land (!rest - 1);
+    let va =
+      if ma land bit <> 0 then begin
+        let v = a.(!ia) in
+        incr ia;
+        v
+      end
+      else 0
+    and vb =
+      if mb land bit <> 0 then begin
+        let v = b.(!ib) in
+        incr ib;
+        v
+      end
+      else 0
+    in
+    let w = va land vb in
+    if w <> 0 then begin
+      tmp.(!n) <- w;
+      incr n;
+      m := !m lor bit
+    end
+  done;
+  if !n = 0 then None
+  else begin
+    let r = Array.make (!n + 1) 0 in
+    r.(0) <- !m;
+    Array.blit tmp 0 r 1 !n;
+    Some r
+  end
+
+let binter ida idb =
+  if ida = idb then begin
+    Stats.incr "hiset.block_reused";
+    ida
+  end
+  else begin
+    let p = pool () in
+    let key = bkey (min ida idb) (max ida idb) in
+    match Hashtbl.find_opt p.binter_memo key with
+    | Some r ->
+      Stats.incr "hiset.block_inter_hits";
+      r
+    | None ->
+      Stats.incr "hiset.block_inter_misses";
+      let r =
+        match binter_arrays (block ida) (block idb) with
+        | None -> -1
+        | Some arr -> intern_block arr
+      in
+      Hashtbl.add p.binter_memo key r;
+      r
+  end
+
+let bsubset ida idb =
+  ida = idb
+  ||
+  let a = block ida and b = block idb in
+  let ma = a.(0) and mb = b.(0) in
+  ma land lnot mb = 0
+  &&
+  let ok = ref true in
+  let ia = ref 1 and ib = ref 1 in
+  let rest = ref mb in
+  while !ok && !rest <> 0 do
+    let bit = !rest land - !rest in
+    rest := !rest land (!rest - 1);
+    let vb = b.(!ib) in
+    incr ib;
+    if ma land bit <> 0 then begin
+      if a.(!ia) land lnot vb <> 0 then ok := false;
+      incr ia
+    end
+  done;
+  !ok
+
+(* ---------- the set ---------- *)
+
+type t = {
+  gidx : int array; (* strictly increasing group indices *)
+  gsum : int array; (* parallel non-zero summary words *)
+  boff : int array; (* length n_groups+1: block offset of each group *)
+  blk : int array; (* block ids, concatenated in group / summary-bit order *)
+}
+
+let empty = { gidx = [||]; gsum = [||]; boff = [| 0 |]; blk = [||] }
+let is_empty t = Array.length t.gidx = 0
+
+(* [boff] is derived from [gsum], so equality and hashing ignore it. *)
+let equal a b = a.gidx = b.gidx && a.gsum = b.gsum && a.blk = b.blk
+
+let hash t =
+  let h = ref 5381 in
+  let mix w = h := (!h * 33) + (w land max_int) in
+  Array.iter mix t.gidx;
+  Array.iter mix t.gsum;
+  Array.iter mix t.blk;
+  !h land max_int
+
+(* ---------- builders ---------- *)
+
+type builder = {
+  mutable bgidx : int array;
+  mutable bgsum : int array;
+  mutable bglen : int;
+  mutable bblk : int array;
+  mutable bblen : int;
+}
+
+let builder () =
+  { bgidx = Array.make 8 0; bgsum = Array.make 8 0; bglen = 0;
+    bblk = Array.make 16 0; bblen = 0 }
+
+let grow arr n =
+  let cap = ref (max 8 (Array.length arr)) in
+  while !cap < n do
+    cap := !cap * 2
+  done;
+  let a = Array.make !cap 0 in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a
+
+let push_block bld id =
+  if bld.bblen >= Array.length bld.bblk then bld.bblk <- grow bld.bblk (bld.bblen + 1);
+  bld.bblk.(bld.bblen) <- id;
+  bld.bblen <- bld.bblen + 1
+
+let push_group bld gi sum =
+  if bld.bglen >= Array.length bld.bgidx then begin
+    bld.bgidx <- grow bld.bgidx (bld.bglen + 1);
+    bld.bgsum <- grow bld.bgsum (bld.bglen + 1)
+  end;
+  bld.bgidx.(bld.bglen) <- gi;
+  bld.bgsum.(bld.bglen) <- sum;
+  bld.bglen <- bld.bglen + 1
+
+(* Copy group [gpos] of [src] wholesale: the summary word and the block id
+   slice move as-is, no block content is touched. *)
+let copy_group bld src gpos =
+  let off = src.boff.(gpos) in
+  let n = src.boff.(gpos + 1) - off in
+  if bld.bblen + n > Array.length bld.bblk then
+    bld.bblk <- grow bld.bblk (bld.bblen + n);
+  Array.blit src.blk off bld.bblk bld.bblen n;
+  bld.bblen <- bld.bblen + n;
+  push_group bld src.gidx.(gpos) src.gsum.(gpos)
+
+let make_boff gsum =
+  let g = Array.length gsum in
+  let boff = Array.make (g + 1) 0 in
+  for i = 0 to g - 1 do
+    boff.(i + 1) <- boff.(i) + popcount gsum.(i)
+  done;
+  boff
+
+let finish bld =
+  if bld.bglen = 0 then empty
+  else begin
+    let gidx = Array.sub bld.bgidx 0 bld.bglen in
+    let gsum = Array.sub bld.bgsum 0 bld.bglen in
+    let blk = Array.sub bld.bblk 0 bld.bblen in
+    { gidx; gsum; boff = make_boff gsum; blk }
+  end
+
+(* ---------- queries ---------- *)
+
+(* Binary search for group index [g]: position if present, else
+   [-(insertion_point + 1)] (same convention as [Bitset.find_word]). *)
+let find_group t g =
+  let lo = ref 0 and hi = ref (Array.length t.gidx - 1) and res = ref min_int in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.gidx.(mid) in
+    if v = g then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if v < g then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !res >= 0 then !res else -(!lo + 1)
+
+let mem t x =
+  if x < 0 then invalid_arg "Hibitset.mem";
+  let w = x / bpw in
+  let bi = w / block_words in
+  let g = bi / group_blocks in
+  let gpos = find_group t g in
+  gpos >= 0
+  &&
+  let j = bi mod group_blocks in
+  let sum = t.gsum.(gpos) in
+  sum land (1 lsl j) <> 0
+  &&
+  let pos = t.boff.(gpos) + popcount (sum land ((1 lsl j) - 1)) in
+  let arr = block t.blk.(pos) in
+  let lw = w mod block_words in
+  arr.(0) land (1 lsl lw) <> 0
+  &&
+  let widx = 1 + popcount (arr.(0) land ((1 lsl lw) - 1)) in
+  arr.(widx) land (1 lsl (x mod bpw)) <> 0
+
+let iter_block_words f gi j arr =
+  let base_w = (((gi * group_blocks) + j) * block_words) in
+  let mask = ref arr.(0) and k = ref 1 in
+  while !mask <> 0 do
+    let bit = !mask land - !mask in
+    mask := !mask land (!mask - 1);
+    let rec bitpos b acc = if b = 1 then acc else bitpos (b lsr 1) (acc + 1) in
+    f (base_w + bitpos bit 0) arr.(!k);
+    incr k
+  done
+
+(* [f word_index word] over every stored (non-zero) word, ascending — the
+   same stream [Bitset.iter_words] yields for equal content, which is what
+   makes cross-representation content hashing possible. *)
+let iter_words f t =
+  for gpos = 0 to Array.length t.gidx - 1 do
+    let gi = t.gidx.(gpos) in
+    let sum = ref t.gsum.(gpos) and pos = ref t.boff.(gpos) in
+    while !sum <> 0 do
+      let bit = !sum land - !sum in
+      sum := !sum land (!sum - 1);
+      let rec bitpos b acc = if b = 1 then acc else bitpos (b lsr 1) (acc + 1) in
+      iter_block_words f gi (bitpos bit 0) (block t.blk.(!pos));
+      incr pos
+    done
+  done
+
+let iter f t =
+  iter_words
+    (fun w word ->
+      let base = w * bpw in
+      let v = ref word in
+      while !v <> 0 do
+        let low = !v land - !v in
+        let rec bitpos b acc = if b = 1 then acc else bitpos (b lsr 1) (acc + 1) in
+        f (base + bitpos low 0);
+        v := !v land (!v - 1)
+      done)
+    t
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun x -> acc := f x !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun x acc -> x :: acc) t [])
+
+let cardinal t =
+  let n = ref 0 in
+  Array.iter (fun id ->
+      let arr = block id in
+      for k = 1 to Array.length arr - 1 do
+        n := !n + popcount arr.(k)
+      done)
+    t.blk;
+  !n
+
+let choose t =
+  if is_empty t then None
+  else begin
+    let gi = t.gidx.(0) in
+    let sum = t.gsum.(0) in
+    let bit = sum land -sum in
+    let rec bitpos b acc = if b = 1 then acc else bitpos (b lsr 1) (acc + 1) in
+    let j = bitpos bit 0 in
+    let arr = block t.blk.(0) in
+    let mbit = arr.(0) land -arr.(0) in
+    let lw = bitpos mbit 0 in
+    let word = arr.(1) in
+    let wbit = word land -word in
+    Some
+      (((((gi * group_blocks) + j) * block_words + lw) * bpw) + bitpos wbit 0)
+  end
+
+(* ---------- conversions ---------- *)
+
+let of_bitset s =
+  if Bitset.is_empty s then empty
+  else begin
+    let bld = builder () in
+    let cur_bi = ref (-1) in
+    let cur_mask = ref 0 in
+    let cur = Array.make block_words 0 in
+    let cur_g = ref (-1) in
+    let cur_sum = ref 0 in
+    let flush_block () =
+      if !cur_mask <> 0 then begin
+        let arr = Array.make (popcount !cur_mask + 1) 0 in
+        arr.(0) <- !cur_mask;
+        let k = ref 1 and m = ref !cur_mask in
+        while !m <> 0 do
+          let bit = !m land - !m in
+          m := !m land (!m - 1);
+          let rec bitpos b acc =
+            if b = 1 then acc else bitpos (b lsr 1) (acc + 1)
+          in
+          arr.(!k) <- cur.(bitpos bit 0);
+          incr k
+        done;
+        push_block bld (intern_block arr);
+        cur_sum := !cur_sum lor (1 lsl (!cur_bi mod group_blocks));
+        cur_mask := 0
+      end
+    in
+    let flush_group () =
+      if !cur_sum <> 0 then begin
+        push_group bld !cur_g !cur_sum;
+        cur_sum := 0
+      end
+    in
+    Bitset.iter_words
+      (fun w word ->
+        let bi = w / block_words in
+        if bi <> !cur_bi then begin
+          flush_block ();
+          let g = bi / group_blocks in
+          if g <> !cur_g then begin
+            flush_group ();
+            cur_g := g
+          end;
+          cur_bi := bi
+        end;
+        cur.(w mod block_words) <- word;
+        cur_mask := !cur_mask lor (1 lsl (w mod block_words)))
+      s;
+    flush_block ();
+    flush_group ();
+    finish bld
+  end
+
+let to_bitset t =
+  let r = Bitset.create () in
+  iter_words (fun w word -> Bitset.append_word r w word) t;
+  r
+
+let of_list xs = of_bitset (Bitset.of_list xs)
+
+(* ---------- functional point updates ---------- *)
+
+let insert_arr arr pos v =
+  let n = Array.length arr in
+  let r = Array.make (n + 1) 0 in
+  Array.blit arr 0 r 0 pos;
+  r.(pos) <- v;
+  Array.blit arr pos r (pos + 1) (n - pos);
+  r
+
+let remove_arr arr pos =
+  let n = Array.length arr in
+  let r = Array.make (n - 1) 0 in
+  Array.blit arr 0 r 0 pos;
+  Array.blit arr (pos + 1) r pos (n - pos - 1);
+  r
+
+let add t x =
+  if mem t x then t
+  else begin
+    let w = x / bpw in
+    let wbit = 1 lsl (x mod bpw) in
+    let bi = w / block_words in
+    let lw = w mod block_words in
+    let lbit = 1 lsl lw in
+    let g = bi / group_blocks in
+    let j = bi mod group_blocks in
+    let jbit = 1 lsl j in
+    let gpos = find_group t g in
+    if gpos >= 0 && t.gsum.(gpos) land jbit <> 0 then begin
+      (* block exists: rewrite one block id *)
+      let pos = t.boff.(gpos) + popcount (t.gsum.(gpos) land (jbit - 1)) in
+      let arr = block t.blk.(pos) in
+      let narr =
+        if arr.(0) land lbit <> 0 then begin
+          let widx = 1 + popcount (arr.(0) land (lbit - 1)) in
+          let a = Array.copy arr in
+          a.(widx) <- a.(widx) lor wbit;
+          a
+        end
+        else begin
+          let widx = 1 + popcount (arr.(0) land (lbit - 1)) in
+          let a = insert_arr arr widx wbit in
+          a.(0) <- arr.(0) lor lbit;
+          a
+        end
+      in
+      let blk = Array.copy t.blk in
+      blk.(pos) <- intern_block narr;
+      { t with blk }
+    end
+    else begin
+      let nid = intern_block [| lbit; wbit |] in
+      if gpos >= 0 then begin
+        (* group exists, block is new *)
+        let sum = t.gsum.(gpos) in
+        let pos = t.boff.(gpos) + popcount (sum land (jbit - 1)) in
+        let gsum = Array.copy t.gsum in
+        gsum.(gpos) <- sum lor jbit;
+        { gidx = t.gidx; gsum; boff = make_boff gsum;
+          blk = insert_arr t.blk pos nid }
+      end
+      else begin
+        (* new group (auto-grow across a group boundary) *)
+        let ins = -gpos - 1 in
+        let gidx = insert_arr t.gidx ins g in
+        let gsum = insert_arr t.gsum ins jbit in
+        { gidx; gsum; boff = make_boff gsum;
+          blk = insert_arr t.blk t.boff.(ins) nid }
+      end
+    end
+  end
+
+let remove t x =
+  if not (mem t x) then t
+  else begin
+    let w = x / bpw in
+    let wbit = 1 lsl (x mod bpw) in
+    let bi = w / block_words in
+    let lw = w mod block_words in
+    let lbit = 1 lsl lw in
+    let g = bi / group_blocks in
+    let j = bi mod group_blocks in
+    let jbit = 1 lsl j in
+    let gpos = find_group t g in
+    let sum = t.gsum.(gpos) in
+    let pos = t.boff.(gpos) + popcount (sum land (jbit - 1)) in
+    let arr = block t.blk.(pos) in
+    let widx = 1 + popcount (arr.(0) land (lbit - 1)) in
+    let word = arr.(widx) land lnot wbit in
+    if word <> 0 then begin
+      let a = Array.copy arr in
+      a.(widx) <- word;
+      let blk = Array.copy t.blk in
+      blk.(pos) <- intern_block a;
+      { t with blk }
+    end
+    else if arr.(0) <> lbit then begin
+      (* word gone, block survives *)
+      let a = remove_arr arr widx in
+      a.(0) <- arr.(0) land lnot lbit;
+      let blk = Array.copy t.blk in
+      blk.(pos) <- intern_block a;
+      { t with blk }
+    end
+    else if sum <> jbit then begin
+      (* block gone, group survives *)
+      let gsum = Array.copy t.gsum in
+      gsum.(gpos) <- sum land lnot jbit;
+      { gidx = t.gidx; gsum; boff = make_boff gsum; blk = remove_arr t.blk pos }
+    end
+    else if Array.length t.gidx = 1 then empty
+    else begin
+      let gidx = remove_arr t.gidx gpos in
+      let gsum = remove_arr t.gsum gpos in
+      { gidx; gsum; boff = make_boff gsum; blk = remove_arr t.blk pos }
+    end
+  end
+
+let singleton x = add empty x
+
+(* ---------- set operations ---------- *)
+
+(* Ascending-bit iteration over a summary word, tracking the operand block
+   cursors; [f bit in_a in_b] consumes the per-operand ids via the refs. *)
+let union a b =
+  if a == b || is_empty b then a
+  else if is_empty a then b
+  else begin
+    let na = Array.length a.gidx and nb = Array.length b.gidx in
+    let bld = builder () in
+    let i = ref 0 and j = ref 0 in
+    while !i < na || !j < nb do
+      if !j >= nb || (!i < na && a.gidx.(!i) < b.gidx.(!j)) then begin
+        Stats.incr "hiset.summary_skips";
+        copy_group bld a !i;
+        incr i
+      end
+      else if !i >= na || b.gidx.(!j) < a.gidx.(!i) then begin
+        Stats.incr "hiset.summary_skips";
+        copy_group bld b !j;
+        incr j
+      end
+      else begin
+        let sa = a.gsum.(!i) and sb = b.gsum.(!j) in
+        let oa = ref a.boff.(!i) and ob = ref b.boff.(!j) in
+        let su = sa lor sb in
+        let rest = ref su in
+        while !rest <> 0 do
+          let bit = !rest land - !rest in
+          rest := !rest land (!rest - 1);
+          if sa land bit <> 0 && sb land bit <> 0 then begin
+            push_block bld (bunion a.blk.(!oa) b.blk.(!ob));
+            incr oa;
+            incr ob
+          end
+          else if sa land bit <> 0 then begin
+            push_block bld a.blk.(!oa);
+            incr oa
+          end
+          else begin
+            push_block bld b.blk.(!ob);
+            incr ob
+          end
+        done;
+        push_group bld a.gidx.(!i) su;
+        incr i;
+        incr j
+      end
+    done;
+    finish bld
+  end
+
+let diff a b =
+  if a == b || is_empty a then empty
+  else if is_empty b then a
+  else begin
+    let na = Array.length a.gidx and nb = Array.length b.gidx in
+    let bld = builder () in
+    let i = ref 0 and j = ref 0 in
+    while !i < na do
+      if !j >= nb || a.gidx.(!i) < b.gidx.(!j) then begin
+        Stats.incr "hiset.summary_skips";
+        copy_group bld a !i;
+        incr i
+      end
+      else if b.gidx.(!j) < a.gidx.(!i) then incr j
+      else begin
+        let sa = a.gsum.(!i) and sb = b.gsum.(!j) in
+        let oa = ref a.boff.(!i) and ob = ref b.boff.(!j) in
+        let nsum = ref 0 in
+        let rest = ref (sa lor sb) in
+        while !rest <> 0 do
+          let bit = !rest land - !rest in
+          rest := !rest land (!rest - 1);
+          if sa land bit <> 0 && sb land bit <> 0 then begin
+            let d = bdiff a.blk.(!oa) b.blk.(!ob) in
+            if d >= 0 then begin
+              push_block bld d;
+              nsum := !nsum lor bit
+            end;
+            incr oa;
+            incr ob
+          end
+          else if sa land bit <> 0 then begin
+            push_block bld a.blk.(!oa);
+            nsum := !nsum lor bit;
+            incr oa
+          end
+          else incr ob
+        done;
+        if !nsum <> 0 then push_group bld a.gidx.(!i) !nsum;
+        incr i;
+        incr j
+      end
+    done;
+    finish bld
+  end
+
+let inter a b =
+  if a == b then a
+  else if is_empty a || is_empty b then empty
+  else begin
+    let na = Array.length a.gidx and nb = Array.length b.gidx in
+    let bld = builder () in
+    let i = ref 0 and j = ref 0 in
+    while !i < na && !j < nb do
+      if a.gidx.(!i) < b.gidx.(!j) then begin
+        Stats.incr "hiset.summary_skips";
+        incr i
+      end
+      else if b.gidx.(!j) < a.gidx.(!i) then begin
+        Stats.incr "hiset.summary_skips";
+        incr j
+      end
+      else begin
+        let sa = a.gsum.(!i) and sb = b.gsum.(!j) in
+        let oa = ref a.boff.(!i) and ob = ref b.boff.(!j) in
+        let nsum = ref 0 in
+        let rest = ref (sa lor sb) in
+        while !rest <> 0 do
+          let bit = !rest land - !rest in
+          rest := !rest land (!rest - 1);
+          if sa land bit <> 0 && sb land bit <> 0 then begin
+            let d = binter a.blk.(!oa) b.blk.(!ob) in
+            if d >= 0 then begin
+              push_block bld d;
+              nsum := !nsum lor bit
+            end;
+            incr oa;
+            incr ob
+          end
+          else if sa land bit <> 0 then incr oa
+          else incr ob
+        done;
+        if !nsum <> 0 then push_group bld a.gidx.(!i) !nsum;
+        incr i;
+        incr j
+      end
+    done;
+    finish bld
+  end
+
+let subset a b =
+  a == b
+  ||
+  let na = Array.length a.gidx and nb = Array.length b.gidx in
+  let ok = ref true in
+  let i = ref 0 and j = ref 0 in
+  while !ok && !i < na do
+    if !j >= nb || a.gidx.(!i) < b.gidx.(!j) then ok := false
+    else if b.gidx.(!j) < a.gidx.(!i) then incr j
+    else begin
+      let sa = a.gsum.(!i) and sb = b.gsum.(!j) in
+      if sa land lnot sb <> 0 then ok := false
+      else begin
+        let oa = ref a.boff.(!i) and ob = ref b.boff.(!j) in
+        let rest = ref sb in
+        while !ok && !rest <> 0 do
+          let bit = !rest land - !rest in
+          rest := !rest land (!rest - 1);
+          if sa land bit <> 0 then begin
+            if not (bsubset a.blk.(!oa) b.blk.(!ob)) then ok := false;
+            incr oa;
+            incr ob
+          end
+          else incr ob
+        done;
+        incr i;
+        incr j
+      end
+    end
+  done;
+  !ok
+
+(* Union and "what did [b] add beyond [a]" in one group-level pass; the
+   delta shares [b]'s block ids wholesale wherever [a] had no block at all. *)
+let union_delta a b =
+  if a == b || is_empty b then (a, empty)
+  else if is_empty a then (b, b)
+  else begin
+    let na = Array.length a.gidx and nb = Array.length b.gidx in
+    let ub = builder () and db = builder () in
+    let i = ref 0 and j = ref 0 in
+    while !i < na || !j < nb do
+      if !j >= nb || (!i < na && a.gidx.(!i) < b.gidx.(!j)) then begin
+        Stats.incr "hiset.summary_skips";
+        copy_group ub a !i;
+        incr i
+      end
+      else if !i >= na || b.gidx.(!j) < a.gidx.(!i) then begin
+        Stats.incr "hiset.summary_skips";
+        copy_group ub b !j;
+        copy_group db b !j;
+        incr j
+      end
+      else begin
+        let sa = a.gsum.(!i) and sb = b.gsum.(!j) in
+        let oa = ref a.boff.(!i) and ob = ref b.boff.(!j) in
+        let dsum = ref 0 in
+        let su = sa lor sb in
+        let rest = ref su in
+        while !rest <> 0 do
+          let bit = !rest land - !rest in
+          rest := !rest land (!rest - 1);
+          if sa land bit <> 0 && sb land bit <> 0 then begin
+            let ida = a.blk.(!oa) and idb = b.blk.(!ob) in
+            push_block ub (bunion ida idb);
+            let d = bdiff idb ida in
+            if d >= 0 then begin
+              push_block db d;
+              dsum := !dsum lor bit
+            end;
+            incr oa;
+            incr ob
+          end
+          else if sa land bit <> 0 then begin
+            push_block ub a.blk.(!oa);
+            incr oa
+          end
+          else begin
+            let idb = b.blk.(!ob) in
+            push_block ub idb;
+            push_block db idb;
+            dsum := !dsum lor bit;
+            incr ob
+          end
+        done;
+        push_group ub a.gidx.(!i) su;
+        if !dsum <> 0 then push_group db a.gidx.(!i) !dsum;
+        incr i;
+        incr j
+      end
+    done;
+    (finish ub, finish db)
+  end
+
+(* ---------- accounting ---------- *)
+
+(* Heap words of the four skeleton arrays plus the record itself; block
+   contents are *not* included — they are shared pool property (see
+   {!words} for the per-set all-in cost and {!pool_block_words} for the
+   pool-wide once-each cost). *)
+let skeleton_words t =
+  let g = Array.length t.gidx in
+  5 + (g + 1) + (g + 1) + (Array.length t.boff + 1) + (Array.length t.blk + 1)
+
+let words t =
+  Array.fold_left
+    (fun acc id -> acc + block_heap_words id)
+    (skeleton_words t) t.blk
+
+let iter_blocks f t = Array.iter f t.blk
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (elements t)

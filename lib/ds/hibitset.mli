@@ -1,0 +1,115 @@
+(** Two-level hierarchical bitsets with hash-consed, physically shared
+    blocks — the million-object-scale representation behind {!Ptset}.
+
+    An element lives in a 63-bit {e word}; 16 consecutive words form a
+    {e block} (1008 elements) whose content is interned in a domain-local
+    pool, so identical 1008-element spans are stored once across every set
+    on the domain; 63 consecutive blocks form a {e group} guarded by one
+    {e summary word} (bit [j] set iff block [j] is present).
+
+    Set operations merge at the group level: a group present in only one
+    operand is copied wholesale — its block ids are shared, no word is
+    walked (counted by {!Stats} key ["hiset.summary_skips"]) — and word-level
+    work only happens where both operands hold the {e same block position
+    with different block ids}, through memoized block operations
+    (["hiset.block_union_hits"/"_misses"], likewise [block_diff]/
+    [block_inter]; identical ids short-circuit as ["hiset.block_reused"]).
+
+    Values are immutable and cheap to share. Like [Ptset] ids, block ids are
+    domain-local: a [t] must never cross domains — convert with
+    {!to_bitset} / {!of_bitset} at the boundary. {!Ptset.reset} resets this
+    module's pool in the same breath. *)
+
+type t
+
+val bpw : int
+(** Bits per word ([Sys.int_size], 63 on 64-bit platforms). *)
+
+val block_words : int
+(** Words per block (16 — a block spans [block_words * bpw] elements). *)
+
+val block_bits : int
+(** Elements per block ([bpw * block_words] = 1008). *)
+
+val group_blocks : int
+(** Blocks per group — the summary word width ([bpw]). *)
+
+val group_bits : int
+(** Elements per group ([block_bits * group_blocks] = 63504). *)
+
+val empty : t
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality over group indices, summary words and block ids.
+    Because blocks are interned, equal content on the same domain implies
+    equal block ids, so this never touches block contents. *)
+
+val hash : t -> int
+
+val mem : t -> int -> bool
+val add : t -> int -> t
+(** Functional insert: returns a set sharing every untouched block (and the
+    receiver itself when [x] is already present). *)
+
+val remove : t -> int -> t
+val singleton : int -> t
+val of_list : int list -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+
+val union_delta : t -> t -> t * t
+(** [union_delta a b] is [(union a b, diff b a)] computed in one group-level
+    pass: groups and blocks that [a] does not touch flow into the delta as
+    shared block ids, so difference propagation never re-scans stable
+    regions. *)
+
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+val elements : t -> int list
+val choose : t -> int option
+
+val of_bitset : Bitset.t -> t
+val to_bitset : t -> Bitset.t
+
+val iter_words : (int -> int -> unit) -> t -> unit
+(** [iter_words f t] calls [f word_index bit_word] for every stored word in
+    increasing word-index order — the exact stream {!Bitset.iter_words}
+    yields for equal content, which is what makes cross-representation
+    content digests comparable. *)
+
+(** {2 Accounting}
+
+    A set's footprint splits into its private {e skeleton} (index arrays)
+    and the pool-shared block contents. *)
+
+val skeleton_words : t -> int
+(** Heap words of the per-set index arrays alone (blocks excluded). *)
+
+val words : t -> int
+(** All-in heap words as if the set owned its blocks ([skeleton_words] plus
+    every referenced block's content) — comparable to {!Bitset.words}. *)
+
+val iter_blocks : (int -> unit) -> t -> unit
+(** Iterate the set's block ids (with multiplicity, in storage order) —
+    lets {!Ptset.Tally} charge each distinct block once. *)
+
+val block_heap_words : int -> int
+(** Heap words of one interned block's content array. *)
+
+val n_blocks : unit -> int
+(** Number of distinct blocks interned on this domain. *)
+
+val pool_block_words : unit -> int
+(** Total heap words of all interned block contents on this domain — the
+    once-each shared cost backing {!words}' per-set sums. *)
+
+val reset_pool : unit -> unit
+(** Drop this domain's block pool and block-op memos. Any [t] created
+    before the reset is invalid afterwards; {!Ptset.reset} calls this. *)
+
+val pp : Format.formatter -> t -> unit

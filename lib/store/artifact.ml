@@ -54,15 +54,164 @@ let add_sb p b s =
 
 let add_sbs p b a = Codec.add_array (add_sb p) b a
 
+(* ---------- v3: block-pooled set pools ----------
+
+   Whole-set dedup still leaves cross-set redundancy on disk: two distinct
+   points-to sets that share a large stable core re-serialise every shared
+   word. Mirroring the in-memory [Hibitset], the v3 pool splits each set
+   into 16-word block spans, serialises each *distinct* span once, and
+   encodes a set as (delta-coded block index, block ref) pairs.
+
+   Layout: magic | n_blocks | blocks (mask + words) | n_sets | sets | body.
+   The magic is a set count no real v2 artifact can reach (~2·10⁹ distinct
+   sets would dwarf any frame), which makes the encoding self-describing:
+   a v2 pool starts with its actual set count, so {!shared_pool} sniffs the
+   first uint and takes the matching path — v2 entries keep loading. *)
+
+let v3_pool_magic = 0x7fff_fff3
+let pool_block_words = 16
+
+let popcount word =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 word
+
+let bitpos bit =
+  let rec go b acc = if b = 1 then acc else go (b lsr 1) (acc + 1) in
+  go bit 0
+
+module BlkTbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) b = a = b
+  let hash (a : int array) = Hashtbl.hash a
+end)
+
 (* pool first, then the index-referencing body *)
 let pool_finish p =
+  let btbl = BlkTbl.create 256 in
+  let blocks = ref [] in
+  let nb = ref 0 in
+  let intern_span arr =
+    match BlkTbl.find_opt btbl arr with
+    | Some i -> i
+    | None ->
+      let i = !nb in
+      incr nb;
+      BlkTbl.add btbl arr i;
+      blocks := arr :: !blocks;
+      i
+  in
+  (* (block index, block ref) list per set, ascending block index *)
+  let enc_set s =
+    let entries = ref [] in
+    let cur_bi = ref (-1) in
+    let cur = ref [] in (* (local word, word) in reverse *)
+    let flush () =
+      if !cur_bi >= 0 then begin
+        let lst = List.rev !cur in
+        let mask =
+          List.fold_left (fun m (lw, _) -> m lor (1 lsl lw)) 0 lst
+        in
+        let arr = Array.of_list (mask :: List.map snd lst) in
+        entries := (!cur_bi, intern_span arr) :: !entries
+      end
+    in
+    Bitset.iter_words
+      (fun w word ->
+        let bi = w / pool_block_words in
+        if bi <> !cur_bi then begin
+          flush ();
+          cur_bi := bi;
+          cur := []
+        end;
+        cur := (w mod pool_block_words, word) :: !cur)
+      s;
+    flush ();
+    List.rev !entries
+  in
+  let encoded = List.rev_map enc_set p.sets in
   let out = Buffer.create (Buffer.length p.body + 1024) in
+  Codec.add_uint out v3_pool_magic;
+  Codec.add_uint out !nb;
+  List.iter
+    (fun arr ->
+      Codec.add_uint out arr.(0);
+      for k = 1 to Array.length arr - 1 do
+        Codec.add_word out arr.(k)
+      done)
+    (List.rev !blocks);
   Codec.add_uint out p.n;
-  List.iter (Codec.add_bitset out) (List.rev p.sets);
+  List.iter
+    (fun entries ->
+      Codec.add_uint out (List.length entries);
+      let prev = ref (-1) in
+      List.iter
+        (fun (bi, id) ->
+          Codec.add_uint out (bi - !prev - 1);
+          prev := bi;
+          Codec.add_uint out id)
+        entries)
+    encoded;
   Buffer.add_buffer out p.body;
   Buffer.contents out
 
-let shared_pool d = Codec.array Codec.bitset d
+let shared_pool d =
+  let first = Codec.uint d in
+  if first = v3_pool_magic then begin
+    let nb = Codec.uint d in
+    if nb > Codec.remaining d then
+      raise (Codec.Corrupt (Printf.sprintf "block pool count %d" nb));
+    let blocks =
+      Array.init nb (fun _ ->
+          let mask = Codec.uint d in
+          if mask = 0 || mask >= 1 lsl pool_block_words then
+            raise (Codec.Corrupt (Printf.sprintf "bad block mask %#x" mask));
+          let n = popcount mask in
+          let arr = Array.make (n + 1) 0 in
+          arr.(0) <- mask;
+          for k = 1 to n do
+            let w = Codec.word d in
+            if w = 0 then raise (Codec.Corrupt "zero word in block");
+            arr.(k) <- w
+          done;
+          arr)
+    in
+    let ns = Codec.uint d in
+    if ns > Codec.remaining d then
+      raise (Codec.Corrupt (Printf.sprintf "set pool count %d" ns));
+    Array.init ns (fun _ ->
+        let ne = Codec.uint d in
+        if ne > Codec.remaining d then
+          raise (Codec.Corrupt (Printf.sprintf "set span count %d" ne));
+        let s = Bitset.create () in
+        let prev = ref (-1) in
+        for _ = 1 to ne do
+          let bi = !prev + 1 + Codec.uint d in
+          prev := bi;
+          let id = Codec.uint d in
+          if id >= nb then
+            raise
+              (Codec.Corrupt (Printf.sprintf "block ref %d out of range" id));
+          let arr = blocks.(id) in
+          let mask = ref arr.(0) in
+          let k = ref 1 in
+          while !mask <> 0 do
+            let bit = !mask land - !mask in
+            mask := !mask land (!mask - 1);
+            Bitset.append_word s
+              ((bi * pool_block_words) + bitpos bit)
+              arr.(!k);
+            incr k
+          done
+        done;
+        s)
+  end
+  else begin
+    (* v2: [first] is the set count itself *)
+    if first > Codec.remaining d then
+      raise (Codec.Corrupt (Printf.sprintf "set pool count %d" first));
+    Array.init first (fun _ -> Codec.bitset d)
+  end
 
 let sb pool d =
   let i = Codec.uint d in

@@ -1,7 +1,17 @@
 (* v2: solver artifacts use structure-shared bitset frames (a per-artifact
-   pool of distinct sets, referenced by index). The version participates in
-   every entry key, so v1 entries are simply never addressed again. *)
-let format_version = 2
+   pool of distinct sets, referenced by index). v3: the set pool itself is
+   block-pooled — distinct 1008-element blocks are serialised once per
+   artifact and sets reference them by index (see [Artifact]); the encoding
+   is self-describing, so v3 readers load v2 frames unchanged.
+
+   [key_version] participates in every entry key; it is pinned at 2 and
+   does NOT move with [format_version], precisely because v3 is a
+   compatible extension — bumping the key would orphan every readable v2
+   entry. Rotate [key_version] only on a break that makes old payloads
+   *unreadable*. *)
+let format_version = 3
+let key_version = 2
+let compat_versions = [ 2; 3 ]
 let magic = "PTAS"
 let manifest_name = "MANIFEST.tsv"
 
@@ -23,7 +33,7 @@ let open_ dir =
 let dir t = t.dir
 
 let key ~stage inputs =
-  Digest.combine (string_of_int format_version :: stage :: inputs)
+  Digest.combine (string_of_int key_version :: stage :: inputs)
 
 let manifest t = Filename.concat t.dir manifest_name
 let entry_file ~stage ~key = Printf.sprintf "%s-%s.bin" stage key
@@ -100,7 +110,7 @@ let parse_frame bytes =
   then raise (Codec.Corrupt "bad magic");
   let d = Codec.of_string ~pos:(String.length magic) bytes in
   let version = Codec.uint d in
-  if version <> format_version then
+  if not (List.mem version compat_versions) then
     raise (Codec.Corrupt (Printf.sprintf "format version %d" version));
   let stage = Codec.string d in
   let key = Codec.string d in

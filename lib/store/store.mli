@@ -18,7 +18,7 @@
     lines, which {!gc} rebuilds from the frames.
 
     Keys come from {!key}: the hex digest of the stage name, the store
-    {!format_version} and every input that determines the artifact (source
+    {!key_version} and every input that determines the artifact (source
     bytes first among them). Stale entries are therefore never addressed;
     {!gc} reclaims them.
 
@@ -36,8 +36,15 @@
     one's. *)
 
 val format_version : int
-(** Bump on any change to {!Codec} or {!Artifact} encodings; old entries
-    then stop being addressed (their keys included the old version). *)
+(** The version written into new frame headers (3: block-pooled set pools).
+    Bump on any {!Codec}/{!Artifact} encoding change; additionally bump
+    {!key_version} only if old payloads become unreadable. *)
+
+val key_version : int
+(** The version folded into {!key} (pinned at 2). Deliberately decoupled
+    from {!format_version}: v3 is a self-describing, backward-compatible
+    extension of v2, so rotating the key would needlessly orphan every
+    readable v2 entry. Readers accept both frame versions. *)
 
 type t
 
@@ -48,7 +55,7 @@ val open_ : string -> t
 val dir : t -> string
 
 val key : stage:string -> string list -> string
-(** [key ~stage inputs] — the content address: digest of the format
+(** [key ~stage inputs] — the content address: digest of the key
     version, the stage name and the inputs, in that order. *)
 
 val save :

@@ -1,0 +1,272 @@
+(* Property and unit tests for Pta_ds.Hibitset: the two-level hierarchical
+   bitset checked against a sorted-int-list reference model, mirroring the
+   HiBitSet exemplar's coverage (set/unset, auto-grow across block and group
+   boundaries, clear-to-empty, cardinality, iteration, bitwise ops) plus the
+   pieces the exemplar does not have: union_delta and block sharing. *)
+
+open Pta_ds
+
+module Model = struct
+  let of_list l = List.sort_uniq Int.compare l
+  let union a b = of_list (a @ b)
+  let inter a b = List.filter (fun x -> List.mem x b) a
+  let diff a b = List.filter (fun x -> not (List.mem x b)) a
+  let subset a b = List.for_all (fun x -> List.mem x b) a
+end
+
+let h_of_list = Hibitset.of_list
+let elems = Hibitset.elements
+
+let check_same what model h = Alcotest.(check (list int)) what model (elems h)
+
+(* ---------- unit tests ---------- *)
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (Hibitset.is_empty Hibitset.empty);
+  Alcotest.(check int) "cardinal" 0 (Hibitset.cardinal Hibitset.empty);
+  Alcotest.(check (option int)) "choose" None (Hibitset.choose Hibitset.empty)
+
+let test_constants () =
+  (* The layout the docs promise: 16-word blocks under one summary word per
+     63-block group. *)
+  Alcotest.(check int) "bpw" Sys.int_size Hibitset.bpw;
+  Alcotest.(check int) "block_bits" (Hibitset.bpw * Hibitset.block_words)
+    Hibitset.block_bits;
+  Alcotest.(check int) "group_bits"
+    (Hibitset.block_bits * Hibitset.group_blocks)
+    Hibitset.group_bits
+
+let test_add_mem () =
+  let s = Hibitset.add Hibitset.empty 5 in
+  Alcotest.(check bool) "mem" true (Hibitset.mem s 5);
+  Alcotest.(check bool) "not mem" false (Hibitset.mem s 6);
+  let s' = Hibitset.add s 5 in
+  Alcotest.(check bool) "add dup is phys-eq" true (s == s');
+  let far = Hibitset.group_bits * 3 in
+  let s2 = Hibitset.add s far in
+  Alcotest.(check bool) "auto-grew across groups" true (Hibitset.mem s2 far);
+  Alcotest.(check bool) "original untouched" false (Hibitset.mem s far);
+  Alcotest.(check int) "cardinal" 2 (Hibitset.cardinal s2)
+
+let test_boundaries () =
+  (* Elements straddling every level: word (63), block (1008), group
+     (63504) boundaries, plus the exemplar's grow-past-capacity shape. *)
+  let b = Hibitset.block_bits and g = Hibitset.group_bits in
+  let interesting =
+    [ 0; 62; 63; b - 1; b; b + 1; (2 * b) - 1; 2 * b;
+      g - 1; g; g + 1; (3 * g) - 1; 3 * g; (10 * g) + 7 ]
+  in
+  let s = h_of_list interesting in
+  check_same "boundaries" (Model.of_list interesting) s;
+  List.iter
+    (fun x -> Alcotest.(check bool) (string_of_int x) true (Hibitset.mem s x))
+    interesting;
+  Alcotest.(check bool) "absent" false (Hibitset.mem s 61);
+  Alcotest.(check bool) "absent next group" false (Hibitset.mem s (4 * g))
+
+let test_remove () =
+  let g = Hibitset.group_bits in
+  let s = h_of_list [ 1; 2; 3; 2000; g + 5 ] in
+  let s = Hibitset.remove s 2 in
+  check_same "after remove" [ 1; 3; 2000; g + 5 ] s;
+  let s' = Hibitset.remove s 2 in
+  Alcotest.(check bool) "remove miss is phys-eq" true (s == s');
+  let s = Hibitset.remove s 2000 in
+  check_same "block drained" [ 1; 3; g + 5 ] s;
+  let s = Hibitset.remove s (g + 5) in
+  check_same "group drained" [ 1; 3 ] s;
+  let s = Hibitset.remove (Hibitset.remove s 1) 3 in
+  Alcotest.(check bool) "drained to empty" true (Hibitset.is_empty s)
+
+let test_roundtrip_bitset () =
+  let l = [ 0; 63; 1007; 1008; 63503; 63504; 127008; 500000 ] in
+  let flat = Bitset.of_list l in
+  let h = Hibitset.of_bitset flat in
+  Alcotest.(check (list int)) "of_bitset" l (elems h);
+  Alcotest.(check bool) "to_bitset" true (Bitset.equal flat (Hibitset.to_bitset h))
+
+let test_iter_words_agree () =
+  let l = [ 5; 64; 1010; 70000; 63504 * 2 ] in
+  let acc_flat = ref [] and acc_h = ref [] in
+  Bitset.iter_words (fun w word -> acc_flat := (w, word) :: !acc_flat)
+    (Bitset.of_list l);
+  Hibitset.iter_words (fun w word -> acc_h := (w, word) :: !acc_h)
+    (h_of_list l);
+  Alcotest.(check (list (pair int int))) "same word stream" !acc_flat !acc_h
+
+let test_block_sharing () =
+  (* Two different sets containing the same 1008-element span must reference
+     the same interned block. *)
+  Hibitset.reset_pool ();
+  let core = List.init 100 (fun i -> i * 7) in
+  let a = h_of_list core in
+  let b = h_of_list (Hibitset.group_bits :: core) in
+  let blocks s =
+    let acc = ref [] in
+    Hibitset.iter_blocks (fun id -> acc := id :: !acc) s;
+    List.rev !acc
+  in
+  (match (blocks a, blocks b) with
+  | [ ba ], [ bb1; _ ] ->
+    Alcotest.(check int) "shared block id" ba bb1
+  | _ -> Alcotest.fail "unexpected block shapes");
+  (* equal content ⇒ equal interned value ⇒ structural equality is cheap *)
+  Alcotest.(check bool) "equal" true (Hibitset.equal a (h_of_list core))
+
+let test_union_shares_untouched_groups () =
+  Hibitset.reset_pool ();
+  let g = Hibitset.group_bits in
+  let a = h_of_list (List.init 50 (fun i -> i)) in
+  let b = h_of_list (List.init 50 (fun i -> (2 * g) + i)) in
+  Stats.reset_all ();
+  let u = Hibitset.union a b in
+  check_same "union" (Model.union (elems a) (elems b)) u;
+  (* disjoint groups: both sides are copied wholesale, no block op runs *)
+  Alcotest.(check bool) "summary skips fired" true
+    (Stats.get "hiset.summary_skips" >= 2);
+  Alcotest.(check int) "no block unions" 0
+    (Stats.get "hiset.block_union_misses" + Stats.get "hiset.block_union_hits")
+
+let test_block_memo_hits () =
+  Hibitset.reset_pool ();
+  let a = h_of_list [ 1; 5; 9 ] in
+  let b = h_of_list [ 2; 5; 100 ] in
+  Stats.reset_all ();
+  ignore (Hibitset.union a b);
+  ignore (Hibitset.union a b);
+  Alcotest.(check int) "one miss" 1 (Stats.get "hiset.block_union_misses");
+  Alcotest.(check int) "one hit" 1 (Stats.get "hiset.block_union_hits")
+
+(* ---------- property tests against the model ---------- *)
+
+(* Mixed-density generator: clusters inside one block, spans across blocks
+   within a group, and far-apart groups — so merge loops exercise all three
+   copy/merge arms. *)
+let ints_mixed =
+  QCheck2.Gen.(
+    list_size (0 -- 60)
+      (oneof
+         [
+           0 -- 300;
+           0 -- 5000;
+           map (fun x -> x * 977) (0 -- 2000);
+           map (fun x -> x * 63504) (0 -- 40);
+         ]))
+
+let pair_mixed = QCheck2.Gen.pair ints_mixed ints_mixed
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"hibitset elements = sorted input" ~count:500
+    ints_mixed
+    (fun l -> elems (h_of_list l) = Model.of_list l)
+
+let prop_add_incremental =
+  QCheck2.Test.make ~name:"fold add = of_list" ~count:300 ints_mixed (fun l ->
+      let s = List.fold_left Hibitset.add Hibitset.empty l in
+      elems s = Model.of_list l)
+
+let prop_remove =
+  QCheck2.Test.make ~name:"remove matches model" ~count:300 pair_mixed
+    (fun (a, b) ->
+      let s = List.fold_left Hibitset.remove (h_of_list a) b in
+      elems s = Model.diff (Model.of_list a) (Model.of_list b))
+
+let prop_union =
+  QCheck2.Test.make ~name:"union matches model" ~count:500 pair_mixed
+    (fun (a, b) ->
+      elems (Hibitset.union (h_of_list a) (h_of_list b))
+      = Model.union (Model.of_list a) (Model.of_list b))
+
+let prop_inter =
+  QCheck2.Test.make ~name:"inter matches model" ~count:500 pair_mixed
+    (fun (a, b) ->
+      elems (Hibitset.inter (h_of_list a) (h_of_list b))
+      = Model.inter (Model.of_list a) (Model.of_list b))
+
+let prop_diff =
+  QCheck2.Test.make ~name:"diff matches model" ~count:500 pair_mixed
+    (fun (a, b) ->
+      elems (Hibitset.diff (h_of_list a) (h_of_list b))
+      = Model.diff (Model.of_list a) (Model.of_list b))
+
+let prop_union_delta =
+  QCheck2.Test.make ~name:"union_delta = (union, diff b a)" ~count:500
+    pair_mixed
+    (fun (a, b) ->
+      let sa = h_of_list a and sb = h_of_list b in
+      let u, d = Hibitset.union_delta sa sb in
+      elems u = Model.union (Model.of_list a) (Model.of_list b)
+      && elems d = Model.diff (Model.of_list b) (Model.of_list a))
+
+let prop_subset =
+  QCheck2.Test.make ~name:"subset matches model" ~count:500 pair_mixed
+    (fun (a, b) ->
+      let sa = h_of_list a and sb = h_of_list b in
+      Hibitset.subset sa sb = Model.subset (Model.of_list a) (Model.of_list b)
+      && Hibitset.subset sa (Hibitset.union sa sb))
+
+let prop_cardinal_mem =
+  QCheck2.Test.make ~name:"cardinal + mem match model" ~count:300 pair_mixed
+    (fun (a, b) ->
+      let s = h_of_list a in
+      Hibitset.cardinal s = List.length (Model.of_list a)
+      && List.for_all (fun x -> Hibitset.mem s x = List.mem x a) b)
+
+let prop_equal_hash =
+  QCheck2.Test.make ~name:"equal content => equal + same hash" ~count:300
+    ints_mixed
+    (fun l ->
+      let a = h_of_list l and b = h_of_list (List.rev l) in
+      Hibitset.equal a b && Hibitset.hash a = Hibitset.hash b)
+
+let prop_bitset_roundtrip =
+  QCheck2.Test.make ~name:"of_bitset/to_bitset round-trips" ~count:300
+    ints_mixed
+    (fun l ->
+      let flat = Bitset.of_list l in
+      Bitset.equal flat (Hibitset.to_bitset (Hibitset.of_bitset flat)))
+
+let prop_fold_iter =
+  QCheck2.Test.make ~name:"fold/iter agree with elements" ~count:300 ints_mixed
+    (fun l ->
+      let s = h_of_list l in
+      let via_iter = ref [] in
+      Hibitset.iter (fun x -> via_iter := x :: !via_iter) s;
+      List.rev !via_iter = elems s
+      && Hibitset.fold (fun _ n -> n + 1) s 0 = Hibitset.cardinal s)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "hibitset"
+    [
+      ( "hibitset",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "add/mem" `Quick test_add_mem;
+          Alcotest.test_case "boundaries" `Quick test_boundaries;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "bitset round-trip" `Quick test_roundtrip_bitset;
+          Alcotest.test_case "iter_words stream" `Quick test_iter_words_agree;
+          Alcotest.test_case "block sharing" `Quick test_block_sharing;
+          Alcotest.test_case "union group skip" `Quick
+            test_union_shares_untouched_groups;
+          Alcotest.test_case "block memo" `Quick test_block_memo_hits;
+        ] );
+      qsuite "hibitset-props"
+        [
+          prop_roundtrip;
+          prop_add_incremental;
+          prop_remove;
+          prop_union;
+          prop_inter;
+          prop_diff;
+          prop_union_delta;
+          prop_subset;
+          prop_cardinal_mem;
+          prop_equal_hash;
+          prop_bitset_roundtrip;
+          prop_fold_iter;
+        ];
+    ]

@@ -443,6 +443,165 @@ let test_corrupt_entry_recomputed () =
   let _, warm = Pipeline.build_cached ~store src in
   Alcotest.(check bool) "healthy again" true warm
 
+(* ---------- v3 block-pooled set pools vs the v2 read path ---------- *)
+
+let check_bs = Alcotest.testable Pta_ds.Bitset.pp Pta_ds.Bitset.equal
+
+(* Hand-rolled v2 pool layout (set count, delta-coded bitsets, body of pool
+   indices) — what every pre-v3 artifact on disk looks like. *)
+let encode_points_to_v2 (r : Artifact.points_to) =
+  let tbl = Hashtbl.create 64 in
+  let sets = ref [] in
+  let n = ref 0 in
+  let body = Buffer.create 256 in
+  let add_set s =
+    let h = Pta_ds.Bitset.elements s in
+    let idx =
+      match Hashtbl.find_opt tbl h with
+      | Some i -> i
+      | None ->
+        let i = !n in
+        incr n;
+        Hashtbl.add tbl h i;
+        sets := s :: !sets;
+        i
+    in
+    Codec.add_uint body idx
+  in
+  Codec.add_uint body (Array.length r.Artifact.top);
+  Array.iter add_set r.Artifact.top;
+  Codec.add_uint body (Array.length r.Artifact.obj);
+  Array.iter add_set r.Artifact.obj;
+  let out = Buffer.create 512 in
+  Codec.add_uint out !n;
+  List.iter (Codec.add_bitset out) (List.rev !sets);
+  Buffer.add_buffer out body;
+  Buffer.contents out
+
+let sample_points_to () =
+  let core = List.init 400 (fun i -> i * 3) in
+  let top =
+    Array.init 6 (fun v ->
+        Pta_ds.Bitset.of_list (((v * 7) + 100_000) :: core))
+  in
+  let obj =
+    Array.init 4 (fun v -> Pta_ds.Bitset.of_list (((v * 11) + 200_000) :: core))
+  in
+  { Artifact.top; obj }
+
+let check_points_to what (a : Artifact.points_to) (b : Artifact.points_to) =
+  Alcotest.(check int) (what ^ " top len") (Array.length a.Artifact.top)
+    (Array.length b.Artifact.top);
+  Array.iteri
+    (fun i s -> Alcotest.check check_bs (what ^ " top") s b.Artifact.top.(i))
+    a.Artifact.top;
+  Array.iteri
+    (fun i s -> Alcotest.check check_bs (what ^ " obj") s b.Artifact.obj.(i))
+    a.Artifact.obj
+
+let test_v2_pool_still_loads () =
+  (* the forward-compat read path: v3 readers must load v2 payloads *)
+  let r = sample_points_to () in
+  check_points_to "v2 payload" r
+    (Artifact.decode_points_to (encode_points_to_v2 r))
+
+let test_v2_frame_still_loads () =
+  (* ... and v2 *frames*: same magic, version field 2 *)
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  let key = Store.key ~stage:"blob" [ "v2" ] in
+  let payload = "a v2-era payload" in
+  let b = Buffer.create 64 in
+  Buffer.add_string b "PTAS";
+  Codec.add_uint b 2;
+  Codec.add_string b "blob";
+  Codec.add_string b key;
+  Codec.add_string b (Digest.string payload);
+  Codec.add_string b payload;
+  let oc = open_out_bin (Filename.concat dir ("blob-" ^ key ^ ".bin")) in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Alcotest.(check (option string)) "v2 frame loads" (Some payload)
+    (Store.load store ~stage:"blob" ~key);
+  (* an *unknown* version must still be rejected *)
+  let b = Buffer.create 64 in
+  Buffer.add_string b "PTAS";
+  Codec.add_uint b 99;
+  Codec.add_string b "blob";
+  Codec.add_string b key;
+  Codec.add_string b (Digest.string payload);
+  Codec.add_string b payload;
+  let oc = open_out_bin (Filename.concat dir ("blob-" ^ key ^ ".bin")) in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Alcotest.(check (option string)) "unknown version is a miss" None
+    (Store.load store ~stage:"blob" ~key)
+
+let test_v3_shares_blocks_on_disk () =
+  let r = sample_points_to () in
+  let v3 = Artifact.encode_points_to r in
+  check_points_to "v3 roundtrip" r (Artifact.decode_points_to v3);
+  (* ten distinct sets share one 400-element core: v2 re-serialises the
+     core per set, v3 stores its blocks once and references them *)
+  let v2 = encode_points_to_v2 r in
+  Alcotest.(check bool)
+    (Printf.sprintf "v3 (%d bytes) < half of v2 (%d bytes)" (String.length v3)
+       (String.length v2))
+    true
+    (String.length v3 * 2 < String.length v2)
+
+let v3_magic = 0x7fff_fff3
+
+let expect_corrupt what bytes =
+  match Artifact.decode_points_to bytes with
+  | _ -> Alcotest.failf "%s: corrupt pool accepted" what
+  | exception Codec.Corrupt _ -> ()
+
+let test_corrupt_blocks_rejected () =
+  (* structurally malformed v3 pools must raise Corrupt, not crash or
+     silently decode *)
+  let craft f =
+    let b = Buffer.create 64 in
+    Codec.add_uint b v3_magic;
+    f b;
+    Buffer.contents b
+  in
+  expect_corrupt "zero mask"
+    (craft (fun b ->
+         Codec.add_uint b 1;
+         (* one block with an illegal all-empty mask *)
+         Codec.add_uint b 0));
+  expect_corrupt "oversized mask"
+    (craft (fun b ->
+         Codec.add_uint b 1;
+         Codec.add_uint b (1 lsl 16)));
+  expect_corrupt "zero word in block"
+    (craft (fun b ->
+         Codec.add_uint b 1;
+         Codec.add_uint b 1;
+         (* mask says one word, word is zero *)
+         Codec.add_word b 0));
+  expect_corrupt "block ref out of range"
+    (craft (fun b ->
+         Codec.add_uint b 1;
+         Codec.add_uint b 1;
+         Codec.add_word b 42;
+         (* one set, one span, referencing block 7 of 1 *)
+         Codec.add_uint b 1;
+         Codec.add_uint b 1;
+         Codec.add_uint b 0;
+         Codec.add_uint b 7));
+  expect_corrupt "runaway block count"
+    (craft (fun b -> Codec.add_uint b 1_000_000));
+  (* a bit flip inside a real v3 payload must never produce a *wrong*
+     result: it either still decodes (flip landed in slack) or raises *)
+  let bytes = Bytes.of_string (Artifact.encode_points_to (sample_points_to ())) in
+  let mid = Bytes.length bytes / 2 in
+  Bytes.set bytes mid (Char.chr (Char.code (Bytes.get bytes mid) lxor 0x40));
+  (match Artifact.decode_points_to (Bytes.to_string bytes) with
+  | _ -> ()
+  | exception Codec.Corrupt _ -> ())
+
 let () =
   Alcotest.run "store"
     [
@@ -454,7 +613,17 @@ let () =
           Alcotest.test_case "corruption" `Quick test_codec_corrupt;
         ] );
       ( "artifacts",
-        [ Alcotest.test_case "program roundtrip" `Quick test_prog_roundtrip ] );
+        [
+          Alcotest.test_case "program roundtrip" `Quick test_prog_roundtrip;
+          Alcotest.test_case "v2 pool still loads" `Quick
+            test_v2_pool_still_loads;
+          Alcotest.test_case "v2 frame still loads" `Quick
+            test_v2_frame_still_loads;
+          Alcotest.test_case "v3 shares blocks on disk" `Quick
+            test_v3_shares_blocks_on_disk;
+          Alcotest.test_case "corrupt blocks rejected" `Quick
+            test_corrupt_blocks_rejected;
+        ] );
       ( "store",
         [
           Alcotest.test_case "framing" `Quick test_store_frame;

@@ -300,6 +300,23 @@ let test_sharing_factor () =
   let _, _, ver = versioning_of redundancy_src in
   Alcotest.(check bool) "sharing >= 1" true (Versioning.sharing_factor ver >= 1.0)
 
+let test_key_overflow () =
+  (* The (node, object) packed keys share [Ptset]'s checked 31-bit half
+     width; the seed packed them unchecked, silently colliding beyond it. *)
+  let lim = Pta_ds.Ptset.key_limit in
+  Alcotest.(check int) "packs in order" ((3 lsl Pta_ds.Ptset.key_bits) lor 5)
+    (Versioning.key 3 5);
+  let raises a b =
+    match Versioning.key a b with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "node at limit rejected" true (raises lim 0);
+  Alcotest.(check bool) "object at limit rejected" true (raises 0 lim);
+  Alcotest.(check bool) "negative rejected" true (raises (-1) 0);
+  Alcotest.(check bool) "just below the limit packs" false
+    (raises (lim - 1) (lim - 1))
+
 (* ---------- VSFS precision equality ---------- *)
 
 let equal_on src =
@@ -575,6 +592,7 @@ let () =
           Alcotest.test_case "static reliance acyclic" `Quick
             test_static_reliance_acyclic;
           Alcotest.test_case "sharing factor" `Quick test_sharing_factor;
+          Alcotest.test_case "packed-key overflow" `Quick test_key_overflow;
         ] );
       ( "precision-equality",
         [
