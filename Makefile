@@ -23,6 +23,10 @@
 #            representations; the bench exits non-zero unless flat and
 #            hier reach bit-identical fixpoints, and the JSON must record
 #            bit_identical plus the hierarchical sharing counters
+#   lattice-smoke — `--pre unify` must leave SFS and VSFS reports
+#            byte-identical to `--pre none` on two suite benchmarks, and a
+#            resident daemon must answer tiered queries (unify/andersen
+#            echoed, exact silent)
 #   ci     — all of the above
 
 DUNE ?= dune
@@ -32,15 +36,16 @@ HISET_JSON := $(shell mktemp /tmp/pta-ci-hiset.XXXXXX.json)
 ENGINE_DIR := $(shell mktemp -d /tmp/pta-ci-engine.XXXXXX)
 PAR_DIR := $(shell mktemp -d /tmp/pta-ci-par.XXXXXX)
 SERVE_DIR := $(shell mktemp -d /tmp/pta-ci-serve.XXXXXX)
+LATTICE_DIR := $(shell mktemp -d /tmp/pta-ci-lattice.XXXXXX)
 SCHEDULERS := fifo lifo topo lrf
 # every field here is wall-clock-derived; everything else must match exactly
 PAR_TIMING_SED := s/"(seconds|pre_seconds|wall_seconds|andersen_s|time_ratio|jobs)": *[0-9.eE+-]+/"\1": 0/g
 
 .PHONY: ci build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke \
-	serve-smoke hiset-smoke clean
+	serve-smoke hiset-smoke lattice-smoke clean
 
 ci: build test smoke bench-smoke fuzz-smoke engine-smoke par-smoke \
-	serve-smoke hiset-smoke
+	serve-smoke hiset-smoke lattice-smoke
 
 build:
 	$(DUNE) build @all
@@ -147,6 +152,43 @@ hiset-smoke: build
 	grep -q '"summary_skips"' $(HISET_JSON)
 	rm -f $(HISET_JSON)
 	@echo "== hiset smoke OK =="
+
+lattice-smoke: build
+	@echo "== lattice smoke (--pre unify bit-identity, tiered serve; dir: $(LATTICE_DIR)) =="
+	@set -e; \
+	for b in du dpkg; do \
+	  $(VSFS_BIN) gen --bench $$b --scale 0.15 -o $(LATTICE_DIR)/$$b.c; \
+	  for a in sfs vsfs; do \
+	    echo "  $$b / $$a"; \
+	    $(VSFS_BIN) analyze $(LATTICE_DIR)/$$b.c --analysis $$a --pre none \
+	      > $(LATTICE_DIR)/$$b-$$a-none.out; \
+	    $(VSFS_BIN) analyze $(LATTICE_DIR)/$$b.c --analysis $$a --pre unify \
+	      > $(LATTICE_DIR)/$$b-$$a-unify.out \
+	      2> $(LATTICE_DIR)/$$b-$$a-unify.err; \
+	    cmp $(LATTICE_DIR)/$$b-$$a-none.out $(LATTICE_DIR)/$$b-$$a-unify.out; \
+	    grep -q 'pre: unify seed merged' $(LATTICE_DIR)/$$b-$$a-unify.err; \
+	  done; \
+	done; \
+	$(VSFS_BIN) serve $(LATTICE_DIR)/du.c --socket $(LATTICE_DIR)/d.sock \
+	  --cache-dir $(LATTICE_DIR)/store > $(LATTICE_DIR)/daemon.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	name=$$($(VSFS_BIN) query --socket $(LATTICE_DIR)/d.sock --retries 600 \
+	  vars | head -1); \
+	$(VSFS_BIN) query --socket $(LATTICE_DIR)/d.sock \
+	  --tier unify points-to $$name > $(LATTICE_DIR)/unify.out; \
+	grep -q '^tier: unify' $(LATTICE_DIR)/unify.out; \
+	grep -q '^pt(' $(LATTICE_DIR)/unify.out; \
+	$(VSFS_BIN) query --socket $(LATTICE_DIR)/d.sock \
+	  --tier andersen points-to $$name > $(LATTICE_DIR)/andersen.out; \
+	grep -q '^tier: andersen' $(LATTICE_DIR)/andersen.out; \
+	$(VSFS_BIN) query --socket $(LATTICE_DIR)/d.sock \
+	  points-to $$name > $(LATTICE_DIR)/exact.out; \
+	! grep -q '^tier:' $(LATTICE_DIR)/exact.out; \
+	grep -q '^pt(' $(LATTICE_DIR)/exact.out; \
+	$(VSFS_BIN) query --socket $(LATTICE_DIR)/d.sock shutdown; \
+	wait $$pid
+	rm -rf $(LATTICE_DIR)
+	@echo "== lattice smoke OK =="
 
 clean:
 	$(DUNE) clean

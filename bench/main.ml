@@ -208,9 +208,16 @@ type bench_row = {
 let bench_entry ~check (e : Suite.entry) =
   Pta_ds.Ptset.reset ();
   Pta_ds.Stats.reset_all ();
-  let b = Pipeline.build e.Suite.cfg in
-  let sfs_r, sfs = Pipeline.run_sfs b in
-  let vsfs_r, vsfs = Pipeline.run_vsfs b in
+  (* Seeded build: the unification partition collapses constraint-graph
+     nodes before Andersen runs. Final results are bit-identical (the fuzz
+     oracle pins this); the table just gains the reduction column. *)
+  let ctx = Pipeline.context ~pre:`Unify () in
+  let b = Pipeline.build ~ctx e.Suite.cfg in
+  let sfs_r, sfs = Pipeline.run_sfs ~ctx b in
+  let vsfs_r, vsfs = Pipeline.run_vsfs ~ctx b in
+  let pre_reduction =
+    100. *. float b.Pipeline.pre_merged /. float (max b.Pipeline.pre_vars 1)
+  in
   let equal =
     if check then begin
       let svfg = Pipeline.fresh_svfg b in
@@ -236,6 +243,7 @@ let bench_entry ~check (e : Suite.entry) =
     r_row =
       [
         e.Suite.name;
+        Printf.sprintf "%.1f%%" pre_reduction;
         Printf.sprintf "%.2f" b.Pipeline.andersen_seconds;
         Printf.sprintf "%.2f" sfs.Pipeline.seconds;
         Printf.sprintf "%.1f" (float sfs.Pipeline.set_words *. 8. /. 1048576.);
@@ -248,12 +256,15 @@ let bench_entry ~check (e : Suite.entry) =
       ];
     r_json =
       Printf.sprintf
-        "    {\"name\": \"%s\", \"andersen_s\": %.6f, \"sfs\": %s, \
-         \"vsfs\": %s, \"time_ratio\": %.4f, \"mem_ratio\": %.4f, \
+        "    {\"name\": \"%s\", \"andersen_s\": %.6f, \"pre\": {\"merged\": \
+         %d, \"vars\": %d, \"reduction\": %.4f}, \"stages\": %s, \"sfs\": \
+         %s, \"vsfs\": %s, \"time_ratio\": %.4f, \"mem_ratio\": %.4f, \
          \"mem_ratio_shared\": %.4f, \"equal\": %b}"
         (json_escape e.Suite.name)
-        b.Pipeline.andersen_seconds (json_of_run sfs) (json_of_run vsfs)
-        tdiff mdiff mdiff_shared equal;
+        b.Pipeline.andersen_seconds b.Pipeline.pre_merged b.Pipeline.pre_vars
+        (pre_reduction /. 100.)
+        (Pipeline.json_of_stages ctx)
+        (json_of_run sfs) (json_of_run vsfs) tdiff mdiff mdiff_shared equal;
     r_tdiff = tdiff;
     r_mdiff = mdiff;
     r_mdiff_shared = mdiff_shared;
@@ -275,7 +286,9 @@ let table3 ?(scale = 1.0) ?(check = true) ?(jobs = 1) ?json () =
   pf "the paper). The MB columns are the structure-shared footprint (interned@.";
   pf "sets counted once, 8-byte words) incl. versioning structures; 'Mem diff.'@.";
   pf "compares per-slot materialised words — the paper's metric, independent@.";
-  pf "of interning. Front end, auxiliary analysis and SVFG are excluded.@.@.";
+  pf "of interning. Front end, auxiliary analysis and SVFG are excluded.@.";
+  pf "'Pre' is the share of constraint-graph nodes merged by the unification@.";
+  pf "pre-analysis seed (results are bit-identical with or without it).@.@.";
   let results, wall_seconds =
     Pipeline.time (fun () ->
         Pta_par.Pool.run ~jobs (bench_entry ~check) (Suite.benchmarks ~scale ()))
@@ -299,9 +312,9 @@ let table3 ?(scale = 1.0) ?(check = true) ?(jobs = 1) ?json () =
   let pool_words = List.fold_left (fun a r -> a + r.r_pool_words) 0 results in
   T.render Format.std_formatter
     ~header:
-      [ "Bench."; "Ander."; "SFS"; "SFS MB"; "Version."; "VSFS"; "VSFS MB";
-        "Time diff."; "Mem diff."; "Equal" ]
-    ~align:[ T.L; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.L ]
+      [ "Bench."; "Pre"; "Ander."; "SFS"; "SFS MB"; "Version."; "VSFS";
+        "VSFS MB"; "Time diff."; "Mem diff."; "Equal" ]
+    ~align:[ T.L; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.R; T.L ]
     (List.map (fun r -> r.r_row) results);
   pf "@.geometric mean speedup:            %.2fx@." (T.geomean time_ratios);
   pf "geometric mean speedup (hard set): %.2fx@."
@@ -702,21 +715,25 @@ let warm_entry dir (e : Suite.entry) =
   let src = Gen.source e.Suite.cfg in
   let (), t_cold =
     Pipeline.time (fun () ->
-        let b, _ = Pipeline.build_cached ~store ~label:name src in
-        let r, _ = Pipeline.run_vsfs_cached ~store ~label:name b in
+        let ctx = Pipeline.context ~store ~label:name () in
+        let b = Pipeline.build_source ~ctx src in
+        let r, _ = Pipeline.run_vsfs ~ctx b in
         Pipeline.save_points_to ~store ~label:name b ~solver:"vsfs"
           (Pipeline.points_to_of_vsfs b r))
   in
   let warm_ok, t_resolve =
     Pipeline.time (fun () ->
-        let b, w1 = Pipeline.build_cached ~store ~label:name src in
-        let _, run = Pipeline.run_vsfs_cached ~store ~label:name b in
-        w1 && run.Pipeline.pre_seconds = 0.)
+        let ctx = Pipeline.context ~store ~label:name () in
+        let b = Pipeline.build_source ~ctx src in
+        let _, run = Pipeline.run_vsfs ~ctx b in
+        Pipeline.stage_warm ctx "build" && run.Pipeline.pre_seconds = 0.)
   in
   let full_ok, t_full =
     Pipeline.time (fun () ->
-        let b, w1 = Pipeline.build_cached ~store ~label:name src in
-        w1 && Pipeline.load_points_to ~store b ~solver:"vsfs" <> None)
+        let ctx = Pipeline.context ~store ~label:name () in
+        let b = Pipeline.build_source ~ctx src in
+        Pipeline.stage_warm ctx "build"
+        && Pipeline.load_points_to ~store b ~solver:"vsfs" <> None)
   in
   let s_resolve = t_cold /. max t_resolve 1e-9 in
   let s_full = t_cold /. max t_full 1e-9 in

@@ -41,34 +41,34 @@ let resolve_query prog name =
   Prog.iter_vars prog (fun v -> if Prog.name prog v = name then r := v);
   if !r < 0 then None else Some !r
 
-let analyze file analysis scheduler queries dump_ir dump_svfg dot_file check
-    stats cache_dir =
+let analyze file analysis scheduler pre queries dump_ir dump_svfg dot_file
+    check stats cache_dir =
   let src = read_file file in
   let compile s =
     if Filename.check_suffix file ".ir" then Parser.parse s
     else Pta_cfront.Lower.compile s
   in
   let store = Option.map open_store cache_dir in
+  let ctx = Pipeline.context ?store ~label:file ~pre ~strategy:scheduler () in
   let b =
     try
-      match store with
-      | Some store ->
-        let b, warm = Pipeline.build_cached ~store ~compile ~label:file src in
-        Format.printf "cache: build %s@." (if warm then "warm" else "cold");
-        b
-      | None -> Pipeline.build_source ~compile src
+      let b = Pipeline.build_source ~ctx ~compile src in
+      if store <> None then
+        Format.printf "cache: build %s@."
+          (if Pipeline.stage_warm ctx "build" then "warm" else "cold");
+      b
     with Failure msg ->
       Format.eprintf "invalid program:@.%s@." msg;
       exit 1
   in
+  (* stderr: the report on stdout must stay byte-identical across --pre *)
+  if b.Pipeline.pre_vars > 0 then
+    Format.eprintf "pre: unify seed merged %d of %d constraint-graph nodes@."
+      b.Pipeline.pre_merged b.Pipeline.pre_vars;
   let prog = b.Pipeline.prog in
   let aux = b.Pipeline.aux in
   if dump_ir then Format.printf "%s@." (Printer.prog_to_string prog);
-  let fresh () =
-    match store with
-    | Some store -> fst (Pipeline.fresh_svfg_cached ~store ~label:file b)
-    | None -> Pipeline.fresh_svfg b
-  in
+  let fresh () = Pipeline.fresh_svfg ~ctx b in
   (match dot_file with
   | Some path ->
     Pta_svfg.Dot.to_file (fresh ()) path;
@@ -107,20 +107,21 @@ let analyze file analysis scheduler queries dump_ir dump_svfg dot_file check
     match analysis with
     | `Andersen ->
       (aux.Pta_memssa.Modref.pt, aux.Pta_memssa.Modref.pt, "andersen")
+    | `Unify ->
+      let u, _ = Pipeline.run_unify ~ctx b in
+      (Pta_andersen.Unify.pts u, Pta_andersen.Unify.pts u, "unify")
     | `Dense ->
       let r = Pta_sfs.Dense.solve ~strategy:scheduler prog aux in
       (Pta_sfs.Dense.pt r, Pta_sfs.Dense.pt r, "dense")
     | `Sfs ->
       let run st =
-        match st with
-        | None -> Pta_sfs.Sfs.solve ~strategy:scheduler (fresh ())
+        let r, _ = Pipeline.run_sfs ~ctx b in
+        (match st with
+        | None -> ()
         | Some store ->
-          let r, _ =
-            Pipeline.run_sfs_cached ~store ~label:file ~strategy:scheduler b
-          in
           Pipeline.save_points_to ~store ~label:file b ~solver:"sfs"
-            (Pipeline.points_to_of_sfs b r);
-          r
+            (Pipeline.points_to_of_sfs b r));
+        r
       in
       let top, obj =
         cached_or "sfs" run (fun r -> (Pta_sfs.Sfs.pt r, Pta_sfs.Sfs.object_pt r))
@@ -128,15 +129,13 @@ let analyze file analysis scheduler queries dump_ir dump_svfg dot_file check
       (top, obj, "sfs")
     | `Vsfs ->
       let run st =
-        match st with
-        | None -> Vsfs_core.Vsfs.solve ~strategy:scheduler (fresh ())
+        let r, _ = Pipeline.run_vsfs ~ctx b in
+        (match st with
+        | None -> ()
         | Some store ->
-          let r, _ =
-            Pipeline.run_vsfs_cached ~store ~label:file ~strategy:scheduler b
-          in
           Pipeline.save_points_to ~store ~label:file b ~solver:"vsfs"
-            (Pipeline.points_to_of_vsfs b r);
-          r
+            (Pipeline.points_to_of_vsfs b r));
+        r
       in
       let top, obj =
         cached_or "vsfs" run (fun r ->
@@ -222,13 +221,25 @@ open Cmdliner
 
 let analysis_conv =
   Arg.enum
-    [ ("vsfs", `Vsfs); ("sfs", `Sfs); ("dense", `Dense); ("andersen", `Andersen) ]
+    [ ("vsfs", `Vsfs); ("sfs", `Sfs); ("dense", `Dense);
+      ("andersen", `Andersen); ("unify", `Unify) ]
 
 let analyze_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let analysis =
     Arg.(value & opt analysis_conv `Vsfs & info [ "analysis"; "a" ]
-           ~doc:"Analysis to run: vsfs (default), sfs, dense, or andersen.")
+           ~doc:"Analysis to run: vsfs (default), sfs, dense, andersen, or \
+                 unify (Steensgaard-style unification, the lattice's \
+                 cheapest tier).")
+  in
+  let pre =
+    Arg.(value
+         & opt (enum [ ("none", `None); ("unify", `Unify) ]) `None
+         & info [ "pre" ] ~docv:"TIER"
+             ~doc:"Pre-analysis seeding Andersen's constraint graph: none \
+                   (default) or unify (merge the unification partition's \
+                   copy-SCC core up front). Final results are bit-identical \
+                   either way; only the work to reach them changes.")
   in
   let scheduler =
     Arg.(value
@@ -270,7 +281,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyse a mini-C (.c) or textual-IR (.ir) file")
     Term.(
-      const analyze $ file $ analysis $ scheduler $ queries $ dump_ir
+      const analyze $ file $ analysis $ scheduler $ pre $ queries $ dump_ir
       $ dump_svfg $ dot_file $ check $ stats $ cache_dir)
 
 let gen_cmd =
@@ -529,7 +540,7 @@ let read_stdin_queries () =
   in
   go []
 
-let query socket retries use_stdin words =
+let query socket retries tier use_stdin words =
   let intent =
     if use_stdin then
       match read_stdin_queries () with
@@ -556,7 +567,7 @@ let query socket retries use_stdin words =
   | Ok intent -> (
     let request =
       match intent with
-      | `Queries qs -> Protocol.Query qs
+      | `Queries qs -> Protocol.Query (tier, qs)
       | `Vars -> Protocol.Vars
       | `Report -> Protocol.Report
       | `Stats -> Protocol.Stats
@@ -566,8 +577,12 @@ let query socket retries use_stdin words =
     try
       Pta_serve.Client.with_connection ~retries socket (fun fd ->
           match (intent, Pta_serve.Client.request fd request) with
-          | `Queries qs, Protocol.Answers ans
+          | `Queries qs, Protocol.Answers (t, ans)
             when List.length ans = List.length qs ->
+            (* exact stays silent so the default output is byte-comparable
+               with a cold [vsfs analyze] run *)
+            if t <> Protocol.Exact then
+              Format.printf "tier: %s@." (Protocol.tier_name t);
             List.iter2 print_answer qs ans;
             0
           | `Vars, Protocol.Names ns ->
@@ -650,6 +665,20 @@ let query_cmd =
                  is absent or refusing — useful right after starting the \
                  daemon.")
   in
+  let tier =
+    Arg.(value
+         & opt
+             (enum
+                [ ("unify", Protocol.Unify); ("andersen", Protocol.Andersen);
+                  ("exact", Protocol.Exact) ])
+             Protocol.Exact
+         & info [ "tier" ] ~docv:"TIER"
+             ~doc:"Least precise answer tier to accept: unify, andersen, or \
+                   exact (default). The daemon answers from the cheapest \
+                   accepted tier's resident snapshot and replies with a \
+                   $(i,tier:) line for non-exact answers. Coarser tiers can \
+                   only grow points-to sets / flip may-alias to true.")
+  in
   let use_stdin =
     Arg.(value & flag & info [ "stdin" ]
            ~doc:"Read one query per line from stdin and send them as a \
@@ -662,7 +691,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Query a running $(b,vsfs serve) daemon")
-    Term.(const query $ socket $ retries $ use_stdin $ words)
+    Term.(const query $ socket $ retries $ tier $ use_stdin $ words)
 
 let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Reproduce the paper's tables")

@@ -285,12 +285,13 @@ let check_store src =
     ~finally:(fun () -> try rm_rf dir with _ -> ())
     (fun () ->
       let store = Pta_store.Store.open_ dir in
+      let ctx = Pipeline.context ~store () in
       let go () =
         let cold, warm0 = Pipeline.build_cached ~store src in
         if warm0 then
           Fail { cls = "not-cold"; detail = "first build reported warm" }
         else begin
-          let vsfs_cold, _ = Pipeline.run_vsfs_cached ~store cold in
+          let vsfs_cold, _ = Pipeline.run_vsfs ~ctx cold in
           Pipeline.save_points_to ~store cold ~solver:"vsfs"
             (Pipeline.points_to_of_vsfs cold vsfs_cold);
           let warm, warm1 = Pipeline.build_cached ~store src in
@@ -301,7 +302,7 @@ let check_store src =
                 detail = "second build of identical source missed the cache";
               }
           else begin
-            let vsfs_warm, _ = Pipeline.run_vsfs_cached ~store warm in
+            let vsfs_warm, _ = Pipeline.run_vsfs ~ctx warm in
             let pc = cold.Pipeline.prog and pw = warm.Pipeline.prog in
             if Prog.n_vars pc <> Prog.n_vars pw then
               Fail
@@ -516,6 +517,66 @@ let check_repr src =
     match rejected e with Some msg -> Rejected msg | None -> fail_exn "build" e)
   | o -> o
 
+(* ---------- unify: Steensgaard bound + seeded-build bit-identity ---------- *)
+
+(* Two contracts in one oracle. (1) The unification tier is a sound
+   over-approximation: every Andersen points-to fact must survive into the
+   coarser Steensgaard classes, for every variable and object. (2) The
+   seed partition is exactness-preserving: a [`Unify]-seeded build must
+   leave the final SFS and VSFS points-to results bit-identical to an
+   unseeded one — the premise of registering unification as a pre-analysis
+   tier rather than an approximation. *)
+
+let check_unify src =
+  with_built src (fun b ->
+      let p = b.Pipeline.prog in
+      let u, _ = Pipeline.run_unify b in
+      let andersen_pt = b.Pipeline.aux.Pta_memssa.Modref.pt in
+      let bad = ref [] in
+      Prog.iter_vars p (fun v ->
+          if
+            not (Pta_ds.Bitset.subset (andersen_pt v)
+                   (Pta_andersen.Unify.pts u v))
+          then bad := v :: !bad);
+      match !bad with
+      | _ :: _ as vs ->
+        Fail
+          {
+            cls = "unify-unsound";
+            detail =
+              "unification classes miss Andersen facts:\n"
+              ^ String.concat "\n"
+                  (List.map
+                     (fun v ->
+                       Printf.sprintf "  %s: andersen=%s unify=%s"
+                         (Prog.name p v)
+                         (set_names p (andersen_pt v))
+                         (set_names p (Pta_andersen.Unify.pts u v)))
+                     (List.filteri (fun i _ -> i < 5) (List.rev vs)));
+          }
+      | [] -> (
+        let ctx = Pipeline.context ~pre:`Unify () in
+        let b1 = Pipeline.build_source ~ctx src in
+        let sfs0, _ = Pipeline.run_sfs b in
+        let sfs1, _ = Pipeline.run_sfs ~ctx b1 in
+        let vsfs0, _ = Pipeline.run_vsfs b in
+        let vsfs1, _ = Pipeline.run_vsfs ~ctx b1 in
+        match
+          ( points_to_mismatch "sfs"
+              (Pipeline.points_to_of_sfs b sfs0)
+              (Pipeline.points_to_of_sfs b1 sfs1),
+            points_to_mismatch "vsfs"
+              (Pipeline.points_to_of_vsfs b vsfs0)
+              (Pipeline.points_to_of_vsfs b1 vsfs1) )
+        with
+        | None, None -> Pass
+        | Some d, _ | _, Some d ->
+          Fail
+            {
+              cls = "pre-divergence";
+              detail = "unify-seeded build changed the final fixpoint: " ^ d;
+            }))
+
 (* ---------- serve: daemon session vs cold batch bit-equality ---------- *)
 
 (* The resident daemon must be semantically invisible: after any sequence
@@ -644,6 +705,11 @@ let all =
       name = "equiv";
       doc = "Dense = SFS = VSFS points-to bit-equality (the paper's Sec IV-E)";
       check = check_equiv;
+    };
+    {
+      name = "unify";
+      doc = "unification tier bounds Andersen; unify-seeded solve bit-identical";
+      check = check_unify;
     };
     {
       name = "repr";

@@ -112,6 +112,16 @@ let field_obj t ~base ~offset =
       Hashtbl.add t.fields (base, offset) f;
       f
 
+let field_obj_opt t ~base ~offset =
+  if offset < 0 then invalid_arg "Prog.field_obj_opt: negative offset";
+  let base, offset =
+    match (info t base).okind with
+    | Some (FieldOf { base = b; offset = o }) -> (b, o + offset)
+    | _ -> (base, offset)
+  in
+  let offset = min offset field_cap in
+  if offset = 0 then Some base else Hashtbl.find_opt t.fields (base, offset)
+
 let restore_var t ~name:vname ~kind ~singleton ~dead =
   let v = Vec.push t.vars { vname; okind = kind; singleton; dead } in
   (match kind with

@@ -53,6 +53,11 @@ val field_obj : t -> base:Inst.var -> offset:int -> Inst.var
     fields collapse by offset addition. Field objects inherit nothing from
     singleton status (they are singletons iff their base is). *)
 
+val field_obj_opt : t -> base:Inst.var -> offset:int -> Inst.var option
+(** Like {!field_obj} (same [FIELD-ADD] collapsing and offset cap) but never
+    allocates: [None] when the field object was not interned yet. For
+    consumers that must not grow the id space, e.g. post-Andersen passes. *)
+
 val n_vars : t -> int
 val name : t -> Inst.var -> string
 val is_object : t -> Inst.var -> bool

@@ -3,6 +3,19 @@ module Codec = Pta_store.Codec
 let magic = "PTAQ"
 let max_frame = 64 * 1024 * 1024
 
+type tier = Unify | Andersen | Exact
+
+let tier_name = function
+  | Unify -> "unify"
+  | Andersen -> "andersen"
+  | Exact -> "exact"
+
+let tier_of_name = function
+  | "unify" -> Some Unify
+  | "andersen" -> Some Andersen
+  | "exact" -> Some Exact
+  | _ -> None
+
 type query =
   | Points_to of string
   | May_alias of string * string
@@ -10,7 +23,7 @@ type query =
   | Callees of string
 
 type request =
-  | Query of query list
+  | Query of tier * query list
   | Vars
   | Report
   | Stats
@@ -30,7 +43,7 @@ type reload_info = {
 }
 
 type reply =
-  | Answers of answer list
+  | Answers of tier * answer list
   | Names of string list
   | Report_r of (string * string list) list
   | Stats_r of (string * string) list
@@ -39,6 +52,16 @@ type reply =
   | Error of string
 
 (* ---------- bodies ---------- *)
+
+let add_tier b t =
+  Codec.add_uint b (match t with Unify -> 0 | Andersen -> 1 | Exact -> 2)
+
+let tier d =
+  match Codec.uint d with
+  | 0 -> Unify
+  | 1 -> Andersen
+  | 2 -> Exact
+  | t -> raise (Codec.Corrupt (Printf.sprintf "tier tag %d" t))
 
 let add_query b = function
   | Points_to n ->
@@ -69,8 +92,9 @@ let query d =
 let encode_request req =
   let b = Buffer.create 64 in
   (match req with
-  | Query qs ->
+  | Query (t, qs) ->
     Codec.add_uint b 0;
+    add_tier b t;
     Codec.add_list add_query b qs
   | Vars -> Codec.add_uint b 1
   | Report -> Codec.add_uint b 2
@@ -85,7 +109,9 @@ let decode_request bytes =
   let d = Codec.of_string bytes in
   let req =
     match Codec.uint d with
-    | 0 -> Query (Codec.list query d)
+    | 0 ->
+      let t = tier d in
+      Query (t, Codec.list query d)
     | 1 -> Vars
     | 2 -> Report
     | 3 -> Stats
@@ -135,8 +161,9 @@ let row d =
 let encode_reply reply =
   let b = Buffer.create 256 in
   (match reply with
-  | Answers ans ->
+  | Answers (t, ans) ->
     Codec.add_uint b 0;
+    add_tier b t;
     Codec.add_list add_answer b ans
   | Names ns ->
     Codec.add_uint b 1;
@@ -166,7 +193,9 @@ let decode_reply bytes =
   let d = Codec.of_string bytes in
   let reply =
     match Codec.uint d with
-    | 0 -> Answers (Codec.list answer d)
+    | 0 ->
+      let t = tier d in
+      Answers (t, Codec.list answer d)
     | 1 -> Names (Codec.list Codec.string d)
     | 2 -> Report_r (Codec.list row d)
     | 3 -> Stats_r (Codec.list pair d)

@@ -15,6 +15,15 @@ val max_frame : int
 (** Hard bound on a frame body (64 MiB): a garbage length prefix must not
     provoke a giant allocation. *)
 
+type tier = Unify | Andersen | Exact
+(** The solver lattice's precision/cost ladder, cheapest first. A query
+    names the least precise tier it accepts; the daemon answers from that
+    tier's snapshot (unification classes / Andersen's flow-insensitive
+    sets / the flow-sensitive SFS results) and echoes the tier served. *)
+
+val tier_name : tier -> string
+val tier_of_name : string -> tier option
+
 type query =
   | Points_to of string  (** set of objects the named var/object points to *)
   | May_alias of string * string  (** do the two points-to sets intersect *)
@@ -22,7 +31,7 @@ type query =
   | Callees of string  (** functions bound in the var's points-to set *)
 
 type request =
-  | Query of query list  (** batched; answered in order *)
+  | Query of tier * query list  (** batched; answered in order *)
   | Vars  (** every queryable variable/object name *)
   | Report  (** the [analyze] default report: global objects' contents *)
   | Stats  (** daemon/session counters as printable pairs *)
@@ -45,7 +54,7 @@ type reload_info = {
 }
 
 type reply =
-  | Answers of answer list
+  | Answers of tier * answer list  (** the tier that actually answered *)
   | Names of string list
   | Report_r of (string * string list) list
   | Stats_r of (string * string) list

@@ -3,7 +3,8 @@ module Codec = Pta_store.Codec
 (* Per-request dispatch. Never raises: failures become [Error] replies. *)
 let handle session req =
   match req with
-  | Protocol.Query qs -> Protocol.Answers (Session.answers session qs)
+  | Protocol.Query (tier, qs) ->
+    Protocol.Answers (tier, Session.answers ~tier session qs)
   | Protocol.Vars -> Protocol.Names (Session.var_names session)
   | Protocol.Report -> Protocol.Report_r (Session.report session)
   | Protocol.Stats -> Protocol.Stats_r (Session.stats session)

@@ -11,6 +11,8 @@ type loaded = {
   l_prog : Prog.t;
   l_names : (string, Inst.var) Hashtbl.t;
   l_snap : Artifact.points_to;
+  l_aux_snap : Artifact.points_to;
+  l_unify_snap : Artifact.points_to;
   l_vsfs : Vsfs_core.Vsfs.result option;
   l_istats : Incr.stats;
   l_warm : bool;
@@ -25,6 +27,8 @@ type t = {
   mutable prog : Prog.t;
   mutable names : (string, Inst.var) Hashtbl.t;
   mutable snap : Artifact.points_to;
+  mutable aux_snap : Artifact.points_to;  (* the andersen tier *)
+  mutable unify_snap : Artifact.points_to;  (* the unify tier *)
   mutable vsfs : Vsfs_core.Vsfs.result option;
   mutable loads : int;
   mutable first_pops : int;
@@ -50,6 +54,19 @@ let name_table prog =
   Prog.iter_vars prog (fun v -> Hashtbl.replace names (Prog.name prog v) v);
   names
 
+(* A tier snapshot in the exact snapshot's shape: one set per variable and
+   per live object, from a flow-insensitive [pt] (which answers objects'
+   contents too, unlike the SFS/VSFS accessor split). *)
+let snapshot_of ~prog ~pt =
+  let n = Prog.n_vars prog in
+  {
+    Artifact.top = Array.init n pt;
+    obj =
+      Array.init n (fun v ->
+          if Prog.is_object prog v && not (Prog.is_dead prog v) then pt v
+          else Bitset.create ());
+  }
+
 let same_points_to (a : Artifact.points_to) (b : Artifact.points_to) =
   Array.length a.Artifact.top = Array.length b.Artifact.top
   && Array.for_all2 Bitset.equal a.Artifact.top b.Artifact.top
@@ -63,19 +80,29 @@ let same_points_to (a : Artifact.points_to) (b : Artifact.points_to) =
 let load ~store ~with_vsfs path =
   match
     let src = read_file path in
-    let b, warm =
-      Pipeline.build_cached ~store ~compile:(compile_for path) ~label:path src
-    in
-    let svfg, _ = Pipeline.fresh_svfg_cached ~store ~label:path b in
+    let ctx = Pipeline.context ~store ~label:path () in
+    let b = Pipeline.build_source ~ctx ~compile:(compile_for path) src in
+    let warm = Pipeline.stage_warm ctx "build" in
+    let svfg = Pipeline.fresh_svfg ~ctx b in
     let r, istats, _ = Incr.run_sfs_spliced ~store ~label:path b svfg in
     let snap = Pipeline.points_to_of_sfs b r in
+    (* The cheaper lattice tiers, held as snapshots beside the exact one:
+       Andersen's sets come free with the build; the unification classes
+       are a near-linear solve over the resident program. *)
+    let aux_snap =
+      snapshot_of ~prog:b.Pipeline.prog ~pt:b.Pipeline.aux.Pta_memssa.Modref.pt
+    in
+    let unify_snap =
+      let u, _ = Pipeline.run_unify ~ctx b in
+      snapshot_of ~prog:b.Pipeline.prog ~pt:(Pta_andersen.Unify.pts u)
+    in
     let vsfs =
       if not with_vsfs then None
       else begin
         (* the paper's solver, held hot — and a standing cross-check: the
            spliced SFS answers must be bit-identical to a from-scratch VSFS
            solve of the same source *)
-        let svfg2, _ = Pipeline.fresh_svfg_cached ~store ~label:path b in
+        let svfg2 = Pipeline.fresh_svfg ~ctx b in
         let rv = Vsfs_core.Vsfs.solve svfg2 in
         if not (same_points_to snap (Pipeline.points_to_of_vsfs b rv)) then
           failwith "internal: spliced SFS and VSFS disagree";
@@ -86,6 +113,8 @@ let load ~store ~with_vsfs path =
       l_prog = b.Pipeline.prog;
       l_names = name_table b.Pipeline.prog;
       l_snap = snap;
+      l_aux_snap = aux_snap;
+      l_unify_snap = unify_snap;
       l_vsfs = vsfs;
       l_istats = istats;
       l_warm = warm;
@@ -133,6 +162,8 @@ let create ~store ~pool ~with_vsfs path =
         prog = l.l_prog;
         names = l.l_names;
         snap = l.l_snap;
+        aux_snap = l.l_aux_snap;
+        unify_snap = l.l_unify_snap;
         vsfs = l.l_vsfs;
         loads = 1;
         first_pops = l.l_pops;
@@ -148,6 +179,8 @@ let reload t ?path () =
     t.prog <- l.l_prog;
     t.names <- l.l_names;
     t.snap <- l.l_snap;
+    t.aux_snap <- l.l_aux_snap;
+    t.unify_snap <- l.l_unify_snap;
     t.vsfs <- l.l_vsfs;
     t.loads <- t.loads + 1;
     t.last_info <- info_of l;
@@ -199,15 +232,26 @@ let answer c q =
                   | None -> acc)
                 (set_of c v) [])))
 
-let ctx t = { c_prog = t.prog; c_names = t.names; c_snap = t.snap }
+(* Tier selection: the request names the least precise results it accepts,
+   and the cheapest snapshot of that precision answers. Every snapshot is
+   resident, so "cheapest" here is about what had to be computed/kept hot,
+   not per-query latency — but the contract (answers may only coarsen down
+   the lattice) is what the tests and the fuzz oracle pin. *)
+let snap_for t = function
+  | Protocol.Exact -> t.snap
+  | Protocol.Andersen -> t.aux_snap
+  | Protocol.Unify -> t.unify_snap
+
+let ctx ?(tier = Protocol.Exact) t =
+  { c_prog = t.prog; c_names = t.names; c_snap = snap_for t tier }
 
 (* Small batches are answered inline; larger ones fan out over the domain
    pool in [jobs]-sized chunks (order-preserving, so the reply is identical
    either way). *)
 let batch_threshold = 16
 
-let answers t qs =
-  let c = ctx t in
+let answers ?tier t qs =
+  let c = ctx ?tier t in
   let n = List.length qs in
   if n <= batch_threshold || Pool.jobs t.pool <= 1 then List.map (answer c) qs
   else begin
@@ -248,6 +292,7 @@ let stats t =
   let i = t.last_info in
   [
     ("path", t.path);
+    ("tiers", "unify,andersen,exact");
     ("loads", string_of_int t.loads);
     ("jobs", string_of_int (Pool.jobs t.pool));
     ("vsfs", if t.with_vsfs then "on" else "off");

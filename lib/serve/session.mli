@@ -29,10 +29,15 @@ val reload : t -> ?path:string -> unit -> (Protocol.reload_info, string) result
     re-solving only functions whose dependency-closure digests miss the
     store. *)
 
-val answers : t -> Protocol.query list -> Protocol.answer list
-(** Answer a batch, preserving order. Batches larger than an internal
-    threshold fan out across the domain pool; the reply is identical either
-    way. *)
+val answers : ?tier:Protocol.tier -> t -> Protocol.query list ->
+  Protocol.answer list
+(** Answer a batch, preserving order, from the named tier's snapshot
+    (default {!Protocol.Exact}): [Unify] reads the resident unification
+    classes, [Andersen] the auxiliary flow-insensitive sets, [Exact] the
+    spliced SFS results. Down the lattice answers may only coarsen —
+    points-to sets grow, [May_alias] flips only [false] → [true]. Batches
+    larger than an internal threshold fan out across the domain pool; the
+    reply is identical either way. *)
 
 val var_names : t -> string list
 (** Every queryable variable/object name, in variable order (duplicated

@@ -1,6 +1,8 @@
 module Store = Pta_store.Store
 module Artifact = Pta_store.Artifact
 
+type pre = [ `None | `Unify ]
+
 type built = {
   prog : Pta_ir.Prog.t;
   aux : Pta_memssa.Modref.aux;
@@ -8,6 +10,9 @@ type built = {
   src_bytes : int;
   src_digest : string;
   andersen_seconds : float;
+  pre : pre;
+  pre_merged : int;
+  pre_vars : int;
 }
 
 let time f =
@@ -15,46 +20,156 @@ let time f =
   let x = f () in
   (x, Unix.gettimeofday () -. start)
 
-let build_source ?(compile = fun src -> Pta_cfront.Lower.compile src) src =
-  let prog = compile src in
-  (match Pta_ir.Validate.check prog with
-  | [] -> ()
-  | errs -> failwith ("generated program invalid:\n" ^ String.concat "\n" errs));
-  let aux_result, andersen_seconds =
-    time (fun () -> Pta_andersen.Solver.solve prog)
+(* ---------- execution context ---------- *)
+
+type ctx = {
+  store : Store.t option;
+  label : string;
+  pre : pre;
+  strategy : Pta_engine.Scheduler.strategy option;
+  stage_log : (string * float * bool) list ref;  (* newest first *)
+}
+
+let context ?store ?(label = "") ?(pre = `None) ?strategy () =
+  { store; label; pre; strategy; stage_log = ref [] }
+
+let stage_log ctx = List.rev !(ctx.stage_log)
+
+let stage_seconds ctx key =
+  let rec go = function
+    | (k, s, _) :: _ when k = key -> s
+    | _ :: tl -> go tl
+    | [] -> 0.
   in
-  let aux =
-    {
-      Pta_memssa.Modref.pt = Pta_andersen.Solver.pts aux_result;
-      cg = Pta_andersen.Solver.callgraph aux_result;
-    }
+  go !(ctx.stage_log)
+
+let stage_warm ctx key =
+  let rec go = function
+    | (k, _, w) :: _ when k = key -> w
+    | _ :: tl -> go tl
+    | [] -> false
   in
-  Pta_memssa.Singleton.refine prog ~cg:aux.Pta_memssa.Modref.cg;
-  {
-    prog;
-    aux;
-    loc = Gen.loc src;
-    src_bytes = String.length src;
-    src_digest = Pta_store.Digest.hex src;
-    andersen_seconds;
+  go !(ctx.stage_log)
+
+let json_of_stages ctx =
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun (k, s, w) ->
+           Printf.sprintf "{\"stage\": \"%s\", \"seconds\": %.6f, \"warm\": %b}"
+             k s w)
+         (stage_log ctx))
+  ^ "]"
+
+(* ---------- the stage lattice ---------- *)
+
+module Stage = struct
+  type ('a, 'b) t = {
+    skey : string;
+    composite : bool;
+    load : (ctx -> Store.t -> 'a -> 'b option) option;
+    save : (ctx -> Store.t -> 'a -> 'b -> unit) option;
+    body : ctx -> 'a -> 'b;
   }
 
-let build cfg = build_source (Gen.source cfg)
+  let v ~key ?load ?save body =
+    { skey = key; composite = false; load; save; body }
 
-(* Cached builds: the program is exported *after* singleton refinement and
-   Andersen's constraint expansion, so a warm import needs neither (the var
-   table already holds the field objects and the refined singleton flags). *)
-let build_cached ~store ?compile ?(label = "") src =
-  let src_digest = Pta_store.Digest.hex src in
-  let kp = Store.key ~stage:"prog" [ src_digest ] in
-  let ka = Store.key ~stage:"andersen" [ src_digest ] in
-  let warm =
-    match
-      ( Store.load store ~stage:"prog" ~key:kp,
-        Store.load store ~stage:"andersen" ~key:ka )
-    with
-    | Some pb, Some ab -> (
-      try
+  let key s = s.skey
+
+  (* The one cold/warm code path: probe the store (when the context has one
+     and the stage knows how to import), fall back to the body, persist the
+     cold result, and log (key, seconds, warm) either way. Corrupt or stale
+     artifacts demote silently to the cold path and are re-saved. *)
+  let run ctx s x =
+    if s.composite then s.body ctx x
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let warm, y =
+        match (ctx.store, s.load) with
+        | Some store, Some load -> (
+          let cold () =
+            let y = s.body ctx x in
+            (match s.save with
+            | Some save -> save ctx store x y
+            | None -> ());
+            (false, y)
+          in
+          match load ctx store x with
+          | Some y -> (true, y)
+          | None -> cold ()
+          | exception (Pta_store.Codec.Corrupt _ | Invalid_argument _) ->
+            cold ())
+        | _ -> (false, s.body ctx x)
+      in
+      ctx.stage_log :=
+        (s.skey, Unix.gettimeofday () -. t0, warm) :: !(ctx.stage_log);
+      y
+    end
+
+  let ( >>> ) a b =
+    {
+      skey = a.skey ^ ">" ^ b.skey;
+      composite = true;
+      load = None;
+      save = None;
+      body = (fun ctx x -> run ctx b (run ctx a x));
+    }
+end
+
+let ctx_for ?ctx ?strategy () =
+  let c = match ctx with Some c -> c | None -> context () in
+  match strategy with None -> c | Some _ -> { c with strategy }
+
+(* ---------- build stages: compile -> pre -> andersen ---------- *)
+
+let stage_compile compile =
+  Stage.v ~key:"compile" (fun _ src ->
+      let prog = compile src in
+      (match Pta_ir.Validate.check prog with
+      | [] -> ()
+      | errs ->
+        failwith ("generated program invalid:\n" ^ String.concat "\n" errs));
+      prog)
+
+let stage_pre =
+  Stage.v ~key:"pre" (fun ctx prog ->
+      match ctx.pre with
+      | `None -> (prog, None)
+      | `Unify -> (prog, Some (Pta_andersen.Unify.seed_partition prog)))
+
+let stage_andersen =
+  Stage.v ~key:"andersen" (fun _ (prog, pre) ->
+      let r = Pta_andersen.Solver.solve ?pre prog in
+      let aux =
+        {
+          Pta_memssa.Modref.pt = Pta_andersen.Solver.pts r;
+          cg = Pta_andersen.Solver.callgraph r;
+        }
+      in
+      Pta_memssa.Singleton.refine prog ~cg:aux.Pta_memssa.Modref.cg;
+      (prog, pre, aux))
+
+(* The fused build stage owns the store probe: a warm hit imports the
+   program *after* singleton refinement and Andersen's constraint
+   expansion (the var table already holds the field objects and the
+   refined singleton flags), skipping the whole compile/pre/andersen
+   prefix. *)
+let stage_build ?(compile = fun src -> Pta_cfront.Lower.compile src) () =
+  let keys src =
+    let src_digest = Pta_store.Digest.hex src in
+    ( src_digest,
+      Store.key ~stage:"prog" [ src_digest ],
+      Store.key ~stage:"andersen" [ src_digest ] )
+  in
+  Stage.v ~key:"build"
+    ~load:(fun _ store src ->
+      let src_digest, kp, ka = keys src in
+      match
+        ( Store.load store ~stage:"prog" ~key:kp,
+          Store.load store ~stage:"andersen" ~key:ka )
+      with
+      | Some pb, Some ab ->
         let prog = Artifact.decode_prog pb in
         let a = Artifact.decode_aux ~n_vars:(Pta_ir.Prog.n_vars prog) ab in
         Some
@@ -65,44 +180,119 @@ let build_cached ~store ?compile ?(label = "") src =
             src_bytes = String.length src;
             src_digest;
             andersen_seconds = 0.;
+            pre = `None;
+            pre_merged = 0;
+            pre_vars = 0;
           }
-      with Pta_store.Codec.Corrupt _ -> None)
-    | _ -> None
-  in
-  match warm with
-  | Some b -> (b, true)
-  | None ->
-    let b = build_source ?compile src in
-    let a =
+      | _ -> None)
+    ~save:(fun ctx store src b ->
+      let _, kp, ka = keys src in
+      let a =
+        {
+          Artifact.pts =
+            Array.init (Pta_ir.Prog.n_vars b.prog) b.aux.Pta_memssa.Modref.pt;
+          cg = b.aux.Pta_memssa.Modref.cg;
+        }
+      in
+      Store.save store ~stage:"prog" ~key:kp ~label:ctx.label
+        (Artifact.encode_prog b.prog);
+      Store.save store ~stage:"andersen" ~key:ka ~label:ctx.label
+        (Artifact.encode_aux a))
+    (fun ctx src ->
+      let open Stage in
+      let prog, pre, aux =
+        run ctx (stage_compile compile >>> stage_pre >>> stage_andersen) src
+      in
       {
-        Artifact.pts =
-          Array.init (Pta_ir.Prog.n_vars b.prog) b.aux.Pta_memssa.Modref.pt;
-        cg = b.aux.Pta_memssa.Modref.cg;
-      }
-    in
-    Store.save store ~stage:"prog" ~key:kp ~label
-      (Artifact.encode_prog b.prog);
-    Store.save store ~stage:"andersen" ~key:ka ~label (Artifact.encode_aux a);
-    (b, false)
+        prog;
+        aux;
+        loc = Gen.loc src;
+        src_bytes = String.length src;
+        src_digest = Pta_store.Digest.hex src;
+        andersen_seconds = stage_seconds ctx "andersen";
+        pre = ctx.pre;
+        pre_merged =
+          (match pre with
+          | None -> 0
+          | Some p -> p.Pta_andersen.Unify.merged);
+        pre_vars =
+          (match pre with
+          | None -> 0
+          | Some p -> Array.length p.Pta_andersen.Unify.leader);
+      })
 
-let fresh_svfg b =
-  let svfg = Pta_svfg.Svfg.build b.prog b.aux in
-  Pta_svfg.Svfg.connect_direct_calls svfg;
-  svfg
+let build_source ?ctx ?compile src =
+  let ctx = ctx_for ?ctx () in
+  Stage.run ctx (stage_build ?compile ()) src
 
-let fresh_svfg_cached ~store ?(label = "") b =
-  let k = Store.key ~stage:"svfg" [ b.src_digest ] in
-  let build_and_save () =
-    let svfg = fresh_svfg b in
-    Store.save store ~stage:"svfg" ~key:k ~label
-      (Artifact.encode_svfg (Pta_svfg.Svfg.export svfg));
-    (svfg, false)
-  in
-  match Store.load store ~stage:"svfg" ~key:k with
-  | None -> build_and_save ()
-  | Some bytes -> (
-    try (Pta_svfg.Svfg.import b.prog b.aux (Artifact.decode_svfg bytes), true)
-    with Pta_store.Codec.Corrupt _ | Invalid_argument _ -> build_and_save ())
+let build ?ctx cfg = build_source ?ctx (Gen.source cfg)
+
+let build_cached ~store ?compile ?(label = "") src =
+  let ctx = context ~store ~label () in
+  let b = build_source ~ctx ?compile src in
+  (b, stage_warm ctx "build")
+
+(* ---------- svfg / versioning / solve stages ---------- *)
+
+let stage_svfg =
+  Stage.v ~key:"svfg"
+    ~load:(fun _ store b ->
+      match
+        Store.load store ~stage:"svfg"
+          ~key:(Store.key ~stage:"svfg" [ b.src_digest ])
+      with
+      | None -> None
+      | Some bytes ->
+        Some (b, Pta_svfg.Svfg.import b.prog b.aux (Artifact.decode_svfg bytes)))
+    ~save:(fun ctx store b (_, svfg) ->
+      Store.save store ~stage:"svfg"
+        ~key:(Store.key ~stage:"svfg" [ b.src_digest ])
+        ~label:ctx.label
+        (Artifact.encode_svfg (Pta_svfg.Svfg.export svfg)))
+    (fun _ b ->
+      let svfg = Pta_svfg.Svfg.build b.prog b.aux in
+      Pta_svfg.Svfg.connect_direct_calls svfg;
+      (b, svfg))
+
+let fresh_svfg ?ctx b =
+  let ctx = ctx_for ?ctx () in
+  snd (Stage.run ctx stage_svfg b)
+
+let stage_versioning =
+  Stage.v ~key:"versioning"
+    ~load:(fun _ store (b, svfg) ->
+      match
+        Store.load store ~stage:"versioning"
+          ~key:(Store.key ~stage:"versioning" [ b.src_digest ])
+      with
+      | None -> None
+      | Some bytes ->
+        Some
+          ( b,
+            svfg,
+            Vsfs_core.Versioning.import svfg (Artifact.decode_versioning bytes)
+          ))
+    ~save:(fun ctx store (b, _) (_, _, ver) ->
+      Store.save store ~stage:"versioning"
+        ~key:(Store.key ~stage:"versioning" [ b.src_digest ])
+        ~label:ctx.label
+        (Artifact.encode_versioning (Vsfs_core.Versioning.export ver)))
+    (fun _ (b, svfg) -> (b, svfg, Vsfs_core.Versioning.compute svfg))
+
+let stage_sfs =
+  Stage.v ~key:"solve-sfs" (fun ctx (_, svfg) ->
+      Pta_sfs.Sfs.solve ?strategy:ctx.strategy svfg)
+
+let stage_vsfs =
+  Stage.v ~key:"solve-vsfs" (fun ctx (_, svfg, ver) ->
+      let r = Vsfs_core.Vsfs.solve ?strategy:ctx.strategy ~versioning:ver svfg in
+      (r, ver))
+
+let stage_dense =
+  Stage.v ~key:"solve-dense" (fun ctx b ->
+      Pta_sfs.Dense.solve ?strategy:ctx.strategy b.prog b.aux)
+
+let stage_unify = Stage.v ~key:"unify" (fun _ b -> Pta_andersen.Unify.solve b.prog)
 
 type solver_run = {
   seconds : float;
@@ -142,24 +332,24 @@ let vsfs_run r ver seconds =
     engine = Some (Pta_engine.Telemetry.snapshot (Vsfs_core.Vsfs.telemetry r));
   }
 
-let run_sfs ?strategy b =
-  let svfg = fresh_svfg b in
-  let r, seconds = time (fun () -> Pta_sfs.Sfs.solve ?strategy svfg) in
-  (r, sfs_run r seconds)
+let run_sfs ?ctx ?strategy b =
+  let ctx = ctx_for ?ctx ?strategy () in
+  let r = Stage.run ctx Stage.(stage_svfg >>> stage_sfs) b in
+  (r, sfs_run r (stage_seconds ctx "solve-sfs"))
 
-let run_vsfs ?strategy b =
-  let svfg = fresh_svfg b in
-  let ver = Vsfs_core.Versioning.compute svfg in
-  let r, seconds =
-    time (fun () -> Vsfs_core.Vsfs.solve ?strategy ~versioning:ver svfg)
+let run_vsfs ?ctx ?strategy b =
+  let ctx = ctx_for ?ctx ?strategy () in
+  let r, ver =
+    Stage.run ctx Stage.(stage_svfg >>> stage_versioning >>> stage_vsfs) b
   in
-  (r, vsfs_run r ver seconds)
+  (r, vsfs_run r ver (stage_seconds ctx "solve-vsfs"))
 
-let run_dense ?strategy b =
-  let r, seconds = time (fun () -> Pta_sfs.Dense.solve ?strategy b.prog b.aux) in
+let run_dense ?ctx ?strategy b =
+  let ctx = ctx_for ?ctx ?strategy () in
+  let r = Stage.run ctx stage_dense b in
   ( r,
     {
-      seconds;
+      seconds = stage_seconds ctx "solve-dense";
       pre_seconds = 0.;
       sets = Pta_sfs.Dense.n_sets r;
       set_words = Pta_sfs.Dense.words r;
@@ -171,32 +361,10 @@ let run_dense ?strategy b =
         Some (Pta_engine.Telemetry.snapshot (Pta_sfs.Dense.telemetry r));
     } )
 
-let run_sfs_cached ~store ?label ?strategy b =
-  let svfg, _ = fresh_svfg_cached ~store ?label b in
-  let r, seconds = time (fun () -> Pta_sfs.Sfs.solve ?strategy svfg) in
-  (r, sfs_run r seconds)
-
-let run_vsfs_cached ~store ?(label = "") ?strategy b =
-  let svfg, _ = fresh_svfg_cached ~store ~label b in
-  let k = Store.key ~stage:"versioning" [ b.src_digest ] in
-  let compute_and_save () =
-    let ver = Vsfs_core.Versioning.compute svfg in
-    Store.save store ~stage:"versioning" ~key:k ~label
-      (Artifact.encode_versioning (Vsfs_core.Versioning.export ver));
-    ver
-  in
-  let ver =
-    match Store.load store ~stage:"versioning" ~key:k with
-    | None -> compute_and_save ()
-    | Some bytes -> (
-      try Vsfs_core.Versioning.import svfg (Artifact.decode_versioning bytes)
-      with Pta_store.Codec.Corrupt _ | Invalid_argument _ ->
-        compute_and_save ())
-  in
-  let r, seconds =
-    time (fun () -> Vsfs_core.Vsfs.solve ?strategy ~versioning:ver svfg)
-  in
-  (r, vsfs_run r ver seconds)
+let run_unify ?ctx b =
+  let ctx = ctx_for ?ctx () in
+  let r = Stage.run ctx stage_unify b in
+  (r, stage_seconds ctx "unify")
 
 (* The function-level incremental path (Incr) re-keys its per-function
    artifacts by closure digest on every (re)load; this records the current

@@ -1,21 +1,30 @@
-(** End-to-end analysis pipeline driver shared by the CLI, the examples, the
-    tests and the benchmark harness:
+(** End-to-end analysis pipeline, organised as a staged lattice:
 
-    mini-C source → lower (+ mem2reg) → validate → Andersen (auxiliary) →
-    singleton refinement → SVFG (+ static direct-call edges) → SFS / VSFS /
-    dense solvers.
+    mini-C source → compile (lower + mem2reg + validate) → unification
+    pre-analysis (optional) → Andersen (auxiliary) → singleton refinement →
+    SVFG (+ static direct-call edges) → meld versioning → SFS / VSFS /
+    dense / unify solvers.
+
+    Every step is a {!Stage.t}: a typed input → output function with a
+    stable key (also its {!Pta_store} stage name), an optional store
+    import/export pair, and a timing hook. {!Stage.run} is the single
+    cold/cached code path — with a store in the {!ctx} it probes the
+    artifact first, falls back to the body on a miss (or a corrupt entry),
+    and persists the cold result; every execution appends
+    [(key, seconds, warm)] to the context's stage log. Stages compose with
+    {!Stage.( >>> )}.
 
     Solvers mutate the SVFG they run on (on-the-fly call-graph edges,
     version reliances), so each measured solver run gets a freshly rebuilt
-    SVFG — construction is deterministic, node ids coincide across rebuilds,
-    and the paper excludes SVFG construction from its timings anyway.
+    (or freshly imported) SVFG — construction is deterministic, node ids
+    coincide across rebuilds, and the paper excludes SVFG construction
+    from its timings anyway. *)
 
-    The [*_cached] variants thread a {!Pta_store.Store.t} through the same
-    pipeline: every stage is keyed on the source digest, so a warm store
-    skips lowering, validation, Andersen's analysis, memory-SSA/SVFG
-    construction and meld labelling, importing their artifacts instead.
-    Corrupt or stale entries silently fall back to the cold path (and are
-    re-saved). *)
+type pre = [ `None | `Unify ]
+(** Pre-analysis tier: [`Unify] seeds Andersen with
+    {!Pta_andersen.Unify.seed_partition}. Final SFS/VSFS results are
+    bit-identical either way — the seed only collapses constraint-graph
+    nodes Andersen's first wave would merge itself. *)
 
 type built = {
   prog : Pta_ir.Prog.t;
@@ -24,31 +33,97 @@ type built = {
   src_bytes : int;
   src_digest : string;  (** content hash of the source, the cache key root *)
   andersen_seconds : float;  (** 0. when Andersen was loaded from the store *)
+  pre : pre;  (** pre-analysis used ([`None] for store-imported builds) *)
+  pre_merged : int;  (** constraint-graph nodes merged by the seed *)
+  pre_vars : int;  (** variables at seed time (the reduction denominator) *)
 }
 
-val build_source : ?compile:(string -> Pta_ir.Prog.t) -> string -> built
+(* Execution context ------------------------------------------------------ *)
+
+type ctx
+(** Carries the optional artifact store, cache label, pre-analysis choice,
+    scheduler strategy, and the per-stage log. One context per logical
+    pipeline run; safe to reuse across stages (the log accumulates). *)
+
+val context :
+  ?store:Pta_store.Store.t -> ?label:string -> ?pre:pre ->
+  ?strategy:Pta_engine.Scheduler.strategy -> unit -> ctx
+
+val stage_log : ctx -> (string * float * bool) list
+(** [(key, seconds, warm)] per executed stage, oldest first. *)
+
+val stage_seconds : ctx -> string -> float
+(** Seconds of the most recent run of the named stage (0. if never ran). *)
+
+val stage_warm : ctx -> string -> bool
+(** Whether the most recent run of the named stage was a store import. *)
+
+val json_of_stages : ctx -> string
+(** The stage log as a JSON array of
+    [{"stage": k, "seconds": s, "warm": b}] — the bench's per-stage
+    timing section. *)
+
+module Stage : sig
+  type ('a, 'b) t
+
+  val v :
+    key:string ->
+    ?load:(ctx -> Pta_store.Store.t -> 'a -> 'b option) ->
+    ?save:(ctx -> Pta_store.Store.t -> 'a -> 'b -> unit) ->
+    (ctx -> 'a -> 'b) -> ('a, 'b) t
+  (** A primitive stage. [load] may raise {!Pta_store.Codec.Corrupt} or
+      [Invalid_argument] — both demote to the cold body (which is then
+      [save]d). *)
+
+  val key : ('a, 'b) t -> string
+
+  val run : ctx -> ('a, 'b) t -> 'a -> 'b
+
+  val ( >>> ) : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+  (** Composition; each component keeps its own probe/timing (the composite
+      itself is not logged). *)
+end
+
+(* The stages --------------------------------------------------------------- *)
+
+val stage_build :
+  ?compile:(string -> Pta_ir.Prog.t) -> unit -> (string, built) Stage.t
+(** compile ∘ pre ∘ andersen (each logged separately on a cold run), fused
+    behind one store probe: a warm hit imports the program + Andersen
+    artifacts and skips the whole prefix. *)
+
+val stage_svfg : (built, built * Pta_svfg.Svfg.t) Stage.t
+val stage_versioning :
+  (built * Pta_svfg.Svfg.t,
+   built * Pta_svfg.Svfg.t * Vsfs_core.Versioning.t) Stage.t
+
+val stage_sfs : (built * Pta_svfg.Svfg.t, Pta_sfs.Sfs.result) Stage.t
+val stage_vsfs :
+  (built * Pta_svfg.Svfg.t * Vsfs_core.Versioning.t,
+   Vsfs_core.Vsfs.result * Vsfs_core.Versioning.t) Stage.t
+val stage_dense : (built, Pta_sfs.Dense.result) Stage.t
+val stage_unify : (built, Pta_andersen.Unify.result) Stage.t
+
+(* Drivers ----------------------------------------------------------------- *)
+
+val build_source : ?ctx:ctx -> ?compile:(string -> Pta_ir.Prog.t) -> string -> built
 (** [compile] turns the source text into a program (default:
     {!Pta_cfront.Lower.compile}; the CLI passes the IR parser for [.ir]
     files). @raise Failure on invalid programs (validation runs). *)
 
-val build : Gen.config -> built
+val build : ?ctx:ctx -> Gen.config -> built
 
 val build_cached :
   store:Pta_store.Store.t -> ?compile:(string -> Pta_ir.Prog.t) ->
   ?label:string -> string -> built * bool
-(** Like {!build_source} but consulting the store first. The [bool] is
-    [true] on a warm start (program + Andersen artifacts imported — no
-    lowering, no constraint solving); on a cold start both artifacts are
-    saved for next time. [label] annotates the entries for [cache ls]. *)
+(** [build_source] through a store-backed context; the [bool] is the
+    ["build"] stage's warm flag. Equivalent to
+    [let ctx = context ~store ~label () in
+     (build_source ~ctx src, stage_warm ctx "build")]. *)
 
-val fresh_svfg : built -> Pta_svfg.Svfg.t
-(** A new SVFG with direct-call interprocedural edges connected. *)
-
-val fresh_svfg_cached :
-  store:Pta_store.Store.t -> ?label:string -> built -> Pta_svfg.Svfg.t * bool
-(** Cached {!fresh_svfg}: a warm hit imports the graph (linear time,
-    skipping the mod/ref and χ/μ fixpoints, dominators and SSA renaming).
-    Each call returns an independent graph either way. *)
+val fresh_svfg : ?ctx:ctx -> built -> Pta_svfg.Svfg.t
+(** A new SVFG with direct-call interprocedural edges connected — imported
+    from the context's store when possible, independent either way. *)
 
 type solver_run = {
   seconds : float;  (** main phase only *)
@@ -78,28 +153,22 @@ val record_funcs :
     was never cached in [store]. *)
 
 val run_sfs :
-  ?strategy:Pta_engine.Scheduler.strategy -> built ->
+  ?ctx:ctx -> ?strategy:Pta_engine.Scheduler.strategy -> built ->
   Pta_sfs.Sfs.result * solver_run
 
 val run_vsfs :
-  ?strategy:Pta_engine.Scheduler.strategy -> built ->
+  ?ctx:ctx -> ?strategy:Pta_engine.Scheduler.strategy -> built ->
   Vsfs_core.Vsfs.result * solver_run
 
 val run_dense :
-  ?strategy:Pta_engine.Scheduler.strategy -> built ->
+  ?ctx:ctx -> ?strategy:Pta_engine.Scheduler.strategy -> built ->
   Pta_sfs.Dense.result * solver_run
+(** With a store in [ctx], the SVFG (and for VSFS the versioning) are
+    imported when cached, so only the solve phase itself runs (and
+    [pre_seconds] reads 0). [strategy] overrides the context's. *)
 
-val run_sfs_cached :
-  store:Pta_store.Store.t -> ?label:string ->
-  ?strategy:Pta_engine.Scheduler.strategy -> built ->
-  Pta_sfs.Sfs.result * solver_run
-
-val run_vsfs_cached :
-  store:Pta_store.Store.t -> ?label:string ->
-  ?strategy:Pta_engine.Scheduler.strategy -> built ->
-  Vsfs_core.Vsfs.result * solver_run
-(** Warm starts import the SVFG and the versioning, so only the solve phase
-    itself runs (and [pre_seconds] reads 0). *)
+val run_unify : ?ctx:ctx -> built -> Pta_andersen.Unify.result * float
+(** The unification tier as a measured solver run (result, seconds). *)
 
 val json_of_run : solver_run -> string
 (** One JSON object per solver run — the schema behind [bench --json]:

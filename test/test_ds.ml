@@ -523,6 +523,60 @@ let prop_union_find =
       done;
       !ok)
 
+let test_uf_idempotent_find () =
+  let uf = Union_find.create 64 in
+  (* one big class built as a chain of singletons under a fixed winner *)
+  for i = 1 to 63 do
+    Union_find.union_into uf ~winner:0 i
+  done;
+  for i = 0 to 63 do
+    let r = Union_find.find uf i in
+    Alcotest.(check int) "find idempotent" r (Union_find.find uf r);
+    Alcotest.(check int) "one class" (Union_find.find uf 0) r
+  done
+
+let test_uf_union_by_rank () =
+  let uf = Union_find.create 16 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  let big = Union_find.union uf 0 2 in
+  (* merging a lower-rank class must keep the higher-rank root *)
+  Alcotest.(check int) "singleton joins the taller tree" big
+    (Union_find.union uf big 9);
+  ignore (Union_find.union uf 10 11);
+  Alcotest.(check int) "rank-1 class joins the taller tree" big
+    (Union_find.union uf 10 big);
+  (* and the survivor reported by [union] is what [find] answers for
+     every member afterwards *)
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "survivor = find" big (Union_find.find uf v))
+    [ 0; 1; 2; 3; 9; 10; 11 ]
+
+let prop_uf_find_stable =
+  QCheck2.Test.make ~name:"find stable across compression and grow" ~count:200
+    QCheck2.Gen.(list_size (0 -- 40) (pair (0 -- 30) (0 -- 30)))
+    (fun pairs ->
+      let uf = Union_find.create 31 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* reads never change the partition: snapshot every representative,
+         re-find everything (compressing paths), grow, and compare *)
+      let before = Array.init 31 (Union_find.find uf) in
+      for _ = 1 to 3 do
+        for v = 0 to 30 do
+          ignore (Union_find.find uf v)
+        done
+      done;
+      Union_find.grow uf 40;
+      let ok = ref true in
+      for v = 0 to 30 do
+        if Union_find.find uf v <> before.(v) then ok := false
+      done;
+      for v = 31 to 39 do
+        if Union_find.find uf v <> v then ok := false
+      done;
+      !ok)
+
 (* ---------- worklists ---------- *)
 
 let test_fifo_dedup () =
@@ -709,7 +763,10 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_union_find;
           Alcotest.test_case "union_into winner" `Quick test_union_into_winner;
+          Alcotest.test_case "idempotent find" `Quick test_uf_idempotent_find;
+          Alcotest.test_case "union by rank" `Quick test_uf_union_by_rank;
           QCheck_alcotest.to_alcotest prop_union_find;
+          QCheck_alcotest.to_alcotest prop_uf_find_stable;
         ] );
       ( "worklist",
         [

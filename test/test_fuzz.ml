@@ -27,7 +27,8 @@ let clean_src =
 let test_oracle_registry () =
   Alcotest.(check (list string))
     "tower order (cheap to expensive)"
-    [ "crash"; "andersen"; "equiv"; "repr"; "sched"; "store"; "par"; "serve" ]
+    [ "crash"; "andersen"; "equiv"; "unify"; "repr"; "sched"; "store"; "par";
+      "serve" ]
     Oracle.names;
   List.iter
     (fun n -> Alcotest.(check bool) n true (Oracle.find n <> None))

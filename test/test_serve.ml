@@ -211,13 +211,16 @@ let expect_corrupt what f =
 let sample_requests =
   [
     Protocol.Query
-      [
-        Protocol.Points_to "x";
-        Protocol.May_alias ("a", "b");
-        Protocol.Points_to_null "";
-        Protocol.Callees "fp";
-      ];
-    Protocol.Query [];
+      ( Protocol.Exact,
+        [
+          Protocol.Points_to "x";
+          Protocol.May_alias ("a", "b");
+          Protocol.Points_to_null "";
+          Protocol.Callees "fp";
+        ] );
+    Protocol.Query (Protocol.Unify, [ Protocol.Points_to "x" ]);
+    Protocol.Query (Protocol.Andersen, [ Protocol.Callees "fp" ]);
+    Protocol.Query (Protocol.Exact, []);
     Protocol.Vars;
     Protocol.Report;
     Protocol.Stats;
@@ -229,13 +232,16 @@ let sample_requests =
 let sample_replies =
   [
     Protocol.Answers
-      [
-        Protocol.Set [ "h1"; "h2" ];
-        Protocol.Set [];
-        Protocol.Bool true;
-        Protocol.Bool false;
-        Protocol.Unknown "nope";
-      ];
+      ( Protocol.Exact,
+        [
+          Protocol.Set [ "h1"; "h2" ];
+          Protocol.Set [];
+          Protocol.Bool true;
+          Protocol.Bool false;
+          Protocol.Unknown "nope";
+        ] );
+    Protocol.Answers (Protocol.Unify, [ Protocol.Set [ "h" ] ]);
+    Protocol.Answers (Protocol.Andersen, []);
     Protocol.Names [ "a"; "b"; "c" ];
     Protocol.Report_r [ ("g.o", [ "h" ]); ("q.o", []) ];
     Protocol.Stats_r [ ("loads", "3"); ("path", "/tmp/x.c") ];
@@ -490,10 +496,59 @@ let test_session_failed_reload_keeps_state () =
         (Session.answers s [ Protocol.Points_to "g.o" ] = before);
       check_battery "post failed reloads" s src_base)
 
+(* Down the lattice (exact → andersen → unify) answers may only coarsen:
+   points-to sets grow, bool answers flip only in the sound direction. *)
+let test_session_tier_lattice () =
+  with_session ~with_vsfs:false src_base (fun _file s ->
+      let _, names, _ = cold_expectations src_base in
+      let all_names =
+        List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) names [])
+      in
+      let qs =
+        List.map (fun n -> Protocol.Points_to n) ("nosuch" :: all_names)
+      in
+      let answers tier = Session.answers ~tier s qs in
+      let exact = answers Protocol.Exact in
+      Alcotest.(check bool) "default tier is exact" true
+        (Session.answers s qs = exact);
+      let coarsens a b =
+        List.for_all2
+          (fun ga gb ->
+            match (ga, gb) with
+            | Protocol.Unknown x, Protocol.Unknown y -> x = y
+            | Protocol.Set xa, Protocol.Set xb ->
+              List.for_all (fun o -> List.mem o xb) xa
+            | _ -> false)
+          a b
+      in
+      let ander = answers Protocol.Andersen in
+      let unify = answers Protocol.Unify in
+      Alcotest.(check bool) "andersen coarsens exact" true
+        (coarsens exact ander);
+      Alcotest.(check bool) "unify coarsens andersen" true
+        (coarsens ander unify);
+      List.iter
+        (fun n ->
+          let alias tier =
+            match Session.answers ~tier s [ Protocol.May_alias (n, n) ] with
+            | [ Protocol.Bool b ] -> b
+            | [ Protocol.Unknown _ ] -> false
+            | _ -> Alcotest.fail "expected one answer"
+          in
+          if alias Protocol.Exact then begin
+            Alcotest.(check bool) (n ^ ": andersen keeps alias") true
+              (alias Protocol.Andersen);
+            Alcotest.(check bool) (n ^ ": unify keeps alias") true
+              (alias Protocol.Unify)
+          end)
+        all_names)
+
 let session_tests =
   [
     Alcotest.test_case "answers = cold solve (vsfs cross-check on)" `Quick
       test_session_answers_cold;
+    Alcotest.test_case "tier lattice only coarsens" `Quick
+      test_session_tier_lattice;
     Alcotest.test_case "pooled batch = one-at-a-time" `Quick
       test_session_batch_equals_singles;
     Alcotest.test_case "identical reload reuses everything" `Quick
@@ -549,11 +604,13 @@ let test_e2e_daemon () =
             in
             (* 1. batched query over the socket = cold expectations *)
             Client.with_connection ~retries:200 socket (fun fd ->
-                match Client.request fd (Protocol.Query battery) with
-                | Protocol.Answers ans ->
+                match
+                  Client.request fd (Protocol.Query (Protocol.Exact, battery))
+                with
+                | Protocol.Answers (Protocol.Exact, ans) ->
                   Alcotest.(check bool) "socket answers = cold" true
                     (ans = List.map expect battery)
-                | _ -> Alcotest.fail "expected Answers");
+                | _ -> Alcotest.fail "expected exact-tier Answers");
             (* 2. a garbage stream drops the connection and the daemon
                survives; the Error reply is best-effort here — bytes left
                unread at the server's close can reset it away *)
@@ -586,8 +643,10 @@ let test_e2e_daemon () =
                 | _ -> Alcotest.fail "expected Reloaded");
                 let pc', names', set_of' = cold_expectations src_log_edited in
                 let q = Protocol.Points_to "g.o" in
-                match Client.request fd (Protocol.Query [ q ]) with
-                | Protocol.Answers [ a ] ->
+                match
+                  Client.request fd (Protocol.Query (Protocol.Exact, [ q ]))
+                with
+                | Protocol.Answers (Protocol.Exact, [ a ]) ->
                   Alcotest.(check bool) "post-reload answer = cold" true
                     (a = expected_answer pc' set_of' names' q)
                 | _ -> Alcotest.fail "expected one answer");

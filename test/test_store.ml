@@ -361,7 +361,7 @@ let test_results_roundtrip () =
       let store = Store.open_ dir in
       let b, warm = Pipeline.build_cached ~store ~label:name src in
       Alcotest.(check bool) "first build is cold" false warm;
-      let r, _ = Pipeline.run_vsfs_cached ~store b in
+      let r, _ = Pipeline.run_vsfs ~ctx:(Pipeline.context ~store ()) b in
       let cold = Pipeline.points_to_of_vsfs b r in
       Pipeline.save_points_to ~store b ~solver:"vsfs" cold;
       (* reopen: program, Andersen, SVFG and versioning all import *)
@@ -371,7 +371,9 @@ let test_results_roundtrip () =
       Alcotest.(check bool) "no Andersen on warm start" true
         (b2.Pipeline.andersen_seconds = 0.);
       check_same_prog b.Pipeline.prog b2.Pipeline.prog;
-      let r2, run2 = Pipeline.run_vsfs_cached ~store:store2 b2 in
+      let r2, run2 =
+        Pipeline.run_vsfs ~ctx:(Pipeline.context ~store:store2 ()) b2
+      in
       Alcotest.(check bool) "no meld labelling on warm start" true
         (run2.Pipeline.pre_seconds = 0.);
       let warm_res = Pipeline.points_to_of_vsfs b2 r2 in
@@ -420,7 +422,7 @@ let test_corrupt_entry_recomputed () =
   let store = Store.open_ dir in
   let src = bench_src "du" in
   let b, _ = Pipeline.build_cached ~store src in
-  let r, _ = Pipeline.run_vsfs_cached ~store b in
+  let r, _ = Pipeline.run_vsfs ~ctx:(Pipeline.context ~store ()) b in
   let cold = Pipeline.points_to_of_vsfs b r in
   (* flip a byte in every entry: all loads must detect and recompute *)
   Array.iter
@@ -433,7 +435,7 @@ let test_corrupt_entry_recomputed () =
   Alcotest.(check bool) "corrupt build recomputes" false warm;
   Alcotest.(check bool) "corruption counted" true
     (Pta_ds.Stats.get "store.corrupt" > before);
-  let r2, _ = Pipeline.run_vsfs_cached ~store b2 in
+  let r2, _ = Pipeline.run_vsfs ~ctx:(Pipeline.context ~store ()) b2 in
   let again = Pipeline.points_to_of_vsfs b2 r2 in
   for v = 0 to Prog.n_vars b.Pipeline.prog - 1 do
     Alcotest.(check bool) "recomputed results equal" true

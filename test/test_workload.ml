@@ -218,6 +218,82 @@ let test_dense_on_benchmark () =
         then ok := false);
   Alcotest.(check bool) "dense = sfs on dpkg@0.1" true !ok
 
+(* ---------- the staged lattice ---------- *)
+
+module P = Pta_workload.Pipeline
+
+let test_stage_composition () =
+  let ctx = P.context () in
+  let s1 = P.Stage.v ~key:"t1" (fun _ x -> x + 1) in
+  let s2 = P.Stage.v ~key:"t2" (fun _ x -> x * 2) in
+  Alcotest.(check int) "composed result" 8 P.Stage.(run ctx (s1 >>> s2) 3);
+  let keys = List.map (fun (k, _, _) -> k) (P.stage_log ctx) in
+  Alcotest.(check (list string)) "components logged in order, no composite"
+    [ "t1"; "t2" ] keys;
+  Alcotest.(check bool) "components ran cold" true
+    (not (P.stage_warm ctx "t1") && not (P.stage_warm ctx "t2"))
+
+let test_stage_log_cold_run () =
+  let e = Option.get (Pta_workload.Suite.find ~scale:0.1 "du") in
+  let ctx = P.context () in
+  let b = P.build ~ctx e.Pta_workload.Suite.cfg in
+  (* a cold storeless build logs its sub-stages and the fused stage *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " logged") true
+        (List.exists (fun (k, _, _) -> k = key) (P.stage_log ctx));
+      Alcotest.(check bool) (key ^ " cold") false (P.stage_warm ctx key))
+    [ "compile"; "pre"; "andersen"; "build" ];
+  let _ = P.run_vsfs ~ctx b in
+  let _, useconds = P.run_unify ~ctx b in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " logged") true
+        (List.exists (fun (k, _, _) -> k = key) (P.stage_log ctx)))
+    [ "svfg"; "versioning"; "solve-vsfs"; "unify" ];
+  Alcotest.(check bool) "unify seconds from the log" true
+    (useconds = P.stage_seconds ctx "unify" && useconds >= 0.);
+  let json = P.json_of_stages ctx in
+  Alcotest.(check bool) "stage json mentions every run" true
+    (String.length json > 2
+    && List.for_all
+         (fun k ->
+           let rec mem i =
+             i + String.length k <= String.length json
+             && (String.sub json i (String.length k) = k || mem (i + 1))
+           in
+           mem 0)
+         [ "\"stage\""; "\"seconds\""; "\"warm\""; "solve-vsfs" ])
+
+let test_pre_bit_identity_suite () =
+  (* `--pre unify` vs `--pre none` on real suite benchmarks: the final
+     SFS and VSFS points-to snapshots must be bit-identical *)
+  List.iter
+    (fun name ->
+      let e = Option.get (Pta_workload.Suite.find ~scale:0.1 name) in
+      let b0 = P.build e.Pta_workload.Suite.cfg in
+      let ctx = P.context ~pre:`Unify () in
+      let b1 = P.build ~ctx e.Pta_workload.Suite.cfg in
+      Alcotest.(check bool) (name ^ ": seed counters recorded") true
+        (b1.P.pre_vars > 0 && b1.P.pre_merged >= 0
+        && b1.P.pre_merged < b1.P.pre_vars);
+      let same (a : Pta_store.Artifact.points_to)
+          (b : Pta_store.Artifact.points_to) =
+        Array.length a.Pta_store.Artifact.top
+        = Array.length b.Pta_store.Artifact.top
+        && Array.for_all2 Pta_ds.Bitset.equal a.Pta_store.Artifact.top
+             b.Pta_store.Artifact.top
+        && Array.for_all2 Pta_ds.Bitset.equal a.Pta_store.Artifact.obj
+             b.Pta_store.Artifact.obj
+      in
+      let sfs0, _ = P.run_sfs b0 and sfs1, _ = P.run_sfs ~ctx b1 in
+      Alcotest.(check bool) (name ^ ": sfs bit-identical") true
+        (same (P.points_to_of_sfs b0 sfs0) (P.points_to_of_sfs b1 sfs1));
+      let vsfs0, _ = P.run_vsfs b0 and vsfs1, _ = P.run_vsfs ~ctx b1 in
+      Alcotest.(check bool) (name ^ ": vsfs bit-identical") true
+        (same (P.points_to_of_vsfs b0 vsfs0) (P.points_to_of_vsfs b1 vsfs1)))
+    [ "du"; "dpkg" ]
+
 let () =
   Alcotest.run "pta_workload"
     [
@@ -243,5 +319,14 @@ let () =
           Alcotest.test_case "metrics" `Quick test_pipeline_metrics;
           Alcotest.test_case "dense agrees on benchmark" `Slow
             test_dense_on_benchmark;
+        ] );
+      ( "stages",
+        [
+          Alcotest.test_case "composition and log" `Quick
+            test_stage_composition;
+          Alcotest.test_case "cold run logs every stage" `Quick
+            test_stage_log_cold_run;
+          Alcotest.test_case "pre-analysis bit-identity on suite" `Slow
+            test_pre_bit_identity_suite;
         ] );
     ]
