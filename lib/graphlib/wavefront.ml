@@ -1,0 +1,80 @@
+type t = {
+  scc : Scc.result;
+  n_nodes : int;
+  level_of_comp : int array;
+  levels : int array array;  (* level -> component ids, ascending *)
+  members : int array array;  (* component -> node ids, ascending *)
+}
+
+(* Bucket [0..n-1] by [key_of]: two counting passes, so each bucket is an
+   exactly-sized array filled in ascending item order. *)
+let bucket ~n_buckets ~n key_of =
+  let counts = Array.make n_buckets 0 in
+  for i = 0 to n - 1 do
+    let k = key_of i in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let out = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make n_buckets 0 in
+  for i = 0 to n - 1 do
+    let k = key_of i in
+    out.(k).(fill.(k)) <- i;
+    fill.(k) <- fill.(k) + 1
+  done;
+  out
+
+let plan g =
+  let n = Digraph.n_nodes g in
+  let scc = Scc.compute g in
+  let nc = scc.Scc.n_comps in
+  (* Deduplicated condensation edges. *)
+  let cond = Digraph.create ~n:nc () in
+  Digraph.iter_edges g (fun u v ->
+      let cu = scc.Scc.comp.(u) and cv = scc.Scc.comp.(v) in
+      if cu <> cv then ignore (Digraph.add_edge cond cu cv));
+  (* Longest-path layering: relax out-edges in topological order, so every
+     component's level is final before its successors read it. *)
+  let order = Array.init nc Fun.id in
+  Array.sort
+    (fun a b -> compare scc.Scc.topo_rank.(a) scc.Scc.topo_rank.(b))
+    order;
+  let level_of_comp = Array.make nc 0 in
+  Array.iter
+    (fun c ->
+      Digraph.iter_succs cond c (fun d ->
+          if level_of_comp.(d) < level_of_comp.(c) + 1 then
+            level_of_comp.(d) <- level_of_comp.(c) + 1))
+    order;
+  let n_levels =
+    Array.fold_left (fun m l -> max m (l + 1)) 0 level_of_comp
+  in
+  let levels =
+    bucket ~n_buckets:n_levels ~n:nc (fun c -> level_of_comp.(c))
+  in
+  let members = bucket ~n_buckets:nc ~n (fun v -> scc.Scc.comp.(v)) in
+  { scc; n_nodes = n; level_of_comp; levels; members }
+
+let scc t = t.scc
+let n_nodes t = t.n_nodes
+let n_comps t = t.scc.Scc.n_comps
+let n_levels t = Array.length t.levels
+
+let comp_of_node t v =
+  if v < 0 || v >= t.n_nodes then
+    invalid_arg "Wavefront.comp_of_node: node outside the planned graph";
+  t.scc.Scc.comp.(v)
+
+let level_of_comp t c = t.level_of_comp.(c)
+let level_of_node t v = t.level_of_comp.(comp_of_node t v)
+let comps_at_level t l = t.levels.(l)
+let comp_members t c = t.members.(c)
+let comp_size t c = Array.length t.members.(c)
+
+let max_width t =
+  Array.fold_left (fun m l -> max m (Array.length l)) 0 t.levels
+
+let mean_width t =
+  if Array.length t.levels = 0 then 0.
+  else float_of_int (n_comps t) /. float_of_int (Array.length t.levels)
+
+let widths t = Array.map Array.length t.levels

@@ -1,0 +1,53 @@
+(** Wavefront level plans over the SCC condensation.
+
+    A plan buckets a digraph's strongly connected components into
+    topological levels by longest path from a source: [level c] is 0 for
+    condensation sources and [1 + max (level pred)] otherwise. Two
+    invariants make the plan a parallel schedule:
+
+    - every edge of the condensation goes from a lower level to a strictly
+      higher one, so components of the *same* level are mutually
+      independent and may be solved concurrently;
+    - [n_levels] is the condensation's critical-path length — the lower
+      bound on sequential barriers any level-synchronous schedule pays.
+
+    The plan is a snapshot: edges added to the graph afterwards (dynamic
+    call edges) are not reflected. Drivers that tolerate this re-scan from
+    the lowest dirty level instead of replanning, which preserves
+    soundness — the fixpoint is monotone, only the schedule is stale. *)
+
+type t
+
+val plan : Digraph.t -> t
+(** Condense with {!Scc.compute} and layer by longest path. O(V + E). *)
+
+val scc : t -> Scc.result
+
+val n_nodes : t -> int
+val n_comps : t -> int
+
+val n_levels : t -> int
+(** Critical-path length of the condensation (0 for the empty graph). *)
+
+val comp_of_node : t -> int -> int
+(** @raise Invalid_argument on a node id outside the planned graph. *)
+
+val level_of_comp : t -> int -> int
+val level_of_node : t -> int -> int
+
+val comps_at_level : t -> int -> int array
+(** Component ids of a level, ascending. *)
+
+val comp_members : t -> int -> int array
+(** Node ids of a component, ascending. *)
+
+val comp_size : t -> int -> int
+
+val max_width : t -> int
+(** Components of the widest level. *)
+
+val mean_width : t -> float
+(** [n_comps / n_levels] (0. for the empty graph). *)
+
+val widths : t -> int array
+(** Components per level, index = level. *)

@@ -90,16 +90,33 @@ let map t f items =
     let results = Array.make n None in
     let errors = Array.make n None in
     let remaining = ref n in
+    let failed = ref false in
     let done_m = Mutex.create () in
     let done_c = Condition.create () in
     Array.iteri
       (fun i x ->
         submit t (fun () ->
-            (match f x with
-            | r -> results.(i) <- Some r
-            | exception e ->
-              errors.(i) <- Some (e, Printexc.get_backtrace ()));
+            (* Once a failure is recorded the map's outcome is fixed (the
+               lowest failing index is re-raised), so still-queued tasks are
+               drained without running — they only cost their dequeue. Tasks
+               already in flight on other workers run to completion. *)
             Mutex.lock done_m;
+            let skip = !failed in
+            Mutex.unlock done_m;
+            let outcome =
+              if skip then None
+              else
+                match f x with
+                | r -> Some (Ok r)
+                | exception e -> Some (Error (e, Printexc.get_backtrace ()))
+            in
+            Mutex.lock done_m;
+            (match outcome with
+            | Some (Ok r) -> results.(i) <- Some r
+            | Some (Error eb) ->
+              errors.(i) <- Some eb;
+              failed := true
+            | None -> ());
             decr remaining;
             if !remaining = 0 then Condition.signal done_c;
             Mutex.unlock done_m))

@@ -34,9 +34,12 @@ val jobs : t -> int
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f items] runs [f] on every item on the pool's workers and
-    returns the results in input order. Blocks until all tasks finish; if
-    any task raised, re-raises the lowest-index failure as {!Task_error}
-    (after every task has completed, so no work is silently in flight).
+    returns the results in input order. Blocks until all tasks settle; if
+    any task raised, re-raises the lowest recorded failing index as
+    {!Task_error}. Once a failure is recorded, tasks still queued are
+    drained without running their bodies (tasks already in flight finish) —
+    so nothing is silently in flight when [map] raises, and a long batch
+    does not grind through doomed work after the first crash.
     @raise Invalid_argument if the pool was shut down. *)
 
 val shutdown : t -> unit

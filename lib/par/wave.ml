@@ -1,0 +1,165 @@
+open Pta_ds
+module Wavefront = Pta_graph.Wavefront
+module Telemetry = Pta_engine.Telemetry
+
+type ('task, 'delta) client = {
+  plan : Wavefront.t;
+  seeds : int list;
+  node_par_ok : int -> bool;
+  process : int -> int list;
+  extract : comp:int -> int array -> 'task;
+  eval : 'task -> 'delta;
+  apply_reg : comp:int -> 'delta -> unit;
+  apply : comp:int -> 'delta -> int list;
+  measure : 'delta -> int * int;
+  tel : Telemetry.phase option;
+}
+
+let counter tel name =
+  match tel with Some t -> Telemetry.counter t name | None -> ref 0
+
+let drive ?(jobs = 1) cl =
+  let plan = cl.plan in
+  let nc = Wavefront.n_comps plan in
+  (* Per-component FIFO queues in (level, comp)-sorted positions, with a
+     backward-resetting cursor — the same discipline as the sequential
+     [`Wave] scheduler, lifted from nodes to whole components. *)
+  let queues = Array.init nc (fun _ -> Queue.create ()) in
+  let queued = Bitset.create () in
+  let comps = Array.init nc Fun.id in
+  Array.sort
+    (fun a b ->
+      compare
+        (Wavefront.level_of_comp plan a, a)
+        (Wavefront.level_of_comp plan b, b))
+    comps;
+  let pos = Array.make nc 0 in
+  Array.iteri (fun p c -> pos.(c) <- p) comps;
+  let cursor = ref nc in
+  let count = ref 0 in
+  let push n =
+    if Bitset.add queued n then begin
+      let c = Wavefront.comp_of_node plan n in
+      Queue.push n queues.(c);
+      if pos.(c) < !cursor then cursor := pos.(c);
+      incr count
+    end
+  in
+  List.iter push cl.seeds;
+  let comp_par_ok =
+    Array.init nc (fun c ->
+        Array.for_all cl.node_par_ok (Wavefront.comp_members plan c))
+  in
+  (* Dirty nodes of a component, ascending; clears their queued marks. *)
+  let drain c =
+    let q = queues.(c) in
+    let xs = Array.make (Queue.length q) 0 in
+    for i = 0 to Array.length xs - 1 do
+      let n = Queue.pop q in
+      ignore (Bitset.remove queued n);
+      xs.(i) <- n
+    done;
+    count := !count - Array.length xs;
+    Array.sort compare xs;
+    xs
+  in
+  let seq_pops = counter cl.tel "wave_seq_pops" in
+  let par_pops = counter cl.tel "wave_par_pops" in
+  let batches = counter cl.tel "wave_batches" in
+  let tasks_c = counter cl.tel "wave_tasks" in
+  let seq_comps = counter cl.tel "wave_seq_comps" in
+  let width_max = counter cl.tel "wave_width_max" in
+  let width_sum = counter cl.tel "wave_width_sum" in
+  let merge_us = counter cl.tel "wave_merge_us" in
+  (counter cl.tel "wave_levels") := Wavefront.n_levels plan;
+  (counter cl.tel "wave_comps") := nc;
+  let dom_pops = Hashtbl.create 8 in
+  (* Solve one component to a local fixpoint on the caller domain. *)
+  let run_seq c =
+    let local = Queue.create () in
+    let marks = Bitset.create () in
+    let feed n = if Bitset.add marks n then Queue.push n local in
+    Array.iter feed (drain c);
+    while not (Queue.is_empty local) do
+      let n = Queue.pop local in
+      ignore (Bitset.remove marks n);
+      incr seq_pops;
+      List.iter
+        (fun m ->
+          if Wavefront.comp_of_node plan m = c then feed m else push m)
+        (cl.process n)
+    done
+  in
+  let run_batch pool =
+    incr batches;
+    (* [cursor] points at the first dirty position; every dirty component
+       at the same level belongs to this batch. Positions are (level, comp)
+       sorted, so the level's range is contiguous and batch members come
+       out in ascending component order. *)
+    while Queue.is_empty queues.(comps.(!cursor)) do
+      incr cursor
+    done;
+    let lvl = Wavefront.level_of_comp plan comps.(!cursor) in
+    let batch = ref [] in
+    let p = ref !cursor in
+    while
+      !p < nc && Wavefront.level_of_comp plan comps.(!p) = lvl
+    do
+      if not (Queue.is_empty queues.(comps.(!p))) then
+        batch := comps.(!p) :: !batch;
+      incr p
+    done;
+    let batch = List.rev !batch in
+    let width = List.length batch in
+    if width > !width_max then width_max := width;
+    width_sum := !width_sum + width;
+    let seqs, pars = List.partition (fun c -> not comp_par_ok.(c)) batch in
+    (* Sequential components first: their pushes may add dirty nodes to the
+       parallel components of the same batch, which extraction then picks
+       up (same-level components are independent, so this only grows the
+       dirty sets, never invalidates them). *)
+    List.iter
+      (fun c ->
+        incr seq_comps;
+        run_seq c)
+      seqs;
+    let pars = List.filter (fun c -> not (Queue.is_empty queues.(c))) pars in
+    let tasks = List.map (fun c -> (c, cl.extract ~comp:c (drain c))) pars in
+    tasks_c := !tasks_c + List.length tasks;
+    let deltas =
+      match pool with
+      | Some pool when List.length tasks > 1 ->
+        Pool.map pool (fun (_, tk) -> cl.eval tk) tasks
+      | _ -> List.map (fun (_, tk) -> cl.eval tk) tasks
+    in
+    (* Barrier merge, ascending component order (the pool preserved input
+       order): all registrations first, then all data deltas. *)
+    let t0 = Unix.gettimeofday () in
+    List.iter2 (fun (c, _) d -> cl.apply_reg ~comp:c d) tasks deltas;
+    List.iter2
+      (fun (c, _) d ->
+        let dom, pops = cl.measure d in
+        par_pops := !par_pops + pops;
+        (match Hashtbl.find_opt dom_pops dom with
+        | Some r -> r := !r + pops
+        | None -> Hashtbl.add dom_pops dom (ref pops));
+        List.iter push (cl.apply ~comp:c d))
+      tasks deltas;
+    merge_us :=
+      !merge_us + int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+  in
+  let loop pool =
+    while !count > 0 do
+      run_batch pool
+    done
+  in
+  if jobs > 1 then Pool.with_pool ~jobs (fun pool -> loop (Some pool))
+  else loop None;
+  match cl.tel with
+  | None -> ()
+  | Some tel ->
+    Hashtbl.iter
+      (fun dom pops ->
+        (Telemetry.counter tel (Printf.sprintf "wave_dom%d_pops" dom))
+        := !pops)
+      dom_pops

@@ -1,0 +1,63 @@
+(** Wavefront-parallel fixpoint driver over an SCC level plan.
+
+    [drive] runs a solver to fixpoint level by level: it keeps one FIFO
+    queue per component of the client's {!Pta_graph.Wavefront} plan, finds
+    the lowest level with dirty components, and solves that level's dirty
+    components as a batch — components the client marks parallel-safe are
+    [extract]ed into plain-data tasks and [eval]uated concurrently on pool
+    domains, the rest run sequentially through [process]. The batch ends
+    with a barrier: deltas are applied in ascending component order
+    (pool [map] preserves input order, so worker completion interleaving is
+    invisible), and the pushes [apply] returns re-dirty components — possibly
+    at *lower* levels (dynamic call edges are back-edges of the static
+    plan), in which case the driver re-sweeps from the lowest dirty level.
+
+    Determinism: the fixpoint itself is schedule-independent (monotone
+    functions on a finite lattice have one least fixpoint), and the merge
+    applies sorted deltas in sorted component order, so even the caller's
+    interned {!Pta_ds.Ptset} ids come out identical run to run.
+
+    Domain-safety contract for [eval]: it runs on a pool worker domain, so
+    it must not touch caller-domain [Ptset.t] ids or mutate any caller
+    structure — tasks and deltas carry plain data ([Bitset.t], ints), and
+    frozen bitsets inside a task are read-only snapshots that the caller
+    guarantees quiescent while the batch is in flight. *)
+
+type ('task, 'delta) client = {
+  plan : Pta_graph.Wavefront.t;
+  seeds : int list;
+  node_par_ok : int -> bool;
+      (** nodes whose transfer function neither interns new objects nor
+          mutates shared solver structure; a component is evaluated in
+          parallel only if every member qualifies *)
+  process : int -> int list;
+      (** sequential transfer for one node (caller domain); returns the
+          nodes to re-push *)
+  extract : comp:int -> int array -> 'task;
+      (** freeze a parallel task for a component from its sorted dirty
+          nodes (caller domain) *)
+  eval : 'task -> 'delta;
+      (** local fixpoint over the frozen task (worker domain, plain data) *)
+  apply_reg : comp:int -> 'delta -> unit;
+      (** first merge pass: registrations (node-object memberships, version
+          subscriptions) — applied for *every* delta of a batch before any
+          data pass, so cross-task data pushes see them *)
+  apply : comp:int -> 'delta -> int list;
+      (** second merge pass: data writes; returns the nodes to re-push *)
+  measure : 'delta -> int * int;
+      (** (worker domain id, local pops) — telemetry only *)
+  tel : Pta_engine.Telemetry.phase option;
+}
+
+val drive : ?jobs:int -> ('task, 'delta) client -> unit
+(** Run to global fixpoint. [jobs <= 1] evaluates tasks on the caller
+    domain through the same extract/eval/apply path (the drive is then a
+    deterministic sequential schedule); [jobs > 1] spins up a
+    {!Pool.with_pool} for the duration of the drive.
+
+    Telemetry (when [tel] is given): [wave_levels] (plan critical path),
+    [wave_comps], [wave_batches], [wave_tasks] (parallel tasks evaluated),
+    [wave_seq_comps] (components run sequentially), [wave_width_max] /
+    [wave_width_sum] (dirty components per batch), [wave_par_pops],
+    [wave_seq_pops], [wave_merge_us] (barrier merge wall time, µs) and
+    per-domain [wave_dom<i>_pops] counters. *)
